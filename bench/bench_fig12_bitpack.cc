@@ -1,0 +1,169 @@
+// Figure 12: byte-addressable Data Blocks vs. SIMD horizontal bit-packing.
+//  (a) cost of evaluating `l <= A <= r` as selectivity varies — bit-packed
+//      scans with bitmap iteration degrade at moderate selectivities; the
+//      positions-table variant and Data Blocks stay flat.
+//  (b) cost of *unpacking* the matching tuples (3 attributes): positional
+//      access into bit-packed data vs unpack-all-and-filter vs Data Block
+//      positional unpacking.
+//
+// Setup mirrors the paper: three columns A, B (domain [0, 2^16], i.e. 17
+// bits -> Data Blocks are forced to 4-byte codes) and C (domain [0, 2^8],
+// 9 bits -> 2-byte codes); 2^16 rows.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "bitpack/bitpacked_column.h"
+#include "datablock/block_scan.h"
+#include "datablock/data_block.h"
+#include "util/timer.h"
+
+using namespace datablocks;
+
+namespace {
+
+constexpr uint32_t kN = 1u << 16;
+
+struct Setup {
+  std::vector<uint32_t> a, b, c;
+  BitPackedColumn pa, pb, pc;
+  DataBlock block;
+
+  Setup() {
+    std::mt19937_64 rng(7);
+    a.resize(kN);
+    b.resize(kN);
+    c.resize(kN);
+    for (uint32_t i = 0; i < kN; ++i) {
+      a[i] = uint32_t(rng() % ((1u << 16) + 1));
+      b[i] = uint32_t(rng() % ((1u << 16) + 1));
+      c[i] = uint32_t(rng() % ((1u << 8) + 1));
+    }
+    pa = BitPackedColumn::Pack(a.data(), kN, 17);
+    pb = BitPackedColumn::Pack(b.data(), kN, 17);
+    pc = BitPackedColumn::Pack(c.data(), kN, 9);
+
+    Schema schema({{"a", TypeId::kInt32},
+                   {"b", TypeId::kInt32},
+                   {"c", TypeId::kInt32}});
+    Chunk chunk(&schema, kN);
+    std::vector<Value> row;
+    for (uint32_t i = 0; i < kN; ++i) {
+      row = {Value::Int(a[i]), Value::Int(b[i]), Value::Int(c[i])};
+      chunk.Append(row);
+    }
+    block = DataBlock::Build(chunk);
+  }
+};
+
+uint64_t BestCycles(int reps, const std::function<void()>& fn) {
+  uint64_t best = UINT64_MAX;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t t0 = ReadTsc();
+    fn();
+    best = std::min(best, ReadTsc() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  Setup s;
+  std::vector<uint32_t> pos(kN + 8);
+  std::vector<uint32_t> out_a(kN), out_b(kN), out_c(kN);
+
+  std::printf("=== Figure 12(a): SARG evaluation cost, cycles/tuple ===\n");
+  std::printf("%-6s %14s %14s %22s\n", "sel%", "Data Blocks", "bit-packed",
+              "bit-packed+postable");
+  for (int sel : {0, 5, 10, 25, 50, 75, 100}) {
+    uint32_t hi = uint32_t(uint64_t(1 << 16) * sel / 100);
+    uint32_t lo = 0;
+    // Data Blocks: translated predicate + SIMD kernel on 4-byte codes.
+    std::vector<Predicate> preds = {
+        Predicate::Between(0, Value::Int(lo), Value::Int(hi))};
+    auto prep = PrepareBlockScan(s.block, preds, false);
+    uint64_t db_cycles = BestCycles(20, [&] {
+      if (!prep.skip) {
+        uint32_t n = FindMatchesInBlock(s.block, prep, 0, kN, BestIsa(),
+                                        pos.data());
+        (void)n;
+      }
+    });
+    uint64_t bp_iter = BestCycles(20, [&] {
+      s.pa.ScanBetweenPositions(lo, hi, pos.data(), false);
+    });
+    uint64_t bp_table = BestCycles(20, [&] {
+      s.pa.ScanBetweenPositions(lo, hi, pos.data(), true);
+    });
+    std::printf("%-6d %14.2f %14.2f %22.2f\n", sel,
+                double(db_cycles) / kN, double(bp_iter) / kN,
+                double(bp_table) / kN);
+  }
+
+  std::printf(
+      "\n=== Figure 12(b): unpacking matching tuples (3 attributes), "
+      "cycles per matching tuple ===\n");
+  std::printf("%-6s %14s %22s %22s\n", "sel%", "Data Blocks",
+              "bit-packed positional", "bit-packed unpack-all");
+  for (int sel : {1, 5, 10, 25, 50, 75, 100}) {
+    uint32_t hi = uint32_t(uint64_t(1 << 16) * sel / 100);
+    std::vector<Predicate> preds = {
+        Predicate::Between(0, Value::Int(0), Value::Int(int64_t(hi)))};
+    auto prep = PrepareBlockScan(s.block, preds, false);
+    uint32_t n_matches =
+        prep.skip ? 0
+                  : FindMatchesInBlock(s.block, prep, 0, kN, BestIsa(),
+                                       pos.data());
+    if (n_matches == 0) continue;
+
+    // Data Blocks: positional unpack of the three columns.
+    ColumnVector va, vb, vc;
+    uint64_t db_cycles = BestCycles(10, [&] {
+      va.Init(TypeId::kInt32);
+      vb.Init(TypeId::kInt32);
+      vc.Init(TypeId::kInt32);
+      UnpackColumn(s.block, 0, pos.data(), n_matches, &va);
+      UnpackColumn(s.block, 1, pos.data(), n_matches, &vb);
+      UnpackColumn(s.block, 2, pos.data(), n_matches, &vc);
+    });
+
+    // Bit-packed positional: scalar extraction of each match.
+    uint64_t bp_pos = BestCycles(10, [&] {
+      for (uint32_t j = 0; j < n_matches; ++j) {
+        uint32_t p = pos[j];
+        out_a[j] = s.pa.Get(p);
+        out_b[j] = s.pb.Get(p);
+        out_c[j] = s.pc.Get(p);
+      }
+    });
+
+    // Bit-packed unpack-all-and-filter: SIMD-unpack entire columns, then
+    // gather the matches.
+    std::vector<uint32_t> full_a(kN), full_b(kN), full_c(kN);
+    uint64_t bp_all = BestCycles(10, [&] {
+      s.pa.UnpackAll(full_a.data());
+      s.pb.UnpackAll(full_b.data());
+      s.pc.UnpackAll(full_c.data());
+      for (uint32_t j = 0; j < n_matches; ++j) {
+        uint32_t p = pos[j];
+        out_a[j] = full_a[p];
+        out_b[j] = full_b[p];
+        out_c[j] = full_c[p];
+      }
+    });
+
+    std::printf("%-6d %14.1f %22.1f %22.1f\n", sel,
+                double(db_cycles) / n_matches, double(bp_pos) / n_matches,
+                double(bp_all) / n_matches);
+  }
+  std::printf(
+      "\n(Expected shape: Data Blocks cheapest almost everywhere;\n"
+      " bit-packed positional access competitive only at low selectivity;\n"
+      " unpack-all wins over positional beyond ~20%% but still pays for\n"
+      " unpacking non-qualifying tuples — Section 5.4.)\n");
+  return 0;
+}

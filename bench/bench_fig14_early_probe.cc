@@ -1,0 +1,125 @@
+// Figure 14 / Appendix E: vectorized early probing of a selective hash join
+// inside the Data Block scan. The build side is a restricted dimension
+// (orders in a narrow date range); the probe side is lineitem. Early
+// probing filters the match vector with the 16-bit directory tags *before*
+// unpacking payload columns, avoiding decompression of never-joining rows.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/hash_table.h"
+#include "tpch/queries.h"
+#include "util/date.h"
+#include "util/timer.h"
+
+using namespace datablocks;
+using namespace datablocks::tpch;
+
+namespace {
+
+struct JoinResult {
+  int64_t revenue = 0;
+  uint64_t probe_rows = 0;
+  uint64_t unpacked_rows = 0;
+};
+
+JoinResult RunJoin(const TpchDatabase& db, const JoinHashTable& ht,
+                   bool early_probe) {
+  namespace li = col::lineitem;
+  JoinResult res;
+  // The block scan is driven manually to place the early probe between
+  // match finding and payload unpacking (Figure 14 steps 1-4).
+  std::vector<uint32_t> positions(8192 + 8);
+  std::vector<uint64_t> keys(8192);
+  for (size_t c = 0; c < db.lineitem.num_chunks(); ++c) {
+    const DataBlock* block = db.lineitem.frozen_block(c);
+    if (block == nullptr) continue;
+    uint32_t rows = block->num_rows();
+    for (uint32_t from = 0; from < rows; from += 8192) {
+      uint32_t to = std::min(from + 8192u, rows);
+      uint32_t n = to - from;
+      for (uint32_t i = 0; i < n; ++i) positions[i] = from + i;
+      // Unpack the join key.
+      ColumnVector key_col;
+      key_col.Init(TypeId::kInt64);
+      UnpackColumn(*block, li::orderkey, positions.data(), n, &key_col);
+      res.probe_rows += n;
+      if (early_probe) {
+        for (uint32_t i = 0; i < n; ++i)
+          keys[i] = uint64_t(key_col.i64[i]);
+        n = ht.EarlyProbe(keys.data(), positions.data(), n, positions.data());
+        // Re-unpack the surviving keys only.
+        key_col.Init(TypeId::kInt64);
+        UnpackColumn(*block, li::orderkey, positions.data(), n, &key_col);
+      }
+      if (n == 0) continue;
+      res.unpacked_rows += n;
+      ColumnVector price, disc;
+      price.Init(TypeId::kInt64);
+      disc.Init(TypeId::kInt32);
+      UnpackColumn(*block, li::extendedprice, positions.data(), n, &price);
+      UnpackColumn(*block, li::discount, positions.data(), n, &disc);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t ok = uint64_t(key_col.i64[i]);
+        ht.Probe(ok, [&](uint64_t) {
+          res.revenue += price.i64[i] * (100 - disc.i32[i]);
+        });
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TpchConfig cfg;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.5;
+
+  std::printf("generating TPC-H SF %.2f...\n", cfg.scale_factor);
+  auto db = MakeTpch(cfg);
+  db->FreezeAll();
+
+  // Build side: orders of one quarter (~3.5% of orders).
+  namespace ord = col::orders;
+  JoinHashTable ht(size_t(db->NumOrders() / 25));
+  {
+    ScanOptions opt;
+    TableScanner scan = opt.Scan(
+        *&db->orders, {ord::orderkey},
+        {Predicate::Between(ord::orderdate,
+                            Value::Int(MakeDate(1994, 1, 1)),
+                            Value::Int(MakeDate(1994, 3, 31)))});
+    Batch b;
+    while (scan.Next(&b))
+      for (uint32_t i = 0; i < b.count; ++i)
+        ht.Insert(uint64_t(b.cols[0].i64[i]), 1);
+  }
+  std::printf("build side: %zu orders\n", ht.size());
+
+  Timer t;
+  JoinResult plain = RunJoin(*db, ht, false);
+  double plain_s = t.ElapsedSeconds();
+  t.Reset();
+  JoinResult early = RunJoin(*db, ht, true);
+  double early_s = t.ElapsedSeconds();
+
+  if (plain.revenue != early.revenue) {
+    std::printf("JOIN RESULT MISMATCH\n");
+    return 1;
+  }
+
+  std::printf(
+      "\n=== Figure 14: early probing of tagged hash joins in the scan "
+      "===\n");
+  std::printf("%-26s %12s %16s %14s\n", "variant", "time",
+              "tuples unpacked", "speedup");
+  std::printf("%-26s %10.1fms %16llu %13.2fx\n", "probe in pipeline",
+              plain_s * 1e3, (unsigned long long)plain.unpacked_rows, 1.0);
+  std::printf("%-26s %10.1fms %16llu %13.2fx\n", "early probe in scan",
+              early_s * 1e3, (unsigned long long)early.unpacked_rows,
+              plain_s / early_s);
+  std::printf("\njoin revenue check: %.2f (both variants)\n",
+              double(plain.revenue) / 1e4);
+  return 0;
+}

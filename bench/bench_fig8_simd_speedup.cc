@@ -1,0 +1,106 @@
+// Figure 8: speedup of SIMD predicate evaluation (l <= A <= r, selectivity
+// 20%) over scalar x86 code, by data type width, for x86 / SSE / AVX2.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "scan/match_finder.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+namespace datablocks {
+namespace {
+
+constexpr uint32_t kN = 1u << 22;
+
+template <typename T>
+struct Fixture {
+  std::vector<T> data;
+  std::vector<uint32_t> out;
+  T lo, hi;
+
+  Fixture() {
+    std::mt19937_64 rng(sizeof(T));
+    data.resize(kN + kScanPadding);
+    for (uint32_t i = 0; i < kN; ++i) data[i] = T(rng());
+    // 20% selectivity on a uniform full-domain distribution.
+    lo = T(0);
+    hi = T(std::numeric_limits<T>::max() / 5);
+    out.resize(kN + 8);
+  }
+};
+
+template <typename T>
+void BM_FindBetween(benchmark::State& state) {
+  static Fixture<T> fx;
+  Isa isa = Isa(state.range(0));
+  uint64_t matches = 0;
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    uint64_t t0 = ReadTsc();
+    uint32_t n = FindMatchesBetween<T>(fx.data.data(), 0, kN, fx.lo, fx.hi,
+                                       isa, fx.out.data());
+    cycles += ReadTsc() - t0;
+    matches += n;
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kN);
+  state.counters["cycles/elem"] =
+      double(cycles) / double(state.iterations()) / kN;
+  state.counters["sel%"] =
+      100.0 * double(matches) / double(state.iterations()) / kN;
+  state.SetLabel(IsaName(isa));
+}
+
+BENCHMARK_TEMPLATE(BM_FindBetween, uint8_t)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_FindBetween, uint16_t)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_FindBetween, uint32_t)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_FindBetween, uint64_t)->Arg(0)->Arg(1)->Arg(2);
+
+template <typename T>
+double MeasureSeconds(Isa isa, Fixture<T>& fx) {
+  // Warm-up + best-of-5 timing.
+  double best = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    Timer t;
+    uint32_t n = FindMatchesBetween<T>(fx.data.data(), 0, kN, fx.lo, fx.hi,
+                                       isa, fx.out.data());
+    benchmark::DoNotOptimize(n);
+    best = std::min(best, t.ElapsedSeconds());
+  }
+  return best;
+}
+
+template <typename T>
+void PrintRow(const char* name) {
+  Fixture<T> fx;
+  double scalar = MeasureSeconds<T>(Isa::kScalar, fx);
+  double sse = MeasureSeconds<T>(Isa::kSse, fx);
+  double avx2 = MeasureSeconds<T>(Isa::kAvx2, fx);
+  std::printf("%-8s %10.2f %10.2f %10.2f\n", name, 1.0, scalar / sse,
+              scalar / avx2);
+}
+
+void PrintSummary() {
+  std::printf(
+      "\n=== Figure 8: speedup over scalar x86 (between, sel 20%%) ===\n");
+  std::printf("%-8s %10s %10s %10s\n", "width", "x86", "SSE", "AVX2");
+  PrintRow<uint8_t>("8-bit");
+  PrintRow<uint16_t>("16-bit");
+  PrintRow<uint32_t>("32-bit");
+  PrintRow<uint64_t>("64-bit");
+}
+
+}  // namespace
+}  // namespace datablocks
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  datablocks::PrintSummary();
+  return 0;
+}

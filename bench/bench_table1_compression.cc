@@ -1,0 +1,116 @@
+// Table 1: database sizes uncompressed vs. compressed, for TPC-H, the IMDB
+// cast_info relation, and the flights data set. A sub-byte bit-packed size
+// estimate stands in for the "Vectorwise compressed" reference column (see
+// DESIGN.md substitution 4).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/tpch_db.h"
+#include "util/bits.h"
+#include "workloads/flights.h"
+#include "workloads/imdb.h"
+
+using namespace datablocks;
+
+namespace {
+
+/// Lower-bound estimate of a PFOR/PDICT-style sub-byte encoding: codes use
+/// BitsNeeded() bits instead of whole bytes; dictionaries and string areas
+/// are kept as-is.
+uint64_t BitPackedEstimate(const Table& t) {
+  uint64_t total = 0;
+  for (size_t c = 0; c < t.num_chunks(); ++c) {
+    const DataBlock* b = t.frozen_block(c);
+    if (b == nullptr) continue;
+    for (uint32_t a = 0; a < b->num_columns(); ++a) {
+      const AttrMeta& m = b->attr(a);
+      uint64_t n = b->num_rows();
+      switch (Compression(m.compression)) {
+        case Compression::kSingleValue:
+          break;
+        case Compression::kDictionary:
+          total += (n * BitsNeeded(m.dict_count ? m.dict_count - 1 : 0) + 7) / 8;
+          total += uint64_t(m.dict_count) * 8;
+          if (TypeId(m.type) == TypeId::kString && m.dict_count > 0) {
+            // String payload: sum of dictionary string lengths.
+            uint64_t bytes = 0;
+            for (uint32_t k = 0; k < m.dict_count; ++k)
+              bytes += b->dict_string(a, k).size();
+            total += bytes;
+          }
+          break;
+        case Compression::kTruncation:
+          total += (n * BitsNeeded(uint64_t(m.max_val) - uint64_t(m.min_val)) +
+                    7) /
+                   8;
+          break;
+        case Compression::kRaw:
+          total += n * m.code_width;
+          break;
+      }
+      if (m.flags & AttrMeta::kHasNulls) total += BitmapWords(n) * 8;
+    }
+  }
+  return total;
+}
+
+void Report(const char* name, uint64_t uncompressed, Table* tables[],
+            int num_tables) {
+  uint64_t compressed = 0, bitpacked = 0;
+  for (int i = 0; i < num_tables; ++i) {
+    tables[i]->FreezeAll();
+    compressed += tables[i]->MemoryBytes();
+    bitpacked += BitPackedEstimate(*tables[i]);
+  }
+  std::printf("%-16s %12.1f MB %12.1f MB %12.1f MB %8.2fx %10.2fx\n", name,
+              double(uncompressed) / 1e6, double(compressed) / 1e6,
+              double(bitpacked) / 1e6,
+              double(uncompressed) / double(compressed),
+              double(compressed) / double(bitpacked));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? atof(argv[1]) : 0.2;
+
+  std::printf("=== Table 1: database sizes (uncompressed vs Data Blocks vs "
+              "sub-byte reference) ===\n");
+  std::printf("%-16s %15s %15s %15s %9s %11s\n", "data set", "uncompressed",
+              "Data Blocks", "bit-packed", "ratio", "DB/packed");
+
+  {
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = sf;
+    auto db = tpch::MakeTpch(cfg);
+    uint64_t hot = db->TotalBytes();
+    Table* tables[8] = {&db->region, &db->nation,   &db->supplier,
+                        &db->customer, &db->part,   &db->partsupp,
+                        &db->orders,  &db->lineitem};
+    char name[64];
+    std::snprintf(name, sizeof(name), "TPC-H SF%.2g", sf);
+    Report(name, hot, tables, 8);
+  }
+  {
+    workloads::ImdbConfig cfg;
+    cfg.num_rows = uint64_t(3'600'000 * sf * 5);  // scaled cast_info
+    auto t = workloads::MakeCastInfo(cfg);
+    uint64_t hot = t->MemoryBytes();
+    Table* tables[1] = {t.get()};
+    Report("IMDB cast_info", hot, tables, 1);
+  }
+  {
+    workloads::FlightsConfig cfg;
+    cfg.num_rows = uint64_t(10'000'000 * sf);
+    auto t = workloads::MakeFlights(cfg);
+    uint64_t hot = t->MemoryBytes();
+    Table* tables[1] = {t.get()};
+    Report("Flights", hot, tables, 1);
+  }
+  std::printf(
+      "\n(Paper Table 1: HyPer compresses TPC-H ~1.9x, cast_info ~3.6x,\n"
+      " flights ~5x; Vectorwise's heavier sub-byte schemes save another\n"
+      " ~25%%, which the bit-packed estimate column mirrors.)\n");
+  return 0;
+}

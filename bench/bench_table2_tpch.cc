@@ -1,0 +1,106 @@
+// Table 2 / Table 4 (Appendix F): runtimes of all 22 TPC-H queries under
+// the six scan configurations of the paper, plus sum and geometric mean.
+//
+//   JIT         tuple-at-a-time scan, uncompressed
+//   VEC         vectorized scan, uncompressed, no SARG pushdown
+//   +SARG       vectorized scan, uncompressed, SARG pushdown (SIMD)
+//   DB          vectorized Data Block scan, predicates in the pipeline
+//   +SARG/SMA   Data Block scan with SARG pushdown and SMA skipping
+//   +PSMA       +SARG/SMA with PSMA range narrowing
+//
+// Usage: bench_table2_tpch [scale_factor] [repetitions]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/queries.h"
+#include "util/timer.h"
+
+using namespace datablocks;
+using namespace datablocks::tpch;
+
+namespace {
+
+double MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
+                      int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    QueryResult result = RunQuery(q, db, ScanOptions{.mode = mode});
+    best = std::min(best, t.ElapsedSeconds());
+    if (result.rows.empty() && q != 15 && q != 2) {
+      // Only a handful of queries may legitimately return few rows; an
+      // empty result elsewhere would make the timing meaningless.
+      std::fprintf(stderr, "warning: Q%d returned no rows\n", q);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TpchConfig cfg;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.2;
+  const int reps = argc > 2 ? atoi(argv[2]) : 2;
+
+  std::printf("generating TPC-H SF %.2f (hot + frozen instances)...\n",
+              cfg.scale_factor);
+  Timer gen;
+  auto hot = MakeTpch(cfg);
+  auto frozen = MakeTpch(cfg);
+  frozen->FreezeAll();
+  std::printf("generated in %.1f s; lineitem rows = %llu\n\n",
+              gen.ElapsedSeconds(),
+              (unsigned long long)hot->lineitem.num_rows());
+
+  struct Config {
+    const char* name;
+    const TpchDatabase* db;
+    ScanMode mode;
+  };
+  const Config configs[6] = {
+      {"JIT", hot.get(), ScanMode::kJit},
+      {"VEC", hot.get(), ScanMode::kVectorized},
+      {"+SARG", hot.get(), ScanMode::kVectorizedSarg},
+      {"DB", frozen.get(), ScanMode::kVectorized},
+      {"+SARG/SMA", frozen.get(), ScanMode::kDataBlocks},
+      {"+PSMA", frozen.get(), ScanMode::kDataBlocksPsma},
+  };
+
+  std::printf("=== Table 2 / Table 4: TPC-H SF %.2f, seconds per query ===\n",
+              cfg.scale_factor);
+  std::printf("      %10s %10s %10s | %10s %10s %10s %9s\n", "JIT", "VEC",
+              "+SARG", "DB", "+SARG/SMA", "+PSMA", "PSMA/JIT");
+  double sum[6] = {0};
+  double logsum[6] = {0};
+  for (int q = 1; q <= 22; ++q) {
+    double secs[6];
+    for (int c = 0; c < 6; ++c) {
+      secs[c] = MeasureSeconds(q, *configs[c].db, configs[c].mode, reps);
+      sum[c] += secs[c];
+      logsum[c] += std::log(secs[c]);
+    }
+    std::printf("Q%-4d %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs %8.2fx\n",
+                q, secs[0], secs[1], secs[2], secs[3], secs[4], secs[5],
+                secs[0] / secs[5]);
+  }
+  std::printf("----\n%-5s", "sum");
+  for (int c = 0; c < 6; ++c) std::printf(" %9.3fs", sum[c]);
+  std::printf("\n%-5s", "geo");
+  double geo[6];
+  for (int c = 0; c < 6; ++c) {
+    geo[c] = std::exp(logsum[c] / 22.0);
+    std::printf(" %9.3fs", geo[c]);
+  }
+  std::printf("\n\ngeometric-mean speedup over JIT scans:\n");
+  for (int c = 0; c < 6; ++c)
+    std::printf("  %-10s %6.2fx\n", configs[c].name, geo[0] / geo[c]);
+
+  std::printf("\ncompressed/uncompressed size: %.1f MB / %.1f MB (%.2fx)\n",
+              double(frozen->TotalBytes()) / 1e6,
+              double(hot->TotalBytes()) / 1e6,
+              double(hot->TotalBytes()) / double(frozen->TotalBytes()));
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "bitpack/bitpacked_column.h"
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "scan/match_table.h"
+#include "util/macros.h"
+
+namespace datablocks {
+
+BitPackedColumn BitPackedColumn::Pack(const uint32_t* values, uint32_t n,
+                                      uint32_t bits) {
+  DB_CHECK(bits >= 1 && bits <= 32);
+  BitPackedColumn col;
+  col.n_ = n;
+  col.bits_ = bits;
+  col.mask_ = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+  uint64_t total_bits = uint64_t(n) * bits;
+  col.buf_.Allocate((total_bits + 7) / 8 + 8);
+  uint8_t* base = col.buf_.data();
+  for (uint32_t i = 0; i < n; ++i) {
+    DB_CHECK((values[i] & ~col.mask_) == 0);
+    uint64_t bit = uint64_t(i) * bits;
+    uint8_t* p = base + (bit >> 3);
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w |= uint64_t(values[i]) << (bit & 7);
+    __builtin_memcpy(p, &w, 8);
+  }
+  return col;
+}
+
+namespace {
+
+// Gathers 8 consecutive packed values starting at index i into 32-bit lanes.
+// Requires bits <= 25 so that each value fits a 32-bit window starting at
+// its byte offset.
+inline __m256i Unpack8(const uint8_t* base, uint64_t i, uint32_t bits,
+                       uint32_t mask) {
+  alignas(32) int32_t byte_off[8];
+  alignas(32) int32_t bit_off[8];
+  for (int k = 0; k < 8; ++k) {
+    uint64_t bit = (i + uint64_t(k)) * bits;
+    byte_off[k] = int32_t(bit >> 3);
+    bit_off[k] = int32_t(bit & 7);
+  }
+  __m256i off = _mm256_load_si256(reinterpret_cast<const __m256i*>(byte_off));
+  __m256i sh = _mm256_load_si256(reinterpret_cast<const __m256i*>(bit_off));
+  __m256i w = _mm256_i32gather_epi32(reinterpret_cast<const int*>(base), off,
+                                     1);
+  w = _mm256_srlv_epi32(w, sh);
+  return _mm256_and_si256(w, _mm256_set1_epi32(int(mask)));
+}
+
+}  // namespace
+
+void BitPackedColumn::UnpackAll(uint32_t* out) const {
+  const uint8_t* base = buf_.data();
+  uint32_t i = 0;
+  if (bits_ <= 25) {
+    for (; i + 8 <= n_; i += 8) {
+      __m256i v = Unpack8(base, i, bits_, mask_);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+  }
+  for (; i < n_; ++i) out[i] = Get(i);
+}
+
+void BitPackedColumn::ScanBetween(uint32_t lo, uint32_t hi,
+                                  uint64_t* bitmap) const {
+  const uint8_t* base = buf_.data();
+  uint32_t i = 0;
+  if (bits_ <= 25) {
+    // Values are < 2^25, so signed 32-bit compares are exact.
+    const __m256i lov = _mm256_set1_epi32(int(lo));
+    const __m256i hiv = _mm256_set1_epi32(int(hi));
+    for (; i + 8 <= n_; i += 8) {
+      __m256i v = Unpack8(base, i, bits_, mask_);
+      __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(lov, v),
+                                    _mm256_cmpgt_epi32(v, hiv));
+      uint32_t m =
+          ~uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) & 0xFFu;
+      bitmap[i >> 6] |= uint64_t(m) << (i & 63);
+    }
+  }
+  for (; i < n_; ++i) {
+    uint32_t v = Get(i);
+    if (v >= lo && v <= hi) bitmap[i >> 6] |= uint64_t(1) << (i & 63);
+  }
+}
+
+uint32_t BitPackedColumn::ScanBetweenPositions(uint32_t lo, uint32_t hi,
+                                               uint32_t* out,
+                                               bool use_positions_table) const {
+  const uint8_t* base = buf_.data();
+  uint32_t* w = out;
+  uint32_t i = 0;
+  if (bits_ <= 25) {
+    const __m256i lov = _mm256_set1_epi32(int(lo));
+    const __m256i hiv = _mm256_set1_epi32(int(hi));
+    if (use_positions_table) {
+      for (; i + 8 <= n_; i += 8) {
+        __m256i v = Unpack8(base, i, bits_, mask_);
+        __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(lov, v),
+                                      _mm256_cmpgt_epi32(v, hiv));
+        uint32_t m =
+            ~uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) & 0xFFu;
+        const MatchTableEntry& e = kMatchTable[m];
+        __m256i pos = _mm256_srai_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e.cell)), 8);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(w),
+            _mm256_add_epi32(pos, _mm256_set1_epi32(int(i))));
+        w += MatchCount(e);
+      }
+    } else {
+      // Bitmap conversion with per-bit iteration (branchy at moderate
+      // selectivities — the effect Figure 12(a) shows).
+      for (; i + 8 <= n_; i += 8) {
+        __m256i v = Unpack8(base, i, bits_, mask_);
+        __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(lov, v),
+                                      _mm256_cmpgt_epi32(v, hiv));
+        uint32_t m =
+            ~uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) & 0xFFu;
+        while (m != 0) {
+          uint32_t b = uint32_t(std::countr_zero(m));
+          *w++ = i + b;
+          m &= m - 1;
+        }
+      }
+    }
+  }
+  for (; i < n_; ++i) {
+    uint32_t v = Get(i);
+    *w = i;
+    w += (v >= lo) & (v <= hi);
+  }
+  return uint32_t(w - out);
+}
+
+}  // namespace datablocks

@@ -1,0 +1,64 @@
+#ifndef DATABLOCKS_BITPACK_BITPACKED_COLUMN_H_
+#define DATABLOCKS_BITPACK_BITPACKED_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace datablocks {
+
+/// Horizontal bit-packing baseline (paper Section 5.4, Figure 12), in the
+/// spirit of the SIMD implementation of Polychroniou & Ross [27]: values are
+/// stored in exactly `bits` bits each, densely concatenated. The format
+/// achieves higher compression than byte-aligned truncation but pays for it
+/// on point accesses and sparse unpacking — which is precisely the trade-off
+/// the paper's experiment demonstrates.
+class BitPackedColumn {
+ public:
+  BitPackedColumn() = default;
+
+  /// Packs `n` values using `bits` bits each (1..32). Every value must be
+  /// < 2^bits.
+  static BitPackedColumn Pack(const uint32_t* values, uint32_t n,
+                              uint32_t bits);
+
+  uint32_t size() const { return n_; }
+  uint32_t bits() const { return bits_; }
+  uint64_t bytes() const { return buf_.size(); }
+
+  /// Positional access: extract the value at index `i` (scalar; used to
+  /// unpack individual matching tuples).
+  uint32_t Get(uint32_t i) const {
+    uint64_t bit = uint64_t(i) * bits_;
+    const uint8_t* p = buf_.data() + (bit >> 3);
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    return uint32_t(w >> (bit & 7)) & mask_;
+  }
+
+  /// Unpacks the whole column with SIMD into `out` (n entries).
+  void UnpackAll(uint32_t* out) const;
+
+  /// SIMD scan: sets bit i of `bitmap` iff lo <= value[i] <= hi. `bitmap`
+  /// must hold at least (n+63)/64 zeroed words.
+  void ScanBetween(uint32_t lo, uint32_t hi, uint64_t* bitmap) const;
+
+  /// SIMD scan emitting match positions. If `use_positions_table` is true,
+  /// the comparison masks are converted through the precomputed positions
+  /// table (the paper's fix that makes bit-packed scans selectivity-robust);
+  /// otherwise the bitmap is converted by iterating its set bits, which
+  /// suffers branch mispredictions at moderate selectivities.
+  uint32_t ScanBetweenPositions(uint32_t lo, uint32_t hi, uint32_t* out,
+                                bool use_positions_table) const;
+
+ private:
+  AlignedBuffer buf_;
+  uint32_t n_ = 0;
+  uint32_t bits_ = 0;
+  uint32_t mask_ = 0;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_BITPACK_BITPACKED_COLUMN_H_

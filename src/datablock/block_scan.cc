@@ -1,0 +1,758 @@
+#include "datablock/block_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/bits.h"
+
+namespace datablocks {
+
+namespace {
+
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+
+/// Inclusive value-domain interval; empty when lo > hi.
+struct IntRange {
+  int64_t lo, hi;
+  bool empty() const { return lo > hi; }
+};
+
+// Maps a comparison op on integer constant(s) to an inclusive interval.
+// Returns an empty range for unsatisfiable ops (e.g. < INT64_MIN).
+IntRange OpToRange(CompareOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CompareOp::kEq: return {a, a};
+    case CompareOp::kLt: return a == kI64Min ? IntRange{1, 0} : IntRange{kI64Min, a - 1};
+    case CompareOp::kLe: return {kI64Min, a};
+    case CompareOp::kGt: return a == kI64Max ? IntRange{1, 0} : IntRange{a + 1, kI64Max};
+    case CompareOp::kGe: return {a, kI64Max};
+    case CompareOp::kBetween: return {a, b};
+    default: DB_CHECK(false); return {1, 0};
+  }
+}
+
+int64_t ConstInt(const Value& v) {
+  DB_CHECK(!v.is_null());
+  return v.kind() == Value::Kind::kDouble ? int64_t(v.f64()) : v.i64();
+}
+
+double ConstDouble(const Value& v) {
+  DB_CHECK(!v.is_null());
+  return v.kind() == Value::Kind::kInt ? double(v.i64()) : v.f64();
+}
+
+enum class Translated { kAll, kNone, kKeep };
+
+// Translates one value predicate on an integer-like column. On kKeep, `bp`
+// is filled in. `needs_null_filter` is set when NULL rows could slip through
+// the residual (or absent) code-domain check.
+Translated TranslateIntPred(const DataBlock& block, uint32_t col,
+                            const Predicate& pred, BlockPred* bp,
+                            bool* needs_null_filter) {
+  const AttrMeta& m = block.attr(col);
+  const Compression scheme = Compression(m.compression);
+  const int64_t smin = m.min_val, smax = m.max_val;
+  const bool nullable = m.flags & AttrMeta::kHasNulls;
+
+  if (pred.op == CompareOp::kNe) {
+    const int64_t v = ConstInt(pred.lo);
+    if (nullable) *needs_null_filter = true;
+    if (scheme == Compression::kSingleValue)
+      return smin != v ? Translated::kAll : Translated::kNone;
+    if (v < smin || v > smax) return Translated::kAll;
+    bp->col = col;
+    bp->kind = BlockPred::Kind::kNe;
+    bp->width = m.code_width;
+    if (scheme == Compression::kDictionary) {
+      const int64_t* dict = block.int_dict(col);
+      const int64_t* pos = std::lower_bound(dict, dict + m.dict_count, v);
+      if (pos == dict + m.dict_count || *pos != v) return Translated::kAll;
+      bp->ne = uint64_t(pos - dict);
+    } else if (scheme == Compression::kTruncation) {
+      bp->ne = uint64_t(v) - uint64_t(smin);
+    } else {  // kRaw
+      TypeId t = TypeId(m.type);
+      bp->is_signed = (t == TypeId::kInt32 || t == TypeId::kInt64 ||
+                       t == TypeId::kDate);
+      bp->ne = uint64_t(v);
+    }
+    return Translated::kKeep;
+  }
+
+  IntRange r = OpToRange(pred.op, ConstInt(pred.lo),
+                         pred.op == CompareOp::kBetween ? ConstInt(pred.hi)
+                                                        : 0);
+  if (r.empty()) return Translated::kNone;
+  // SMA pruning (Section 3.2): rule the block out, or detect that the
+  // restriction is implied by [min, max].
+  if (r.hi < smin || r.lo > smax) return Translated::kNone;
+  if (scheme == Compression::kSingleValue) {
+    return (smin >= r.lo && smin <= r.hi) ? Translated::kAll
+                                          : Translated::kNone;
+  }
+  if (r.lo <= smin && r.hi >= smax) {
+    if (nullable) *needs_null_filter = true;
+    return Translated::kAll;
+  }
+  const int64_t vlo = std::max(r.lo, smin);
+  const int64_t vhi = std::min(r.hi, smax);
+
+  bp->col = col;
+  bp->kind = BlockPred::Kind::kRange;
+  bp->width = m.code_width;
+  switch (scheme) {
+    case Compression::kTruncation: {
+      bp->lo = uint64_t(vlo) - uint64_t(smin);
+      bp->hi = uint64_t(vhi) - uint64_t(smin);
+      bp->psma_usable = true;
+      bp->psma_dlo = bp->lo;
+      bp->psma_dhi = bp->hi;
+      // NULL codes are 0; they only collide when the range includes 0.
+      if (nullable && bp->lo == 0) *needs_null_filter = true;
+      break;
+    }
+    case Compression::kDictionary: {
+      const int64_t* dict = block.int_dict(col);
+      const int64_t* lb = std::lower_bound(dict, dict + m.dict_count, vlo);
+      const int64_t* ub = std::upper_bound(dict, dict + m.dict_count, vhi);
+      if (lb >= ub) return Translated::kNone;  // dictionary miss
+      bp->lo = uint64_t(lb - dict);
+      bp->hi = uint64_t(ub - dict) - 1;
+      if (bp->lo == 0 && bp->hi == m.dict_count - 1) {
+        if (nullable) *needs_null_filter = true;
+        return Translated::kAll;
+      }
+      bp->psma_usable = true;
+      bp->psma_dlo = bp->lo;
+      bp->psma_dhi = bp->hi;
+      if (nullable && bp->lo == 0) *needs_null_filter = true;
+      break;
+    }
+    case Compression::kRaw: {
+      TypeId t = TypeId(m.type);
+      bp->is_signed =
+          (t == TypeId::kInt32 || t == TypeId::kInt64 || t == TypeId::kDate);
+      bp->lo = uint64_t(vlo);
+      bp->hi = uint64_t(vhi);
+      bp->psma_usable = true;
+      bp->psma_dlo = uint64_t(vlo) - uint64_t(smin);
+      bp->psma_dhi = uint64_t(vhi) - uint64_t(smin);
+      if (nullable && vlo <= 0 && 0 <= vhi) *needs_null_filter = true;
+      break;
+    }
+    default:
+      DB_CHECK(false);
+  }
+  return Translated::kKeep;
+}
+
+Translated TranslateStringPred(const DataBlock& block, uint32_t col,
+                               const Predicate& pred, BlockPred* bp,
+                               bool* needs_null_filter) {
+  const AttrMeta& m = block.attr(col);
+  const bool nullable = m.flags & AttrMeta::kHasNulls;
+  const uint32_t count = m.dict_count;
+  DB_CHECK(count > 0);
+
+  auto dict_at = [&](uint32_t i) { return block.dict_string(col, i); };
+  // lower_bound: first index with dict[i] >= s.
+  auto lower = [&](std::string_view s) {
+    uint32_t lo = 0, hi = count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (dict_at(mid) < s) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  };
+  // upper_bound: first index with dict[i] > s.
+  auto upper = [&](std::string_view s) {
+    uint32_t lo = 0, hi = count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (dict_at(mid) <= s) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  };
+
+  if (Compression(m.compression) == Compression::kSingleValue) {
+    std::string_view v = dict_at(0);
+    bool match = false;
+    switch (pred.op) {
+      case CompareOp::kEq: match = v == pred.lo.str(); break;
+      case CompareOp::kNe: match = v != pred.lo.str(); break;
+      case CompareOp::kLt: match = v < pred.lo.str(); break;
+      case CompareOp::kLe: match = v <= pred.lo.str(); break;
+      case CompareOp::kGt: match = v > pred.lo.str(); break;
+      case CompareOp::kGe: match = v >= pred.lo.str(); break;
+      case CompareOp::kBetween:
+        match = v >= pred.lo.str() && v <= pred.hi.str();
+        break;
+      default: DB_CHECK(false);
+    }
+    return match ? Translated::kAll : Translated::kNone;
+  }
+
+  if (pred.op == CompareOp::kNe) {
+    if (nullable) *needs_null_filter = true;
+    uint32_t i = lower(pred.lo.str());
+    if (i == count || dict_at(i) != pred.lo.str()) return Translated::kAll;
+    bp->col = col;
+    bp->kind = BlockPred::Kind::kNe;
+    bp->width = m.code_width;
+    bp->ne = i;
+    return Translated::kKeep;
+  }
+
+  // Inclusive code interval [lo_idx, hi_idx].
+  uint32_t lo_idx = 0, hi_idx = count - 1;
+  switch (pred.op) {
+    case CompareOp::kEq: {
+      uint32_t i = lower(pred.lo.str());
+      if (i == count || dict_at(i) != pred.lo.str())
+        return Translated::kNone;  // binary search miss rules block out
+      lo_idx = hi_idx = i;
+      break;
+    }
+    case CompareOp::kLt: {
+      uint32_t i = lower(pred.lo.str());
+      if (i == 0) return Translated::kNone;
+      hi_idx = i - 1;
+      break;
+    }
+    case CompareOp::kLe: {
+      uint32_t i = upper(pred.lo.str());
+      if (i == 0) return Translated::kNone;
+      hi_idx = i - 1;
+      break;
+    }
+    case CompareOp::kGt: {
+      uint32_t i = upper(pred.lo.str());
+      if (i == count) return Translated::kNone;
+      lo_idx = i;
+      break;
+    }
+    case CompareOp::kGe: {
+      uint32_t i = lower(pred.lo.str());
+      if (i == count) return Translated::kNone;
+      lo_idx = i;
+      break;
+    }
+    case CompareOp::kBetween: {
+      uint32_t a = lower(pred.lo.str());
+      uint32_t b = upper(pred.hi.str());
+      if (a >= b) return Translated::kNone;
+      lo_idx = a;
+      hi_idx = b - 1;
+      break;
+    }
+    default:
+      DB_CHECK(false);
+  }
+  if (lo_idx == 0 && hi_idx == count - 1) {
+    if (nullable) *needs_null_filter = true;
+    return Translated::kAll;
+  }
+  bp->col = col;
+  bp->kind = BlockPred::Kind::kRange;
+  bp->width = m.code_width;
+  bp->lo = lo_idx;
+  bp->hi = hi_idx;
+  bp->psma_usable = true;
+  bp->psma_dlo = lo_idx;
+  bp->psma_dhi = hi_idx;
+  if (nullable && lo_idx == 0) *needs_null_filter = true;
+  return Translated::kKeep;
+}
+
+Translated TranslateDoublePred(const DataBlock& block, uint32_t col,
+                               const Predicate& pred, BlockPred* bp,
+                               bool* needs_null_filter) {
+  const AttrMeta& m = block.attr(col);
+  const bool nullable = m.flags & AttrMeta::kHasNulls;
+  const double smin = block.sma_min_double(col);
+  const double smax = block.sma_max_double(col);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (pred.op == CompareOp::kNe) {
+    double v = ConstDouble(pred.lo);
+    if (nullable) *needs_null_filter = true;
+    if (Compression(m.compression) == Compression::kSingleValue)
+      return smin != v ? Translated::kAll : Translated::kNone;
+    if (v < smin || v > smax) return Translated::kAll;
+    bp->col = col;
+    bp->kind = BlockPred::Kind::kNe;
+    bp->is_double = true;
+    bp->dne = v;
+    bp->width = 8;
+    return Translated::kKeep;
+  }
+
+  double lo = -kInf, hi = kInf;
+  switch (pred.op) {
+    case CompareOp::kEq: lo = hi = ConstDouble(pred.lo); break;
+    case CompareOp::kLt:
+      hi = std::nextafter(ConstDouble(pred.lo), -kInf);
+      break;
+    case CompareOp::kLe: hi = ConstDouble(pred.lo); break;
+    case CompareOp::kGt:
+      lo = std::nextafter(ConstDouble(pred.lo), kInf);
+      break;
+    case CompareOp::kGe: lo = ConstDouble(pred.lo); break;
+    case CompareOp::kBetween:
+      lo = ConstDouble(pred.lo);
+      hi = ConstDouble(pred.hi);
+      break;
+    default: DB_CHECK(false);
+  }
+  if (lo > hi || hi < smin || lo > smax) return Translated::kNone;
+  if (Compression(m.compression) == Compression::kSingleValue)
+    return (smin >= lo && smin <= hi) ? Translated::kAll : Translated::kNone;
+  if (lo <= smin && hi >= smax) {
+    if (nullable) *needs_null_filter = true;
+    return Translated::kAll;
+  }
+  bp->col = col;
+  bp->kind = BlockPred::Kind::kRange;
+  bp->is_double = true;
+  bp->dlo = std::max(lo, smin);
+  bp->dhi = std::min(hi, smax);
+  bp->width = 8;
+  if (nullable && bp->dlo <= 0 && 0 <= bp->dhi) *needs_null_filter = true;
+  return Translated::kKeep;
+}
+
+}  // namespace
+
+BlockScanPrep PrepareBlockScan(const DataBlock& block,
+                               const std::vector<Predicate>& preds,
+                               bool use_psma) {
+  BlockScanPrep prep;
+  prep.range_begin = 0;
+  prep.range_end = block.num_rows();
+
+  for (const Predicate& p : preds) {
+    const AttrMeta& m = block.attr(p.col);
+    const bool nullable = m.flags & AttrMeta::kHasNulls;
+    const bool all_null = m.flags & AttrMeta::kAllNull;
+
+    if (p.op == CompareOp::kIsNull) {
+      if (all_null) continue;  // trivially true
+      if (!nullable) {
+        prep.skip = true;
+        return prep;
+      }
+      BlockPred bp;
+      bp.col = p.col;
+      bp.kind = BlockPred::Kind::kIsNull;
+      prep.preds.push_back(bp);
+      continue;
+    }
+    if (p.op == CompareOp::kIsNotNull) {
+      if (all_null) {
+        prep.skip = true;
+        return prep;
+      }
+      if (!nullable) continue;  // trivially true
+      BlockPred bp;
+      bp.col = p.col;
+      bp.kind = BlockPred::Kind::kIsNotNull;
+      prep.preds.push_back(bp);
+      continue;
+    }
+    if (all_null) {  // value predicates never match NULL
+      prep.skip = true;
+      return prep;
+    }
+
+    BlockPred bp;
+    bool needs_null_filter = false;
+    Translated t;
+    switch (TypeId(m.type)) {
+      case TypeId::kString:
+        t = TranslateStringPred(block, p.col, p, &bp, &needs_null_filter);
+        break;
+      case TypeId::kDouble:
+        t = TranslateDoublePred(block, p.col, p, &bp, &needs_null_filter);
+        break;
+      default:
+        t = TranslateIntPred(block, p.col, p, &bp, &needs_null_filter);
+        break;
+    }
+    if (t == Translated::kNone) {
+      prep.skip = true;
+      return prep;
+    }
+    if (needs_null_filter) prep.null_filters.push_back(p.col);
+    if (t == Translated::kAll) continue;
+    prep.preds.push_back(bp);
+  }
+
+  // PSMA narrowing: probe each usable predicate's lookup table and
+  // intersect the returned ranges (Section 3.2).
+  if (use_psma) {
+    for (const BlockPred& bp : prep.preds) {
+      if (bp.kind != BlockPred::Kind::kRange || !bp.psma_usable) continue;
+      const PsmaEntry* table = block.psma(bp.col);
+      if (table == nullptr) continue;
+      PsmaRange r = PsmaProbe(table, block.attr(bp.col).psma_entries,
+                              bp.psma_dlo, bp.psma_dhi);
+      prep.range_begin = std::max(prep.range_begin, r.begin);
+      prep.range_end = std::min(prep.range_end, r.end);
+      if (prep.range_begin >= prep.range_end) {
+        prep.skip = true;
+        return prep;
+      }
+    }
+  }
+  return prep;
+}
+
+namespace {
+
+uint32_t RunRangePred(const DataBlock& block, const BlockPred& bp,
+                      uint32_t from, uint32_t to, Isa isa, bool first,
+                      const uint32_t* pos, uint32_t n, uint32_t* out) {
+  const uint8_t* base = block.codes(bp.col);
+  if (bp.is_double) {
+    const double* data = reinterpret_cast<const double*>(base);
+    if (bp.kind == BlockPred::Kind::kNe) {
+      return first ? FindMatchesNeF64(data, from, to, bp.dne, out)
+                   : ReduceMatchesNeF64(data, pos, n, bp.dne, out);
+    }
+    return first ? FindMatchesBetweenF64(data, from, to, bp.dlo, bp.dhi, out)
+                 : ReduceMatchesBetweenF64(data, pos, n, bp.dlo, bp.dhi, out);
+  }
+
+  const bool ne = bp.kind == BlockPred::Kind::kNe;
+  switch (bp.width) {
+    case 1: {
+      const uint8_t* d = base;
+      if (ne)
+        return first ? FindMatchesNe<uint8_t>(d, from, to, uint8_t(bp.ne),
+                                              isa, out)
+                     : ReduceMatchesNe<uint8_t>(d, pos, n, uint8_t(bp.ne),
+                                                isa, out);
+      return first ? FindMatchesBetween<uint8_t>(d, from, to, uint8_t(bp.lo),
+                                                 uint8_t(bp.hi), isa, out)
+                   : ReduceMatchesBetween<uint8_t>(d, pos, n, uint8_t(bp.lo),
+                                                   uint8_t(bp.hi), isa, out);
+    }
+    case 2: {
+      const uint16_t* d = reinterpret_cast<const uint16_t*>(base);
+      if (ne)
+        return first ? FindMatchesNe<uint16_t>(d, from, to, uint16_t(bp.ne),
+                                               isa, out)
+                     : ReduceMatchesNe<uint16_t>(d, pos, n, uint16_t(bp.ne),
+                                                 isa, out);
+      return first
+                 ? FindMatchesBetween<uint16_t>(d, from, to, uint16_t(bp.lo),
+                                                uint16_t(bp.hi), isa, out)
+                 : ReduceMatchesBetween<uint16_t>(d, pos, n, uint16_t(bp.lo),
+                                                  uint16_t(bp.hi), isa, out);
+    }
+    case 4: {
+      if (bp.is_signed) {
+        const int32_t* d = reinterpret_cast<const int32_t*>(base);
+        if (ne)
+          return first ? FindMatchesNe<int32_t>(d, from, to,
+                                                int32_t(int64_t(bp.ne)), isa,
+                                                out)
+                       : ReduceMatchesNe<int32_t>(d, pos, n,
+                                                  int32_t(int64_t(bp.ne)),
+                                                  isa, out);
+        return first ? FindMatchesBetween<int32_t>(
+                           d, from, to, int32_t(int64_t(bp.lo)),
+                           int32_t(int64_t(bp.hi)), isa, out)
+                     : ReduceMatchesBetween<int32_t>(
+                           d, pos, n, int32_t(int64_t(bp.lo)),
+                           int32_t(int64_t(bp.hi)), isa, out);
+      }
+      const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+      if (ne)
+        return first ? FindMatchesNe<uint32_t>(d, from, to, uint32_t(bp.ne),
+                                               isa, out)
+                     : ReduceMatchesNe<uint32_t>(d, pos, n, uint32_t(bp.ne),
+                                                 isa, out);
+      return first
+                 ? FindMatchesBetween<uint32_t>(d, from, to, uint32_t(bp.lo),
+                                                uint32_t(bp.hi), isa, out)
+                 : ReduceMatchesBetween<uint32_t>(d, pos, n, uint32_t(bp.lo),
+                                                  uint32_t(bp.hi), isa, out);
+    }
+    case 8: {
+      if (bp.is_signed) {
+        const int64_t* d = reinterpret_cast<const int64_t*>(base);
+        if (ne)
+          return first ? FindMatchesNe<int64_t>(d, from, to, int64_t(bp.ne),
+                                                isa, out)
+                       : ReduceMatchesNe<int64_t>(d, pos, n, int64_t(bp.ne),
+                                                  isa, out);
+        return first ? FindMatchesBetween<int64_t>(d, from, to,
+                                                   int64_t(bp.lo),
+                                                   int64_t(bp.hi), isa, out)
+                     : ReduceMatchesBetween<int64_t>(d, pos, n,
+                                                     int64_t(bp.lo),
+                                                     int64_t(bp.hi), isa,
+                                                     out);
+      }
+      const uint64_t* d = reinterpret_cast<const uint64_t*>(base);
+      if (ne)
+        return first ? FindMatchesNe<uint64_t>(d, from, to, bp.ne, isa, out)
+                     : ReduceMatchesNe<uint64_t>(d, pos, n, bp.ne, isa, out);
+      return first ? FindMatchesBetween<uint64_t>(d, from, to, bp.lo, bp.hi,
+                                                  isa, out)
+                   : ReduceMatchesBetween<uint64_t>(d, pos, n, bp.lo, bp.hi,
+                                                    isa, out);
+    }
+    default:
+      DB_CHECK(false);
+      return 0;
+  }
+}
+
+}  // namespace
+
+uint32_t FilterPositionsByBitmap(const uint32_t* positions, uint32_t n,
+                                 const uint64_t* bitmap, bool keep_set,
+                                 uint32_t* out) {
+  if (bitmap == nullptr) {
+    if (keep_set) return 0;
+    if (out != positions)
+      std::copy(positions, positions + n, out);
+    return n;
+  }
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (BitmapTest(bitmap, p) == keep_set);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+uint32_t FindMatchesInBlock(const DataBlock& block, const BlockScanPrep& prep,
+                            uint32_t from, uint32_t to, Isa isa,
+                            uint32_t* out) {
+  DB_DCHECK(!prep.skip);
+  uint32_t n = 0;
+  bool first = true;
+
+  for (const BlockPred& bp : prep.preds) {
+    switch (bp.kind) {
+      case BlockPred::Kind::kRange:
+      case BlockPred::Kind::kNe:
+        n = RunRangePred(block, bp, from, to, isa, first, out, n, out);
+        break;
+      case BlockPred::Kind::kIsNull:
+      case BlockPred::Kind::kIsNotNull: {
+        const uint64_t* bitmap = block.null_bitmap(bp.col);
+        bool keep_set = bp.kind == BlockPred::Kind::kIsNull;
+        if (first) {
+          uint32_t* w = out;
+          for (uint32_t i = from; i < to; ++i) {
+            *w = i;
+            w += ((bitmap != nullptr && BitmapTest(bitmap, i)) == keep_set);
+          }
+          n = static_cast<uint32_t>(w - out);
+        } else {
+          n = FilterPositionsByBitmap(out, n, bitmap, keep_set, out);
+        }
+        break;
+      }
+    }
+    first = false;
+    if (n == 0 && !first) return 0;
+  }
+
+  if (first) {
+    // No residual predicates: all rows in range match.
+    for (uint32_t i = from; i < to; ++i) out[i - from] = i;
+    n = to - from;
+  }
+
+  // Remove NULL rows that survived range predicates (code 0 collisions) or
+  // predicates that became trivially true on a nullable column.
+  for (uint32_t col : prep.null_filters) {
+    n = FilterPositionsByBitmap(out, n, block.null_bitmap(col), false, out);
+  }
+  return n;
+}
+
+namespace {
+
+template <typename Out>
+void UnpackIntPositions(const DataBlock& block, uint32_t col,
+                        const uint32_t* pos, uint32_t n, Out* out) {
+  const AttrMeta& m = block.attr(col);
+  const uint8_t* base = block.codes(col);
+  const Compression scheme = Compression(m.compression);
+  switch (scheme) {
+    case Compression::kSingleValue: {
+      Out v = Out(m.min_val);
+      for (uint32_t j = 0; j < n; ++j) out[j] = v;
+      return;
+    }
+    case Compression::kTruncation: {
+      const uint64_t min_u = uint64_t(m.min_val);
+      switch (m.code_width) {
+        case 1:
+          for (uint32_t j = 0; j < n; ++j)
+            out[j] = Out(min_u + base[pos[j]]);
+          return;
+        case 2: {
+          const uint16_t* d = reinterpret_cast<const uint16_t*>(base);
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(min_u + d[pos[j]]);
+          return;
+        }
+        case 4: {
+          const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(min_u + d[pos[j]]);
+          return;
+        }
+        default: {
+          const uint64_t* d = reinterpret_cast<const uint64_t*>(base);
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(min_u + d[pos[j]]);
+          return;
+        }
+      }
+    }
+    case Compression::kDictionary: {
+      const int64_t* dict = block.int_dict(col);
+      switch (m.code_width) {
+        case 1:
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(dict[base[pos[j]]]);
+          return;
+        case 2: {
+          const uint16_t* d = reinterpret_cast<const uint16_t*>(base);
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(dict[d[pos[j]]]);
+          return;
+        }
+        default: {
+          const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+          for (uint32_t j = 0; j < n; ++j) out[j] = Out(dict[d[pos[j]]]);
+          return;
+        }
+      }
+    }
+    case Compression::kRaw: {
+      TypeId t = TypeId(m.type);
+      if (t == TypeId::kInt64) {
+        const int64_t* d = reinterpret_cast<const int64_t*>(base);
+        for (uint32_t j = 0; j < n; ++j) out[j] = Out(d[pos[j]]);
+      } else if (t == TypeId::kChar1) {
+        const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+        for (uint32_t j = 0; j < n; ++j) out[j] = Out(d[pos[j]]);
+      } else {
+        const int32_t* d = reinterpret_cast<const int32_t*>(base);
+        for (uint32_t j = 0; j < n; ++j) out[j] = Out(d[pos[j]]);
+      }
+      return;
+    }
+  }
+}
+
+void AppendNullMask(const DataBlock& block, uint32_t col, const uint32_t* pos,
+                    uint32_t n, ColumnVector* out) {
+  const AttrMeta& m = block.attr(col);
+  if (!(m.flags & (AttrMeta::kHasNulls | AttrMeta::kAllNull))) {
+    if (!out->null_mask.empty())
+      out->null_mask.insert(out->null_mask.end(), n, 0);
+    return;
+  }
+  size_t have = out->size();  // rows appended *before* this unpack
+  // Backfill zeros if the mask was empty so far.
+  out->null_mask.resize(have, 0);
+  if (m.flags & AttrMeta::kAllNull) {
+    out->null_mask.insert(out->null_mask.end(), n, 1);
+    return;
+  }
+  const uint64_t* bitmap = block.null_bitmap(col);
+  for (uint32_t j = 0; j < n; ++j)
+    out->null_mask.push_back(BitmapTest(bitmap, pos[j]) ? 1 : 0);
+}
+
+}  // namespace
+
+void UnpackColumn(const DataBlock& block, uint32_t col,
+                  const uint32_t* positions, uint32_t n, ColumnVector* out) {
+  const AttrMeta& m = block.attr(col);
+  const TypeId t = TypeId(m.type);
+  // The null mask must be computed against the pre-append row count.
+  AppendNullMask(block, col, positions, n, out);
+  switch (t) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+    case TypeId::kChar1: {
+      size_t old = out->i32.size();
+      out->i32.resize(old + n);
+      UnpackIntPositions(block, col, positions, n, out->i32.data() + old);
+      break;
+    }
+    case TypeId::kInt64: {
+      size_t old = out->i64.size();
+      out->i64.resize(old + n);
+      UnpackIntPositions(block, col, positions, n, out->i64.data() + old);
+      break;
+    }
+    case TypeId::kDouble: {
+      size_t old = out->f64.size();
+      out->f64.resize(old + n);
+      double* w = out->f64.data() + old;
+      if (Compression(m.compression) == Compression::kSingleValue) {
+        double v = std::bit_cast<double>(m.min_val);
+        for (uint32_t j = 0; j < n; ++j) w[j] = v;
+      } else {
+        const double* d = reinterpret_cast<const double*>(block.codes(col));
+        for (uint32_t j = 0; j < n; ++j) w[j] = d[positions[j]];
+      }
+      break;
+    }
+    case TypeId::kString: {
+      size_t old = out->str.size();
+      out->str.resize(old + n);
+      std::string_view* w = out->str.data() + old;
+      if (Compression(m.compression) == Compression::kSingleValue ||
+          m.dict_count == 0) {
+        std::string_view v =
+            m.dict_count > 0 ? block.dict_string(col, 0) : std::string_view();
+        for (uint32_t j = 0; j < n; ++j) w[j] = v;
+      } else {
+        const uint8_t* base = block.codes(col);
+        switch (m.code_width) {
+          case 1:
+            for (uint32_t j = 0; j < n; ++j)
+              w[j] = block.dict_string(col, base[positions[j]]);
+            break;
+          case 2: {
+            const uint16_t* d = reinterpret_cast<const uint16_t*>(base);
+            for (uint32_t j = 0; j < n; ++j)
+              w[j] = block.dict_string(col, d[positions[j]]);
+            break;
+          }
+          default: {
+            const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+            for (uint32_t j = 0; j < n; ++j)
+              w[j] = block.dict_string(col, d[positions[j]]);
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+void UnpackColumnRange(const DataBlock& block, uint32_t col, uint32_t from,
+                       uint32_t to, ColumnVector* out) {
+  // Reuses the positional path through a thread-local identity vector; the
+  // compiler vectorizes the contiguous gathers it induces.
+  static thread_local std::vector<uint32_t> pos;
+  uint32_t n = to - from;
+  pos.resize(n);
+  for (uint32_t i = 0; i < n; ++i) pos[i] = from + i;
+  UnpackColumn(block, col, pos.data(), n, out);
+}
+
+}  // namespace datablocks

@@ -1,0 +1,85 @@
+#ifndef DATABLOCKS_DATABLOCK_BLOCK_SCAN_H_
+#define DATABLOCKS_DATABLOCK_BLOCK_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datablock/data_block.h"
+#include "exec/batch.h"
+#include "scan/match_finder.h"
+#include "scan/predicate.h"
+
+namespace datablocks {
+
+/// A SARGable predicate translated into one block's compressed domain
+/// (Section 3.4: "restriction constants have to be converted into their
+/// compressed representation", done once per block).
+struct BlockPred {
+  enum class Kind : uint8_t {
+    kRange,     // lo <= code <= hi in the (unsigned or signed) code domain
+    kNe,        // code != ne
+    kIsNull,    // NULL bitmap bit set
+    kIsNotNull  // NULL bitmap bit clear
+  };
+
+  uint32_t col = 0;
+  Kind kind = Kind::kRange;
+  uint8_t width = 0;       // code width in bytes
+  bool is_signed = false;  // raw int32/int64 storage: compare signed
+  bool is_double = false;  // raw double storage: scalar double comparison
+  uint64_t lo = 0, hi = 0; // inclusive bounds (bit patterns when signed)
+  uint64_t ne = 0;
+  double dlo = 0, dhi = 0, dne = 0;
+  // PSMA probe deltas (only meaningful for kRange on PSMA-indexed columns).
+  bool psma_usable = false;
+  uint64_t psma_dlo = 0, psma_dhi = 0;
+};
+
+/// The per-block result of predicate translation plus SMA/PSMA pruning.
+struct BlockScanPrep {
+  bool skip = false;       // SMA or dictionary lookup ruled the block out
+  uint32_t range_begin = 0;
+  uint32_t range_end = 0;  // PSMA-narrowed scan range [begin, end)
+  std::vector<BlockPred> preds;         // residual predicates
+  std::vector<uint32_t> null_filters;   // columns whose NULLs must be removed
+                                        // even though their predicate became
+                                        // trivially true / range-covering
+
+  bool MatchAll() const {
+    return !skip && preds.empty() && null_filters.empty();
+  }
+};
+
+/// Translates `preds` against `block`: applies SMA skipping, dictionary
+/// lookups and (optionally) PSMA range narrowing.
+BlockScanPrep PrepareBlockScan(const DataBlock& block,
+                               const std::vector<Predicate>& preds,
+                               bool use_psma);
+
+/// Evaluates the residual predicates of `prep` on rows [from, to) of the
+/// block and writes matching positions to `out` (ascending). `out` must have
+/// room for (to - from) + 8 entries. Returns the match count.
+uint32_t FindMatchesInBlock(const DataBlock& block, const BlockScanPrep& prep,
+                            uint32_t from, uint32_t to, Isa isa,
+                            uint32_t* out);
+
+/// Unpacks ("decompresses") column values at the given positions, appending
+/// to `out` (Section 3.4: matches are unpacked by position).
+void UnpackColumn(const DataBlock& block, uint32_t col,
+                  const uint32_t* positions, uint32_t n, ColumnVector* out);
+
+/// Unpacks the contiguous row range [from, to) — the paper's optimization
+/// for fully-matching vectors and the decompress-all baseline.
+void UnpackColumnRange(const DataBlock& block, uint32_t col, uint32_t from,
+                       uint32_t to, ColumnVector* out);
+
+/// Keeps the positions whose bitmap bit equals `keep_set`. `bitmap` may be
+/// null, in which case all positions are kept (bits treated as clear).
+/// `out` may alias `positions`.
+uint32_t FilterPositionsByBitmap(const uint32_t* positions, uint32_t n,
+                                 const uint64_t* bitmap, bool keep_set,
+                                 uint32_t* out);
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_DATABLOCK_BLOCK_SCAN_H_

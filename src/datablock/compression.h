@@ -1,0 +1,72 @@
+#ifndef DATABLOCKS_DATABLOCK_COMPRESSION_H_
+#define DATABLOCKS_DATABLOCK_COMPRESSION_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "storage/chunk.h"
+#include "storage/types.h"
+
+namespace datablocks {
+
+/// Byte-addressable compression schemes used inside Data Blocks
+/// (paper Section 3.3). Sub-byte encodings are deliberately rejected to keep
+/// point accesses and sparse unpacking cheap (Section 5.4).
+enum class Compression : uint8_t {
+  kSingleValue = 0,  // all values equal (incl. all-NULL); no data vector
+  kDictionary = 1,   // order-preserving dictionary, byte-truncated keys
+  kTruncation = 2,   // frame-of-reference delta to block min, byte-truncated
+  kRaw = 3,          // verbatim native values (no scheme is beneficial)
+};
+
+const char* CompressionName(Compression c);
+
+/// Rounds a maximal code value up to a legal byte-aligned code width
+/// (1, 2, 4 or 8 bytes).
+uint32_t CodeWidthFor(uint64_t max_code);
+
+/// Statistics of one column over the rows being frozen, used to pick the
+/// optimal scheme per block per attribute.
+struct ColumnStats {
+  uint32_t n = 0;
+  bool has_nulls = false;
+  bool all_null = false;
+  bool all_equal = false;
+  // Integer-like domain (valid for kInt32/kInt64/kDate/kChar1).
+  int64_t min_i = 0;
+  int64_t max_i = 0;
+  // Double domain.
+  double min_d = 0;
+  double max_d = 0;
+  // Sorted distinct values; `dict_tracked` is false if tracking was
+  // abandoned because the column has too many distinct values for a
+  // dictionary to be competitive.
+  bool dict_tracked = false;
+  std::vector<int64_t> dict_i;
+  std::vector<std::string_view> dict_s;  // views into the chunk's arena
+  uint64_t distinct_string_bytes = 0;
+};
+
+/// Scans rows [0, chunk.size()) of `col` (through `perm` if non-null, where
+/// perm[i] is the source row of output position i) and collects stats.
+ColumnStats CollectStats(const Chunk& chunk, uint32_t col,
+                         const uint32_t* perm);
+
+/// The chosen scheme together with its projected space cost.
+struct CompressionChoice {
+  Compression scheme = Compression::kRaw;
+  uint32_t code_width = 0;   // bytes per entry in the data vector
+  uint64_t data_bytes = 0;   // data vector size
+  uint64_t dict_bytes = 0;   // dictionary entries
+  uint64_t string_bytes = 0; // dictionary string payload
+};
+
+/// Picks the scheme with minimal space for this block's value distribution
+/// (Section 3.3: "the compression scheme is chosen that is optimal with
+/// regard to resulting memory consumption").
+CompressionChoice ChooseCompression(TypeId type, const ColumnStats& stats);
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_DATABLOCK_COMPRESSION_H_

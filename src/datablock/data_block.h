@@ -1,0 +1,200 @@
+#ifndef DATABLOCKS_DATABLOCK_DATA_BLOCK_H_
+#define DATABLOCKS_DATABLOCK_DATA_BLOCK_H_
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "datablock/compression.h"
+#include "datablock/psma.h"
+#include "storage/chunk.h"
+#include "storage/value.h"
+#include "util/aligned_buffer.h"
+
+namespace datablocks {
+
+/// On-buffer per-attribute metadata (paper Figure 3: compression method and
+/// offsets to SMA, dictionary, compressed data vector and string data).
+struct AttrMeta {
+  uint8_t compression;   // Compression
+  uint8_t type;          // TypeId (1-byte tag so blocks are self-contained)
+  uint8_t code_width;    // bytes per code in the data vector (0: single value)
+  uint8_t flags;         // bit 0: has NULL bitmap, bit 1: all values NULL
+  uint32_t dict_count;   // dictionary entries
+  uint32_t psma_entries; // PSMA table slots (0 = no PSMA)
+  uint32_t reserved;
+  int64_t min_val;       // SMA minimum (int64, or double bit pattern)
+  int64_t max_val;       // SMA maximum
+  uint64_t psma_offset;
+  uint64_t dict_offset;
+  uint64_t data_offset;
+  uint64_t string_offset;
+  uint64_t null_offset;
+
+  static constexpr uint8_t kHasNulls = 1;
+  static constexpr uint8_t kAllNull = 2;
+};
+static_assert(sizeof(AttrMeta) == 72);
+
+/// Block header at offset 0 of the buffer.
+struct BlockHeader {
+  uint32_t magic;
+  uint32_t tuple_count;
+  uint32_t attr_count;
+  uint32_t reserved;
+  uint64_t total_bytes;
+};
+
+/// Dictionary entry for string attributes: offset/length into the
+/// attribute's string data area.
+struct StringDictRef {
+  uint32_t offset;
+  uint32_t length;
+};
+static_assert(sizeof(StringDictRef) == 8);
+
+/// A Data Block: a self-contained, immutable ("frozen"), byte-addressable
+/// compressed columnar container for one chunk of a relation (paper
+/// Section 3). The entire block is a single flat allocation without
+/// pointers, so it can be evicted to secondary storage verbatim.
+class DataBlock {
+ public:
+  static constexpr uint32_t kMagic = 0x444B4C42;  // "BLKD"
+  /// Default block capacity (paper: "typically, we store up to 2^16 records
+  /// in a Data Block").
+  static constexpr uint32_t kDefaultCapacity = 1u << 16;
+
+  DataBlock() = default;
+
+  /// Freezes `chunk` into a Data Block. `perm`, if non-null, is a
+  /// permutation: output position i stores chunk row perm[i] (used to
+  /// cluster blocks on a sort criterion, Section 3.2). `build_psma`
+  /// controls whether PSMA lookup tables are materialized.
+  static DataBlock Build(const Chunk& chunk, const uint32_t* perm = nullptr,
+                         bool build_psma = true);
+
+  bool empty() const { return buf_.empty(); }
+  uint32_t num_rows() const { return header()->tuple_count; }
+  uint32_t num_columns() const { return header()->attr_count; }
+  uint64_t SizeBytes() const { return header()->total_bytes; }
+
+  const AttrMeta& attr(uint32_t col) const {
+    return reinterpret_cast<const AttrMeta*>(buf_.data() +
+                                             sizeof(BlockHeader))[col];
+  }
+
+  Compression compression(uint32_t col) const {
+    return static_cast<Compression>(attr(col).compression);
+  }
+  TypeId type(uint32_t col) const {
+    return static_cast<TypeId>(attr(col).type);
+  }
+  bool has_nulls(uint32_t col) const {
+    return attr(col).flags & AttrMeta::kHasNulls;
+  }
+  bool all_null(uint32_t col) const {
+    return attr(col).flags & AttrMeta::kAllNull;
+  }
+
+  /// Compressed data vector (codes), element width attr(col).code_width.
+  const uint8_t* codes(uint32_t col) const {
+    return buf_.data() + attr(col).data_offset;
+  }
+
+  /// Integer dictionary (sorted ascending).
+  const int64_t* int_dict(uint32_t col) const {
+    return reinterpret_cast<const int64_t*>(buf_.data() +
+                                            attr(col).dict_offset);
+  }
+
+  /// String dictionary entry `idx` (entries sorted lexicographically).
+  std::string_view dict_string(uint32_t col, uint32_t idx) const {
+    const StringDictRef* refs = reinterpret_cast<const StringDictRef*>(
+        buf_.data() + attr(col).dict_offset);
+    return std::string_view(reinterpret_cast<const char*>(buf_.data()) +
+                                attr(col).string_offset + refs[idx].offset,
+                            refs[idx].length);
+  }
+
+  const PsmaEntry* psma(uint32_t col) const {
+    const AttrMeta& m = attr(col);
+    return m.psma_entries == 0
+               ? nullptr
+               : reinterpret_cast<const PsmaEntry*>(buf_.data() +
+                                                    m.psma_offset);
+  }
+
+  const uint64_t* null_bitmap(uint32_t col) const {
+    const AttrMeta& m = attr(col);
+    return (m.flags & AttrMeta::kHasNulls)
+               ? reinterpret_cast<const uint64_t*>(buf_.data() + m.null_offset)
+               : nullptr;
+  }
+
+  /// SMA accessors. For strings min/max are the first/last dictionary
+  /// entries (the dictionary is ordered).
+  int64_t sma_min_int(uint32_t col) const { return attr(col).min_val; }
+  int64_t sma_max_int(uint32_t col) const { return attr(col).max_val; }
+  double sma_min_double(uint32_t col) const {
+    return std::bit_cast<double>(attr(col).min_val);
+  }
+  double sma_max_double(uint32_t col) const {
+    return std::bit_cast<double>(attr(col).max_val);
+  }
+
+  /// Reads code at `row` widened to uint64 (point access helper).
+  uint64_t ReadCode(uint32_t col, uint32_t row) const {
+    const AttrMeta& m = attr(col);
+    const uint8_t* base = buf_.data() + m.data_offset;
+    switch (m.code_width) {
+      case 1: return base[row];
+      case 2: return reinterpret_cast<const uint16_t*>(base)[row];
+      case 4: return reinterpret_cast<const uint32_t*>(base)[row];
+      case 8: return reinterpret_cast<const uint64_t*>(base)[row];
+      default: return 0;
+    }
+  }
+
+  // -- Point accesses (OLTP path, Section 3.4: "point-accesses ... are
+  //    uncompressed from a single position"). ----------------------------
+
+  bool IsNull(uint32_t col, uint32_t row) const {
+    const AttrMeta& m = attr(col);
+    if (m.flags & AttrMeta::kAllNull) return true;
+    if (!(m.flags & AttrMeta::kHasNulls)) return false;
+    return BitmapTest(reinterpret_cast<const uint64_t*>(buf_.data() +
+                                                        m.null_offset),
+                      row);
+  }
+
+  /// Integer-like point access; the caller must ensure the value is not
+  /// NULL and the column is integer-like.
+  int64_t GetInt(uint32_t col, uint32_t row) const;
+
+  double GetDouble(uint32_t col, uint32_t row) const;
+
+  std::string_view GetStringView(uint32_t col, uint32_t row) const;
+
+  /// Generic point access with NULL handling.
+  Value GetValue(uint32_t col, uint32_t row) const;
+
+  // -- Serialization (blocks are flat and pointer-free). -----------------
+
+  void Serialize(std::ostream& os) const;
+  static DataBlock Deserialize(std::istream& is);
+
+  /// Total PSMA bytes in this block (reporting).
+  uint64_t PsmaBytes() const;
+
+ private:
+  const BlockHeader* header() const {
+    return reinterpret_cast<const BlockHeader*>(buf_.data());
+  }
+
+  AlignedBuffer buf_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_DATABLOCK_DATA_BLOCK_H_

@@ -1,0 +1,35 @@
+#include "datablock/psma.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+PsmaRange PsmaProbe(const PsmaEntry* table, uint32_t entries, uint64_t dlo,
+                    uint64_t dhi) {
+  DB_DCHECK(dlo <= dhi);
+  uint32_t ia = PsmaSlot(dlo);
+  uint32_t ib = PsmaSlot(dhi);
+  // The slot function is monotone in the delta, so every delta in [dlo, dhi]
+  // maps to a slot in [ia, ib].
+  ia = std::min(ia, entries - 1);
+  ib = std::min(ib, entries - 1);
+  PsmaRange r{0, 0};
+  bool any = false;
+  for (uint32_t i = ia; i <= ib; ++i) {
+    const PsmaEntry& e = table[i];
+    if (e.empty()) continue;
+    if (!any) {
+      r.begin = e.begin;
+      r.end = e.end;
+      any = true;
+    } else {
+      r.begin = std::min(r.begin, e.begin);
+      r.end = std::max(r.end, e.end);
+    }
+  }
+  return any ? r : PsmaRange{0, 0};
+}
+
+}  // namespace datablocks

@@ -1,0 +1,38 @@
+#include "exec/batch.h"
+
+namespace datablocks {
+
+uint32_t ColumnVector::size() const {
+  switch (type) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+    case TypeId::kChar1:
+      return static_cast<uint32_t>(i32.size());
+    case TypeId::kInt64:
+      return static_cast<uint32_t>(i64.size());
+    case TypeId::kDouble:
+      return static_cast<uint32_t>(f64.size());
+    case TypeId::kString:
+      return static_cast<uint32_t>(str.size());
+  }
+  return 0;
+}
+
+namespace {
+template <typename V>
+void CompactVec(V& v, const uint32_t* keep, uint32_t n) {
+  if (v.empty()) return;
+  for (uint32_t i = 0; i < n; ++i) v[i] = v[keep[i]];
+  v.resize(n);
+}
+}  // namespace
+
+void ColumnVector::Compact(const uint32_t* keep, uint32_t n) {
+  CompactVec(i32, keep, n);
+  CompactVec(i64, keep, n);
+  CompactVec(f64, keep, n);
+  CompactVec(str, keep, n);
+  CompactVec(null_mask, keep, n);
+}
+
+}  // namespace datablocks

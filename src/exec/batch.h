@@ -1,0 +1,73 @@
+#ifndef DATABLOCKS_EXEC_BATCH_H_
+#define DATABLOCKS_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace datablocks {
+
+/// A typed output vector of a scan. Matching tuples are unpacked /
+/// copied into ColumnVectors ("temporary storage", Section 4.1) before being
+/// consumed tuple-at-a-time by the query pipeline.
+///
+/// Physical mapping: kInt32/kDate/kChar1 -> i32, kInt64 -> i64,
+/// kDouble -> f64, kString -> str (views into block dictionaries or chunk
+/// arenas; valid until the underlying table is modified).
+struct ColumnVector {
+  TypeId type = TypeId::kInt64;
+  std::vector<int32_t> i32;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string_view> str;
+  /// Parallel validity flags (1 = NULL). Empty when the source column is not
+  /// nullable.
+  std::vector<uint8_t> null_mask;
+
+  void Init(TypeId t) {
+    type = t;
+    Clear();
+  }
+
+  void Clear() {
+    i32.clear();
+    i64.clear();
+    f64.clear();
+    str.clear();
+    null_mask.clear();
+  }
+
+  uint32_t size() const;
+
+  bool IsNull(uint32_t i) const {
+    return !null_mask.empty() && null_mask[i] != 0;
+  }
+
+  /// Drops all rows except those listed in keep[0..n) (ascending).
+  void Compact(const uint32_t* keep, uint32_t n);
+};
+
+/// A batch of up to vector-size matching tuples produced by one scan step.
+/// cols is parallel to the scan's required-column list.
+struct Batch {
+  uint32_t count = 0;
+  std::vector<ColumnVector> cols;
+
+  void Reset(const Schema& schema, const std::vector<uint32_t>& columns) {
+    cols.resize(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i)
+      cols[i].Init(schema.type(columns[i]));
+    count = 0;
+  }
+
+  void Clear() {
+    for (auto& c : cols) c.Clear();
+    count = 0;
+  }
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_BATCH_H_

@@ -1,0 +1,41 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+JoinHashTable::JoinHashTable(size_t expected) {
+  size_t cap = std::bit_ceil(std::max<size_t>(expected * 2, 64));
+  dir_.assign(cap, 0);
+  mask_ = cap - 1;
+  entries_.reserve(expected);
+}
+
+void JoinHashTable::Insert(uint64_t key, uint64_t value) {
+  uint64_t h = Hash64(key);
+  uint64_t& slot = dir_[h & mask_];
+  Entry e{key, value, slot & kPtrMask};
+  entries_.push_back(e);
+  DB_CHECK(entries_.size() <= kPtrMask);
+  uint64_t tags = (slot & ~kPtrMask) | TagBit(h);
+  slot = tags | uint64_t(entries_.size());
+}
+
+uint32_t JoinHashTable::EarlyProbe(const uint64_t* keys,
+                                   const uint32_t* positions, uint32_t n,
+                                   uint32_t* out) const {
+  // A simple branch-free loop: each lookup is independent, which lets the
+  // CPU overlap the directory cache misses (the effect Appendix E predicts
+  // for vectorized bloom-filter probing).
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint64_t h = Hash64(keys[j]);
+    *w = positions[j];
+    w += (dir_[h & mask_] & TagBit(h)) != 0;
+  }
+  return uint32_t(w - out);
+}
+
+}  // namespace datablocks

@@ -1,0 +1,105 @@
+#ifndef DATABLOCKS_EXEC_HASH_TABLE_H_
+#define DATABLOCKS_EXEC_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace datablocks {
+
+/// 64-bit mixing hash (splitmix64: golden-ratio increment + finalizer, so
+/// key 0 does not map to hash 0).
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Hash64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Chaining hash table for joins with 16-bit tags folded into the directory
+/// entries — HyPer's "tagged hash table pointers" ([20], paper Appendix E /
+/// Figure 14). Each directory slot stores a 16-bit bloom filter of the
+/// entries hanging off it in its upper bits and the head entry index in the
+/// lower 48, so a negative probe usually costs one cache line ("early
+/// probing").
+class JoinHashTable {
+ public:
+  /// `expected` is the build-side cardinality; the directory is sized to the
+  /// next power of two >= 2 * expected.
+  explicit JoinHashTable(size_t expected);
+
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Tag-only membership test (may return false positives, never false
+  /// negatives). This is the early-probe filter evaluated inside vectorized
+  /// scans.
+  bool MightContain(uint64_t key) const {
+    uint64_t h = Hash64(key);
+    uint64_t slot = dir_[h & mask_];
+    return (slot & TagBit(h)) != 0;
+  }
+
+  /// Invokes fn(value) for every entry matching `key`.
+  template <typename Fn>
+  void Probe(uint64_t key, Fn fn) const {
+    uint64_t h = Hash64(key);
+    uint64_t slot = dir_[h & mask_];
+    if ((slot & TagBit(h)) == 0) return;  // early out on tag miss
+    uint64_t idx = slot & kPtrMask;
+    while (idx != 0) {
+      const Entry& e = entries_[idx - 1];
+      if (e.key == key) fn(e.value);
+      idx = e.next;
+    }
+  }
+
+  /// Returns the first value for `key`, or `absent` if none (convenience
+  /// for unique build keys).
+  uint64_t Lookup(uint64_t key, uint64_t absent) const {
+    uint64_t result = absent;
+    bool found = false;
+    Probe(key, [&](uint64_t v) {
+      if (!found) {
+        result = v;
+        found = true;
+      }
+    });
+    return result;
+  }
+
+  /// Vectorized early probe (Figure 14): keeps positions[j] iff the hash
+  /// table might contain keys[j]. `out` may alias `positions`. Returns the
+  /// new count.
+  uint32_t EarlyProbe(const uint64_t* keys, const uint32_t* positions,
+                      uint32_t n, uint32_t* out) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  static constexpr uint64_t kPtrMask = (uint64_t(1) << 48) - 1;
+
+  static uint64_t TagBit(uint64_t h) {
+    return uint64_t(1) << (48 + (h >> 60));
+  }
+
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+    uint64_t next;  // entry index + 1; 0 terminates the chain
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<uint64_t> dir_;
+  uint64_t mask_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_HASH_TABLE_H_

@@ -1,0 +1,74 @@
+#ifndef DATABLOCKS_EXEC_MICRO_ADAPTIVE_H_
+#define DATABLOCKS_EXEC_MICRO_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+/// Micro Adaptivity (Raducanu et al. [29], discussed in Appendix E):
+/// vectorized primitives exist in several "flavors" (e.g., early hash-join
+/// probing inside the scan on/off, different ISA kernels). Because a flavor
+/// is invoked once per vector — millions of times per query — the executor
+/// can afford to *measure* flavors and stick with the cheapest, making
+/// performance robust without compile-time commitment. (Impossible in a
+/// tuple-at-a-time JIT pipeline, where every choice doubles the code paths.)
+///
+/// Epsilon-greedy policy over measured cost-per-tuple with an exponential
+/// moving average; deterministic exploration schedule so runs reproduce.
+class FlavorChooser {
+ public:
+  explicit FlavorChooser(uint32_t num_flavors, double explore_fraction = 0.05)
+      : costs_(num_flavors, -1.0),
+        explore_every_(explore_fraction > 0
+                           ? uint32_t(1.0 / explore_fraction)
+                           : 0) {
+    DB_CHECK(num_flavors >= 1);
+  }
+
+  /// Flavor to use for the next vector.
+  uint32_t Choose() {
+    ++calls_;
+    // Trial phase: measure each flavor once.
+    for (uint32_t f = 0; f < costs_.size(); ++f) {
+      if (costs_[f] < 0) return f;
+    }
+    // Periodic exploration keeps stale losers re-evaluated.
+    if (explore_every_ != 0 && calls_ % explore_every_ == 0) {
+      return uint32_t(calls_ / explore_every_) % uint32_t(costs_.size());
+    }
+    return Best();
+  }
+
+  /// Reports the measured cost (e.g., cycles per tuple) of `flavor`.
+  void Report(uint32_t flavor, double cost_per_tuple) {
+    DB_DCHECK(flavor < costs_.size());
+    if (costs_[flavor] < 0) {
+      costs_[flavor] = cost_per_tuple;
+    } else {
+      costs_[flavor] = 0.8 * costs_[flavor] + 0.2 * cost_per_tuple;
+    }
+  }
+
+  uint32_t Best() const {
+    uint32_t best = 0;
+    for (uint32_t f = 1; f < costs_.size(); ++f) {
+      if (costs_[f] >= 0 && (costs_[best] < 0 || costs_[f] < costs_[best]))
+        best = f;
+    }
+    return best;
+  }
+
+  double cost(uint32_t flavor) const { return costs_[flavor]; }
+
+ private:
+  std::vector<double> costs_;  // EMA cost per flavor; -1 = not yet measured
+  uint32_t explore_every_;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_MICRO_ADAPTIVE_H_

@@ -1,0 +1,63 @@
+#ifndef DATABLOCKS_EXEC_PARALLEL_SCAN_H_
+#define DATABLOCKS_EXEC_PARALLEL_SCAN_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/table_scanner.h"
+
+namespace datablocks {
+
+/// Morsel-driven parallel scan (Leis et al. [20], which HyPer uses for the
+/// paper's 64-thread measurements): workers atomically claim chunks as
+/// morsels, each runs its own TableScanner over the claimed chunk, and the
+/// caller merges the per-worker states.
+///
+/// `make_state`  : () -> State                   (one per worker)
+/// `consume`     : (State&, const Batch&) -> void (per produced vector)
+///
+/// Returns the per-worker states for merging. SMA/PSMA pruning happens
+/// independently inside every worker's scanner.
+template <typename State, typename MakeState, typename Consume>
+std::vector<State> ParallelScan(const Table& table,
+                                std::vector<uint32_t> columns,
+                                std::vector<Predicate> predicates,
+                                ScanMode mode, unsigned num_threads,
+                                MakeState make_state, Consume consume,
+                                uint32_t vector_size =
+                                    TableScanner::kDefaultVectorSize,
+                                Isa isa = BestIsa()) {
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  num_threads = std::max(1u, num_threads);
+
+  std::vector<State> states;
+  states.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) states.push_back(make_state());
+
+  std::atomic<size_t> next_chunk{0};
+  const size_t num_chunks = table.num_chunks();
+
+  auto worker = [&](unsigned tid) {
+    TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
+    Batch batch;
+    for (;;) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      scanner.RestrictChunks(chunk, chunk + 1);
+      while (scanner.Next(&batch)) consume(states[tid], batch);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned t = 1; t < num_threads; ++t)
+    threads.emplace_back(worker, t);
+  worker(0);
+  for (auto& t : threads) t.join();
+  return states;
+}
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_PARALLEL_SCAN_H_

@@ -1,0 +1,112 @@
+#ifndef DATABLOCKS_EXEC_TABLE_SCANNER_H_
+#define DATABLOCKS_EXEC_TABLE_SCANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datablock/block_scan.h"
+#include "exec/batch.h"
+#include "scan/match_finder.h"
+#include "scan/predicate.h"
+#include "storage/table.h"
+
+namespace datablocks {
+
+/// Scan configurations evaluated in the paper (Tables 2/4):
+///  - kJit:            tuple-at-a-time scan, predicates evaluated per tuple
+///                     inside the fused loop (what HyPer's LLVM pipeline
+///                     emits; here: pre-compiled fused scalar code).
+///  - kVectorized:     interpreted vectorized scan *without* SARG pushdown —
+///                     vectors are copied, predicates run in the pipeline.
+///  - kVectorizedSarg: vectorized scan with SARGable predicates pushed down,
+///                     evaluated with SIMD on uncompressed data (+SARG).
+///  - kDataBlocks:     vectorized scan on compressed Data Blocks with SARG
+///                     pushdown and SMA block skipping (+SARG/SMA).
+///  - kDataBlocksPsma: kDataBlocks plus PSMA scan-range narrowing (+PSMA).
+///  - kDecompressAll:  Vectorwise-style baseline: no early filtering, full
+///                     vector ranges are decompressed, then filtered.
+enum class ScanMode : uint8_t {
+  kJit,
+  kVectorized,
+  kVectorizedSarg,
+  kDataBlocks,
+  kDataBlocksPsma,
+  kDecompressAll,
+};
+
+const char* ScanModeName(ScanMode mode);
+
+/// The single scan interface of Figure 6: hot uncompressed chunks and frozen
+/// compressed Data Blocks are scanned through the same API, producing
+/// vectors of matching tuples that the (conceptually JIT-compiled) query
+/// pipeline consumes tuple at a time.
+class TableScanner {
+ public:
+  static constexpr uint32_t kDefaultVectorSize = 8192;  // Section 4.1
+
+  TableScanner(const Table& table, std::vector<uint32_t> columns,
+               std::vector<Predicate> predicates, ScanMode mode,
+               uint32_t vector_size = kDefaultVectorSize,
+               Isa isa = BestIsa());
+
+  /// Produces the next non-empty batch of matching tuples. Returns false
+  /// when the scan is exhausted.
+  bool Next(Batch* batch);
+
+  /// Restarts the scan from the beginning.
+  void Reset();
+
+  /// Restricts the scan to chunks [begin, end) — the morsel interface used
+  /// for parallel scans (one worker per chunk range).
+  void RestrictChunks(size_t begin, size_t end) {
+    chunk_begin_ = begin;
+    chunk_limit_ = end;
+    Reset();
+  }
+
+  /// Number of chunks skipped entirely (SMA pruning) so far.
+  uint64_t chunks_skipped() const { return chunks_skipped_; }
+
+ private:
+  void PrepareChunk();
+  uint32_t ProduceHotWindow(const Chunk& chunk, uint32_t from, uint32_t to,
+                            Batch* batch);
+  uint32_t ProduceFrozenWindow(const DataBlock& block, uint32_t from,
+                               uint32_t to, Batch* batch);
+  uint32_t ProduceFrozenJit(const DataBlock& block, uint32_t from, uint32_t to,
+                            Batch* batch);
+  uint32_t ProduceFrozenDecompressAll(const DataBlock& block, uint32_t from,
+                                      uint32_t to, Batch* batch);
+  void GatherFromChunk(const Chunk& chunk, const uint32_t* pos, uint32_t n,
+                       Batch* batch);
+  void AppendChunkRow(const Chunk& chunk, uint32_t row, Batch* batch);
+  void AppendBlockRow(const DataBlock& block, uint32_t row, Batch* batch);
+  bool EvalPredsOnChunkRow(const Chunk& chunk, uint32_t row) const;
+  bool EvalPredsOnBlockRow(const DataBlock& block, uint32_t row) const;
+
+  const Table* table_;
+  std::vector<uint32_t> columns_;
+  std::vector<Predicate> predicates_;
+  ScanMode mode_;
+  uint32_t vector_size_;
+  Isa isa_;
+
+  // Iteration state.
+  size_t chunk_begin_ = 0;
+  size_t chunk_limit_ = SIZE_MAX;
+  size_t chunk_idx_ = 0;
+  uint32_t pos_ = 0;
+  bool chunk_prepped_ = false;
+  bool skip_chunk_ = false;
+  uint32_t range_begin_ = 0, range_end_ = 0;
+  BlockScanPrep block_prep_;
+  uint64_t chunks_skipped_ = 0;
+
+  // Scratch buffers.
+  std::vector<uint32_t> positions_;
+  Batch scratch_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_TABLE_SCANNER_H_

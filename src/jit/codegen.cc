@@ -1,0 +1,143 @@
+#include "jit/codegen.h"
+
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+std::vector<LayoutCombo> EnumerateCombos(uint32_t num_attrs, uint32_t count) {
+  std::vector<LayoutCombo> combos;
+  combos.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LayoutCombo combo(num_attrs);
+    uint64_t x = i;
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      combo[a] = JitLayout(x % kNumJitLayouts);
+      x /= kNumJitLayouts;
+    }
+    combos.push_back(std::move(combo));
+  }
+  return combos;
+}
+
+namespace {
+
+/// Emits the decode expression for attribute `a` with layout `l`.
+std::string DecodeExpr(uint32_t a, JitLayout l) {
+  char buf[256];
+  switch (l) {
+    case JitLayout::kRaw32:
+      std::snprintf(buf, sizeof(buf),
+                    "(int64_t)((const int32_t*)cols[%u].data)[row]", a);
+      break;
+    case JitLayout::kRaw64:
+      std::snprintf(buf, sizeof(buf),
+                    "((const int64_t*)cols[%u].data)[row]", a);
+      break;
+    case JitLayout::kTrunc1:
+      std::snprintf(buf, sizeof(buf),
+                    "cols[%u].min + ((const uint8_t*)cols[%u].data)[row]", a,
+                    a);
+      break;
+    case JitLayout::kTrunc2:
+      std::snprintf(buf, sizeof(buf),
+                    "cols[%u].min + ((const uint16_t*)cols[%u].data)[row]", a,
+                    a);
+      break;
+    case JitLayout::kTrunc4:
+      std::snprintf(buf, sizeof(buf),
+                    "cols[%u].min + ((const uint32_t*)cols[%u].data)[row]", a,
+                    a);
+      break;
+    case JitLayout::kDict2:
+      std::snprintf(
+          buf, sizeof(buf),
+          "cols[%u].dict[((const uint16_t*)cols[%u].data)[row]]", a, a);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string GenerateScanSource(const std::vector<LayoutCombo>& combos) {
+  DB_CHECK(!combos.empty());
+  const uint32_t num_attrs = uint32_t(combos[0].size());
+  std::string src;
+  src.reserve(combos.size() * num_attrs * 96 + 1024);
+  src +=
+      "#include <cstdint>\n"
+      "struct JitColumnDesc { const void* data; const int64_t* dict; "
+      "int64_t min; };\n"
+      "struct JitChunkDesc { const JitColumnDesc* cols; uint32_t rows; "
+      "uint32_t layout; };\n"
+      "extern \"C\" int64_t jit_scan(const JitChunkDesc* chunks, uint32_t "
+      "n) {\n"
+      "  int64_t sum = 0;\n"
+      "  for (uint32_t c = 0; c < n; ++c) {\n"
+      "    const JitColumnDesc* cols = chunks[c].cols;\n"
+      "    const uint32_t rows = chunks[c].rows;\n"
+      "    switch (chunks[c].layout) {\n";
+  char buf[64];
+  for (size_t k = 0; k < combos.size(); ++k) {
+    std::snprintf(buf, sizeof(buf), "    case %zu: {\n", k);
+    src += buf;
+    src += "      for (uint32_t row = 0; row != rows; ++row) {\n";
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      std::snprintf(buf, sizeof(buf), "        int64_t a%u = ", a);
+      src += buf;
+      src += DecodeExpr(a, combos[k][a]);
+      src += ";\n";
+    }
+    src += "        sum += ";
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      if (a > 0) src += " + ";
+      std::snprintf(buf, sizeof(buf), "a%u", a);
+      src += buf;
+    }
+    src += ";\n      }\n      break;\n    }\n";
+  }
+  src +=
+      "    }\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n";
+  return src;
+}
+
+int64_t InterpretScan(const std::vector<LayoutCombo>& combos,
+                      const JitChunkDesc* chunks, uint32_t n) {
+  int64_t sum = 0;
+  for (uint32_t c = 0; c < n; ++c) {
+    const LayoutCombo& combo = combos[chunks[c].layout];
+    for (uint32_t row = 0; row < chunks[c].rows; ++row) {
+      for (uint32_t a = 0; a < combo.size(); ++a) {
+        const JitColumnDesc& col = chunks[c].cols[a];
+        switch (combo[a]) {
+          case JitLayout::kRaw32:
+            sum += reinterpret_cast<const int32_t*>(col.data)[row];
+            break;
+          case JitLayout::kRaw64:
+            sum += reinterpret_cast<const int64_t*>(col.data)[row];
+            break;
+          case JitLayout::kTrunc1:
+            sum += col.min + reinterpret_cast<const uint8_t*>(col.data)[row];
+            break;
+          case JitLayout::kTrunc2:
+            sum += col.min + reinterpret_cast<const uint16_t*>(col.data)[row];
+            break;
+          case JitLayout::kTrunc4:
+            sum += col.min + reinterpret_cast<const uint32_t*>(col.data)[row];
+            break;
+          case JitLayout::kDict2:
+            sum += col.dict[reinterpret_cast<const uint16_t*>(col.data)[row]];
+            break;
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace datablocks

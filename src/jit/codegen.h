@@ -1,0 +1,58 @@
+#ifndef DATABLOCKS_JIT_CODEGEN_H_
+#define DATABLOCKS_JIT_CODEGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datablocks {
+
+/// Physical representation of one attribute within one storage-layout
+/// combination, as seen by generated scan code (Section 4: "each attribute
+/// may be represented in p different ways").
+enum class JitLayout : uint8_t {
+  kRaw32 = 0,   // native int32
+  kRaw64,       // native int64
+  kTrunc1,      // 1-byte FOR delta + min
+  kTrunc2,      // 2-byte FOR delta + min
+  kTrunc4,      // 4-byte FOR delta + min
+  kDict2,       // 2-byte dictionary code -> int64 dictionary
+};
+inline constexpr uint32_t kNumJitLayouts = 6;
+
+/// ABI between the host and generated code: one descriptor per attribute per
+/// chunk, plus the chunk's layout id selecting the specialized code path.
+struct JitColumnDesc {
+  const void* data;
+  const int64_t* dict;
+  int64_t min;
+};
+
+struct JitChunkDesc {
+  const JitColumnDesc* cols;
+  uint32_t rows;
+  uint32_t layout;  // index into the generated jump table
+};
+
+/// A storage-layout combination: one JitLayout per attribute.
+using LayoutCombo = std::vector<JitLayout>;
+
+/// Enumerates `count` distinct layout combinations over `num_attrs`
+/// attributes (mixed-radix counting over the 6 representations).
+std::vector<LayoutCombo> EnumerateCombos(uint32_t num_attrs, uint32_t count);
+
+/// Generates C++ source for a fused tuple-at-a-time scan with one "unrolled"
+/// code path per combination (the approach whose compile time explodes,
+/// Figure 5). The emitted function is
+///   extern "C" int64_t jit_scan(const JitChunkDesc* chunks, uint32_t n);
+/// and returns the sum over all decoded attribute values of all rows — the
+/// shape of a `select *`-style pipeline body.
+std::string GenerateScanSource(const std::vector<LayoutCombo>& combos);
+
+/// Reference interpretation of the same scan for correctness checks.
+int64_t InterpretScan(const std::vector<LayoutCombo>& combos,
+                      const JitChunkDesc* chunks, uint32_t n);
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_JIT_CODEGEN_H_

@@ -1,0 +1,96 @@
+#include "jit/jit_compiler.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/timer.h"
+
+namespace datablocks {
+
+namespace {
+
+const char* CompilerPath() {
+  static const char* path = [] {
+    for (const char* cand : {"c++", "g++", "clang++"}) {
+      std::string cmd = std::string("command -v ") + cand + " >/dev/null 2>&1";
+      if (std::system(cmd.c_str()) == 0) return cand;
+    }
+    return static_cast<const char*>(nullptr);
+  }();
+  return path;
+}
+
+std::string TempPath(const char* suffix) {
+  static std::atomic<uint64_t> counter{0};
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "/tmp/datablocks_jit_%d_%llu%s", getpid(),
+                static_cast<unsigned long long>(counter.fetch_add(1)), suffix);
+  return buf;
+}
+
+}  // namespace
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (!so_path_.empty()) std::remove(so_path_.c_str());
+}
+
+void* JitModule::Symbol(const char* name) const {
+  return handle_ == nullptr ? nullptr : dlsym(handle_, name);
+}
+
+bool JitCompiler::Available() { return CompilerPath() != nullptr; }
+
+std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
+                                                std::string* error) {
+  const char* cc = CompilerPath();
+  if (cc == nullptr) {
+    if (error != nullptr) *error = "no system compiler found";
+    return nullptr;
+  }
+  std::string src_path = TempPath(".cc");
+  std::string so_path = TempPath(".so");
+  std::string log_path = TempPath(".log");
+  {
+    std::ofstream out(src_path);
+    out << source;
+  }
+  // -O1 keeps the optimizing middle end in the loop (the cost Figure 5
+  // measures) without gcc's most expensive passes.
+  std::string cmd = std::string(cc) + " -std=c++17 -O1 -shared -fPIC -o " +
+                    so_path + " " + src_path + " >" + log_path + " 2>&1";
+  Timer timer;
+  int rc = std::system(cmd.c_str());
+  double secs = timer.ElapsedSeconds();
+  std::remove(src_path.c_str());
+  if (rc != 0) {
+    if (error != nullptr) {
+      std::ifstream log(log_path);
+      error->assign(std::istreambuf_iterator<char>(log),
+                    std::istreambuf_iterator<char>());
+    }
+    std::remove(log_path.c_str());
+    std::remove(so_path.c_str());
+    return nullptr;
+  }
+  std::remove(log_path.c_str());
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (error != nullptr) *error = dlerror();
+    std::remove(so_path.c_str());
+    return nullptr;
+  }
+  auto mod = std::unique_ptr<JitModule>(new JitModule());
+  mod->handle_ = handle;
+  mod->so_path_ = so_path;
+  mod->compile_seconds_ = secs;
+  return mod;
+}
+
+}  // namespace datablocks

@@ -1,0 +1,52 @@
+#ifndef DATABLOCKS_JIT_JIT_COMPILER_H_
+#define DATABLOCKS_JIT_JIT_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+namespace datablocks {
+
+/// "Just-in-time" compilation via the system C++ compiler: generated source
+/// is compiled into a shared object and dlopen'd.
+///
+/// Substitution note (see DESIGN.md): HyPer lowers query pipelines to LLVM
+/// IR in-process. This repository measures the same effect — compile time
+/// growing with the number of generated storage-layout code paths
+/// (Figure 5) — through an out-of-process compiler, which shifts absolute
+/// times but preserves the exponential-vs-flat comparison against the
+/// interpreted vectorized scan.
+class JitModule {
+ public:
+  ~JitModule();
+
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  /// Resolves a symbol in the compiled module (nullptr if absent).
+  void* Symbol(const char* name) const;
+
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  friend class JitCompiler;
+  JitModule() = default;
+
+  void* handle_ = nullptr;
+  std::string so_path_;
+  double compile_seconds_ = 0;
+};
+
+class JitCompiler {
+ public:
+  /// True if a usable system compiler was found.
+  static bool Available();
+
+  /// Compiles `source` (a complete translation unit) and loads it. Returns
+  /// nullptr on failure with the compiler output in `error` (if non-null).
+  static std::unique_ptr<JitModule> Compile(const std::string& source,
+                                            std::string* error = nullptr);
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_JIT_JIT_COMPILER_H_

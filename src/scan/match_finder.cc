@@ -1,0 +1,548 @@
+#include "scan/match_finder.h"
+
+#include <immintrin.h>
+
+#include <type_traits>
+
+#include "scan/match_table.h"
+
+namespace datablocks {
+
+Isa BestIsa() {
+#if defined(__AVX2__)
+  return Isa::kAvx2;
+#elif defined(__SSE4_2__)
+  return Isa::kSse;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "x86";
+    case Isa::kSse: return "SSE";
+    case Isa::kAvx2: return "AVX2";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Position emission from comparison bit-masks via the precomputed table
+// (Appendix C). Each call consumes an (up to) 8-bit mask whose bit j set
+// means "lane j at absolute position base + j matches".
+// ---------------------------------------------------------------------------
+
+inline uint32_t* EmitAvx2(uint32_t mask8, uint32_t base, uint32_t* writer) {
+  const MatchTableEntry& e = kMatchTable[mask8];
+  __m256i entry =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e.cell));
+  __m256i pos = _mm256_srai_epi32(entry, 8);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(writer),
+                      _mm256_add_epi32(pos, _mm256_set1_epi32(int(base))));
+  return writer + MatchCount(e);
+}
+
+inline uint32_t* EmitSse(uint32_t mask8, uint32_t base, uint32_t* writer) {
+  const MatchTableEntry& e = kMatchTable[mask8];
+  __m128i lo = _mm_srai_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(e.cell)), 8);
+  __m128i hi = _mm_srai_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(e.cell + 4)), 8);
+  __m128i basev = _mm_set1_epi32(int(base));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(writer),
+                   _mm_add_epi32(lo, basev));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(writer + 4),
+                   _mm_add_epi32(hi, basev));
+  return writer + MatchCount(e);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (branch-free, the paper's "x86" baseline).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+uint32_t FindBetweenScalar(const T* data, uint32_t from, uint32_t to, T lo,
+                           T hi, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t i = from; i < to; ++i) {
+    *w = i;
+    w += (data[i] >= lo) & (data[i] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+template <typename T>
+uint32_t FindNeScalar(const T* data, uint32_t from, uint32_t to, T v,
+                      uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t i = from; i < to; ++i) {
+    *w = i;
+    w += (data[i] != v);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+template <typename T>
+uint32_t ReduceBetweenScalar(const T* data, const uint32_t* positions,
+                             uint32_t n, T lo, T hi, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] >= lo) & (data[p] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+template <typename T>
+uint32_t ReduceNeScalar(const T* data, const uint32_t* positions, uint32_t n,
+                        T v, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] != v);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD comparison helpers. Unsigned element types are compared with signed
+// compare instructions after flipping the sign bit of both operands
+// (order-preserving bijection unsigned -> signed).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+constexpr T SignFlip() {
+  if constexpr (std::is_signed_v<T>) {
+    return T(0);
+  } else {
+    return T(T(1) << (sizeof(T) * 8 - 1));
+  }
+}
+
+// Returns a bit mask (one bit per lane, lane 0 = LSB) of lanes where
+// lo <= data[i] <= hi, for one 256-bit vector of width-W elements.
+// kAvx2Between<W> and kSseBetween<W> below.
+
+template <int W>
+struct Avx2;
+
+template <>
+struct Avx2<1> {
+  static constexpr uint32_t kLanes = 32;
+  using Reg = __m256i;
+  static Reg Splat(int64_t v) { return _mm256_set1_epi8(char(v)); }
+  static Reg Load(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi8(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi8(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm256_movemask_epi8(m));
+  }
+};
+
+template <>
+struct Avx2<2> {
+  static constexpr uint32_t kLanes = 16;
+  using Reg = __m256i;
+  static Reg Splat(int64_t v) { return _mm256_set1_epi16(short(v)); }
+  static Reg Load(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi16(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi16(a, b); }
+  static uint32_t Mask(Reg m) {
+    // One bit per 16-bit lane: extract the odd bits of the byte mask.
+    return _pext_u32(static_cast<uint32_t>(_mm256_movemask_epi8(m)),
+                     0xAAAAAAAAu);
+  }
+};
+
+template <>
+struct Avx2<4> {
+  static constexpr uint32_t kLanes = 8;
+  using Reg = __m256i;
+  static Reg Splat(int64_t v) { return _mm256_set1_epi32(int(v)); }
+  static Reg Load(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi32(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi32(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+  }
+};
+
+template <>
+struct Avx2<8> {
+  static constexpr uint32_t kLanes = 4;
+  using Reg = __m256i;
+  static Reg Splat(int64_t v) { return _mm256_set1_epi64x(v); }
+  static Reg Load(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi64(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi64(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
+  }
+};
+
+template <int W>
+struct Sse;
+
+template <>
+struct Sse<1> {
+  static constexpr uint32_t kLanes = 16;
+  using Reg = __m128i;
+  static Reg Splat(int64_t v) { return _mm_set1_epi8(char(v)); }
+  static Reg Load(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi8(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi8(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm_movemask_epi8(m));
+  }
+};
+
+template <>
+struct Sse<2> {
+  static constexpr uint32_t kLanes = 8;
+  using Reg = __m128i;
+  static Reg Splat(int64_t v) { return _mm_set1_epi16(short(v)); }
+  static Reg Load(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi16(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi16(a, b); }
+  static uint32_t Mask(Reg m) {
+    return _pext_u32(static_cast<uint32_t>(_mm_movemask_epi8(m)), 0xAAAAu);
+  }
+};
+
+template <>
+struct Sse<4> {
+  static constexpr uint32_t kLanes = 4;
+  using Reg = __m128i;
+  static Reg Splat(int64_t v) { return _mm_set1_epi32(int(v)); }
+  static Reg Load(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi32(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi32(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+  }
+};
+
+template <>
+struct Sse<8> {
+  static constexpr uint32_t kLanes = 2;
+  using Reg = __m128i;
+  static Reg Splat(int64_t v) { return _mm_set1_epi64x(v); }
+  static Reg Load(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi64(a, b); }
+  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi64(a, b); }
+  static uint32_t Mask(Reg m) {
+    return static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(m)));
+  }
+};
+
+// Width-agnostic vector helpers selected by overload resolution.
+inline __m128i SimdXor(__m128i a, __m128i b) { return _mm_xor_si128(a, b); }
+inline __m256i SimdXor(__m256i a, __m256i b) { return _mm256_xor_si256(a, b); }
+inline __m128i SimdOr(__m128i a, __m128i b) { return _mm_or_si128(a, b); }
+inline __m256i SimdOr(__m256i a, __m256i b) { return _mm256_or_si256(a, b); }
+
+// Generic SIMD "find initial matches" loop over ops O (Avx2<W> or Sse<W>).
+// Emit writes positions for one <=8 bit mask group.
+template <typename T, typename O, uint32_t* (*Emit)(uint32_t, uint32_t,
+                                                    uint32_t*)>
+uint32_t FindNeSimd(const T* data, uint32_t from, uint32_t to, T val,
+                    uint32_t* out) {
+  using Reg = typename O::Reg;
+  constexpr uint32_t kLanes = O::kLanes;
+  using S = std::make_signed_t<T>;
+  const Reg cv = O::Splat(int64_t(S(val)));
+  const uint32_t kFullMask =
+      kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);
+
+  uint32_t* w = out;
+  uint32_t i = from;
+  for (; i + kLanes <= to; i += kLanes) {
+    Reg v = O::Load(data + i);
+    uint32_t mask = ~O::Mask(O::Eq(v, cv)) & kFullMask;
+    for (uint32_t g = 0; g < kLanes; g += 8) {
+      w = Emit((mask >> g) & 0xFF, i + g, w);
+    }
+  }
+  for (; i < to; ++i) {
+    *w = i;
+    w += (data[i] != val);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+template <typename T, typename O, uint32_t* (*Emit)(uint32_t, uint32_t,
+                                                    uint32_t*)>
+uint32_t FindBetweenSimd2(const T* data, uint32_t from, uint32_t to, T lo,
+                          T hi, uint32_t* out) {
+  using Reg = typename O::Reg;
+  constexpr uint32_t kLanes = O::kLanes;
+  constexpr T kFlip = SignFlip<T>();
+  using S = std::make_signed_t<T>;
+  const Reg flip = O::Splat(int64_t(S(kFlip)));
+  const Reg lov = O::Splat(int64_t(S(T(lo ^ kFlip))));
+  const Reg hiv = O::Splat(int64_t(S(T(hi ^ kFlip))));
+  const uint32_t kFullMask =
+      kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);
+
+  uint32_t* w = out;
+  uint32_t i = from;
+  for (; i + kLanes <= to; i += kLanes) {
+    Reg v = O::Load(data + i);
+    v = SimdXor(v, flip);
+    Reg bad = SimdOr(O::Gt(lov, v), O::Gt(v, hiv));
+    uint32_t mask = ~O::Mask(bad) & kFullMask;
+    for (uint32_t g = 0; g < kLanes; g += 8) {
+      w = Emit((mask >> g) & 0xFF, i + g, w);
+    }
+  }
+  for (; i < to; ++i) {
+    *w = i;
+    w += (data[i] >= lo) & (data[i] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 "reduce matches" (Figure 7(b)): gather values at the surviving match
+// positions, compare, and use the positions-table entry as a shuffle control
+// to compact the match vector in place.
+// ---------------------------------------------------------------------------
+
+// Gathers 8 elements of width W (1, 2 or 4 bytes) at byte granularity and
+// returns them zero-extended (W<4) in 8 32-bit lanes.
+template <int W>
+inline __m256i Gather32(const void* base, __m256i idx) {
+  if constexpr (W == 1) {
+    __m256i v = _mm256_i32gather_epi32(static_cast<const int*>(base), idx, 1);
+    return _mm256_and_si256(v, _mm256_set1_epi32(0xFF));
+  } else if constexpr (W == 2) {
+    __m256i v = _mm256_i32gather_epi32(static_cast<const int*>(base), idx, 2);
+    return _mm256_and_si256(v, _mm256_set1_epi32(0xFFFF));
+  } else {
+    return _mm256_i32gather_epi32(static_cast<const int*>(base), idx, 4);
+  }
+}
+
+// T is uint8_t/uint16_t (zero-extended, compared unbias'd because values fit
+// in int32) or uint32_t/int32_t (compared with sign-flip bias as needed).
+template <typename T>
+uint32_t ReduceBetweenAvx2(const T* data, const uint32_t* positions,
+                           uint32_t n, T lo, T hi, uint32_t* out) {
+  static_assert(sizeof(T) <= 4);
+  constexpr int W = sizeof(T);
+  // Bias for full-range 32-bit values; narrow codes are zero-extended and
+  // compare correctly as signed int32 without bias.
+  constexpr uint32_t kBias =
+      (W == 4 && std::is_unsigned_v<T>) ? 0x80000000u : 0u;
+  [[maybe_unused]] const __m256i biasv = _mm256_set1_epi32(int(kBias));
+  const __m256i lov = _mm256_set1_epi32(int(uint32_t(lo) ^ kBias));
+  const __m256i hiv = _mm256_set1_epi32(int(uint32_t(hi) ^ kBias));
+
+  uint32_t* w = out;
+  uint32_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(positions + j));
+    __m256i v = Gather32<W>(data, idx);
+    if constexpr (kBias != 0) v = _mm256_xor_si256(v, biasv);
+    __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(lov, v),
+                                  _mm256_cmpgt_epi32(v, hiv));
+    uint32_t mask =
+        ~uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) & 0xFFu;
+    const MatchTableEntry& e = kMatchTable[mask];
+    __m256i perm = _mm256_srai_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e.cell)), 8);
+    __m256i packed = _mm256_permutevar8x32_epi32(idx, perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w), packed);
+    w += MatchCount(e);
+  }
+  for (; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] >= lo) & (data[p] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+template <typename T>
+uint32_t ReduceNeAvx2(const T* data, const uint32_t* positions, uint32_t n,
+                      T val, uint32_t* out) {
+  static_assert(sizeof(T) <= 4);
+  constexpr int W = sizeof(T);
+  const __m256i cv = _mm256_set1_epi32(int(uint32_t(val)));
+
+  uint32_t* w = out;
+  uint32_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(positions + j));
+    __m256i v = Gather32<W>(data, idx);
+    uint32_t mask =
+        ~uint32_t(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, cv)))) &
+        0xFFu;
+    const MatchTableEntry& e = kMatchTable[mask];
+    __m256i perm = _mm256_srai_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e.cell)), 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w),
+                        _mm256_permutevar8x32_epi32(idx, perm));
+    w += MatchCount(e);
+  }
+  for (; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] != val);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public dispatch.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+uint32_t FindMatchesBetween(const T* data, uint32_t from, uint32_t to, T lo,
+                            T hi, Isa isa, uint32_t* out) {
+  if (lo > hi || from >= to) return 0;
+  switch (isa) {
+    case Isa::kScalar:
+      return FindBetweenScalar(data, from, to, lo, hi, out);
+    case Isa::kSse:
+      return FindBetweenSimd2<T, Sse<sizeof(T)>, EmitSse>(data, from, to, lo,
+                                                          hi, out);
+    case Isa::kAvx2:
+      return FindBetweenSimd2<T, Avx2<sizeof(T)>, EmitAvx2>(data, from, to,
+                                                            lo, hi, out);
+  }
+  return 0;
+}
+
+template <typename T>
+uint32_t FindMatchesNe(const T* data, uint32_t from, uint32_t to, T v, Isa isa,
+                       uint32_t* out) {
+  if (from >= to) return 0;
+  switch (isa) {
+    case Isa::kScalar:
+      return FindNeScalar(data, from, to, v, out);
+    case Isa::kSse:
+      return FindNeSimd<T, Sse<sizeof(T)>, EmitSse>(data, from, to, v, out);
+    case Isa::kAvx2:
+      return FindNeSimd<T, Avx2<sizeof(T)>, EmitAvx2>(data, from, to, v, out);
+  }
+  return 0;
+}
+
+template <typename T>
+uint32_t ReduceMatchesBetween(const T* data, const uint32_t* positions,
+                              uint32_t n, T lo, T hi, Isa isa, uint32_t* out) {
+  if (lo > hi) return 0;
+  // The SIMD gather path exists for <=32-bit elements and AVX2 only; the
+  // paper reports that 64-bit reduction does not benefit from SIMD
+  // (Section 4.2), and Figure 9 compares scalar vs AVX2.
+  if constexpr (sizeof(T) <= 4) {
+    if (isa == Isa::kAvx2) {
+      return ReduceBetweenAvx2(data, positions, n, lo, hi, out);
+    }
+  }
+  return ReduceBetweenScalar(data, positions, n, lo, hi, out);
+}
+
+template <typename T>
+uint32_t ReduceMatchesNe(const T* data, const uint32_t* positions, uint32_t n,
+                         T v, Isa isa, uint32_t* out) {
+  if constexpr (sizeof(T) <= 4) {
+    if (isa == Isa::kAvx2) {
+      return ReduceNeAvx2(data, positions, n, v, out);
+    }
+  }
+  return ReduceNeScalar(data, positions, n, v, out);
+}
+
+uint32_t FindMatchesBetweenF64(const double* data, uint32_t from, uint32_t to,
+                               double lo, double hi, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t i = from; i < to; ++i) {
+    *w = i;
+    w += (data[i] >= lo) & (data[i] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+uint32_t ReduceMatchesBetweenF64(const double* data, const uint32_t* positions,
+                                 uint32_t n, double lo, double hi,
+                                 uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] >= lo) & (data[p] <= hi);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+uint32_t FindMatchesNeF64(const double* data, uint32_t from, uint32_t to,
+                          double v, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t i = from; i < to; ++i) {
+    *w = i;
+    w += (data[i] != v);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+uint32_t ReduceMatchesNeF64(const double* data, const uint32_t* positions,
+                            uint32_t n, double v, uint32_t* out) {
+  uint32_t* w = out;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t p = positions[j];
+    *w = p;
+    w += (data[p] != v);
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
+// Explicit instantiations: unsigned widths for compressed codes, signed for
+// raw (uncompressed) storage.
+#define DB_INSTANTIATE_KERNELS(T)                                             \
+  template uint32_t FindMatchesBetween<T>(const T*, uint32_t, uint32_t, T, T, \
+                                          Isa, uint32_t*);                    \
+  template uint32_t FindMatchesNe<T>(const T*, uint32_t, uint32_t, T, Isa,    \
+                                     uint32_t*);                              \
+  template uint32_t ReduceMatchesBetween<T>(const T*, const uint32_t*,        \
+                                            uint32_t, T, T, Isa, uint32_t*);  \
+  template uint32_t ReduceMatchesNe<T>(const T*, const uint32_t*, uint32_t,   \
+                                       T, Isa, uint32_t*);
+
+DB_INSTANTIATE_KERNELS(uint8_t)
+DB_INSTANTIATE_KERNELS(uint16_t)
+DB_INSTANTIATE_KERNELS(uint32_t)
+DB_INSTANTIATE_KERNELS(uint64_t)
+DB_INSTANTIATE_KERNELS(int32_t)
+DB_INSTANTIATE_KERNELS(int64_t)
+
+#undef DB_INSTANTIATE_KERNELS
+
+}  // namespace datablocks

@@ -1,0 +1,51 @@
+#ifndef DATABLOCKS_SCAN_MATCH_TABLE_H_
+#define DATABLOCKS_SCAN_MATCH_TABLE_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace datablocks {
+
+/// Precomputed positions table (paper Section 4.2 / Appendix C).
+///
+/// Entry `m` describes the outcome of an (up to) 8-way SIMD comparison whose
+/// movemask is `m`: cell[j] = (position_of_jth_match << 8) | match_count.
+/// Storing the count in the low byte of every cell keeps the entry usable
+/// both for position emission (arithmetic shift right by 8) and as a shuffle
+/// control for compacting match vectors (Figure 7(b)), while the count is
+/// read from cell[0] to advance the writer. The full table is
+/// 256 * 8 * 4 B = 8 KB and fits in L1.
+struct MatchTableEntry {
+  int32_t cell[8];
+};
+
+namespace internal {
+consteval std::array<MatchTableEntry, 256> BuildMatchTable() {
+  std::array<MatchTableEntry, 256> table{};
+  for (int m = 0; m < 256; ++m) {
+    int count = std::popcount(static_cast<unsigned>(m));
+    int k = 0;
+    for (int j = 0; j < 8; ++j) {
+      if ((m >> j) & 1) table[m].cell[k++] = (j << 8) | count;
+    }
+    // Unused cells: position 0, still carrying the count. They are either
+    // overwritten by the next iteration's stores or ignored by the shuffle.
+    for (; k < 8; ++k) table[m].cell[k] = count;
+  }
+  return table;
+}
+}  // namespace internal
+
+/// The global 8 KB match-positions table.
+alignas(64) inline constexpr std::array<MatchTableEntry, 256> kMatchTable =
+    internal::BuildMatchTable();
+
+/// Number of matches encoded in a table entry.
+inline uint32_t MatchCount(const MatchTableEntry& e) {
+  return static_cast<uint8_t>(e.cell[0]);
+}
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_SCAN_MATCH_TABLE_H_

@@ -1,0 +1,63 @@
+#ifndef DATABLOCKS_SCAN_PREDICATE_H_
+#define DATABLOCKS_SCAN_PREDICATE_H_
+
+#include <cstdint>
+
+#include "storage/value.h"
+
+namespace datablocks {
+
+/// SARGable comparison operators (paper Section 3: "=, is, <, <=, >, >=,
+/// between"). `is [not] null` is the paper's "is".
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // inclusive on both ends, SQL semantics
+  kIsNull,
+  kIsNotNull,
+};
+
+/// A SARGable restriction on a single column. Conjunctions of Predicates are
+/// pushed into scans; everything else is evaluated in the consuming pipeline.
+struct Predicate {
+  uint32_t col = 0;
+  CompareOp op = CompareOp::kEq;
+  Value lo;  // comparison constant (lower bound for kBetween)
+  Value hi;  // upper bound for kBetween only
+
+  static Predicate Eq(uint32_t col, Value v) {
+    return {col, CompareOp::kEq, std::move(v), Value()};
+  }
+  static Predicate Ne(uint32_t col, Value v) {
+    return {col, CompareOp::kNe, std::move(v), Value()};
+  }
+  static Predicate Lt(uint32_t col, Value v) {
+    return {col, CompareOp::kLt, std::move(v), Value()};
+  }
+  static Predicate Le(uint32_t col, Value v) {
+    return {col, CompareOp::kLe, std::move(v), Value()};
+  }
+  static Predicate Gt(uint32_t col, Value v) {
+    return {col, CompareOp::kGt, std::move(v), Value()};
+  }
+  static Predicate Ge(uint32_t col, Value v) {
+    return {col, CompareOp::kGe, std::move(v), Value()};
+  }
+  static Predicate Between(uint32_t col, Value lo, Value hi) {
+    return {col, CompareOp::kBetween, std::move(lo), std::move(hi)};
+  }
+  static Predicate IsNull(uint32_t col) {
+    return {col, CompareOp::kIsNull, Value(), Value()};
+  }
+  static Predicate IsNotNull(uint32_t col) {
+    return {col, CompareOp::kIsNotNull, Value(), Value()};
+  }
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_SCAN_PREDICATE_H_

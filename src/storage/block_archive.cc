@@ -1,0 +1,43 @@
+#include "storage/block_archive.h"
+
+#include <fstream>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+size_t BlockArchive::Save(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DB_CHECK(out.good());
+  size_t written = 0;
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    const DataBlock* block = table.frozen_block(c);
+    if (block == nullptr) continue;
+    block->Serialize(out);
+    ++written;
+  }
+  DB_CHECK(out.good());
+  return written;
+}
+
+std::vector<DataBlock> BlockArchive::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DB_CHECK(in.good());
+  std::vector<DataBlock> blocks;
+  while (in.peek() != std::char_traits<char>::eof()) {
+    blocks.push_back(DataBlock::Deserialize(in));
+  }
+  return blocks;
+}
+
+Table BlockArchive::Restore(const std::string& name, Schema schema,
+                            const std::string& path,
+                            uint32_t chunk_capacity) {
+  Table table(name, std::move(schema), chunk_capacity);
+  for (DataBlock& block : Load(path)) {
+    table.AppendFrozen(std::move(block));
+  }
+  return table;
+}
+
+}  // namespace datablocks

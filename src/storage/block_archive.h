@@ -1,0 +1,33 @@
+#ifndef DATABLOCKS_STORAGE_BLOCK_ARCHIVE_H_
+#define DATABLOCKS_STORAGE_BLOCK_ARCHIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace datablocks {
+
+/// Eviction of frozen chunks to secondary storage (paper Section 3: "by
+/// maintaining a flat structure without pointers, Data Blocks are also
+/// suitable for eviction to secondary storage"). An archive file is simply
+/// the concatenation of the table's serialized Data Blocks.
+class BlockArchive {
+ public:
+  /// Writes every frozen chunk of `table` to `path` (in chunk order).
+  /// Returns the number of blocks written.
+  static size_t Save(const Table& table, const std::string& path);
+
+  /// Reads all blocks back from `path`.
+  static std::vector<DataBlock> Load(const std::string& path);
+
+  /// Rebuilds a table from an archive: the result contains the archived
+  /// blocks as frozen chunks with identical scan and point-access behaviour.
+  static Table Restore(const std::string& name, Schema schema,
+                       const std::string& path,
+                       uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_BLOCK_ARCHIVE_H_

@@ -1,0 +1,105 @@
+#include "storage/chunk.h"
+
+#include <cstring>
+
+namespace datablocks {
+
+Chunk::Chunk(const Schema* schema, uint32_t capacity)
+    : schema_(schema), capacity_(capacity) {
+  cols_.resize(schema->num_columns());
+  for (uint32_t c = 0; c < schema->num_columns(); ++c) {
+    cols_[c].fixed.Allocate(uint64_t(capacity) * TypeWidth(schema->type(c)));
+  }
+}
+
+void Chunk::EnsureNullBitmap(uint32_t col) {
+  if (cols_[col].nulls.empty()) {
+    cols_[col].nulls.assign(BitmapWords(capacity_), 0);
+  }
+}
+
+uint32_t Chunk::Append(std::span<const Value> row) {
+  DB_CHECK(!full());
+  DB_CHECK(row.size() == schema_->num_columns());
+  uint32_t r = size_;
+  for (uint32_t c = 0; c < row.size(); ++c) {
+    SetValue(c, r, row[c]);
+  }
+  ++size_;
+  return r;
+}
+
+Value Chunk::GetValue(uint32_t col, uint32_t row) const {
+  DB_DCHECK(row < size_);
+  if (IsNull(col, row)) return Value::Null();
+  const uint8_t* data = cols_[col].fixed.data();
+  switch (schema_->type(col)) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return Value::Int(reinterpret_cast<const int32_t*>(data)[row]);
+    case TypeId::kChar1:
+      return Value::Int(reinterpret_cast<const uint32_t*>(data)[row]);
+    case TypeId::kInt64:
+      return Value::Int(reinterpret_cast<const int64_t*>(data)[row]);
+    case TypeId::kDouble:
+      return Value::Double(reinterpret_cast<const double*>(data)[row]);
+    case TypeId::kString:
+      return Value::Str(std::string(GetString(col, row)));
+  }
+  return Value::Null();
+}
+
+void Chunk::SetValue(uint32_t col, uint32_t row, const Value& v) {
+  DB_DCHECK(row < capacity_);
+  uint8_t* data = cols_[col].fixed.data();
+  if (v.is_null()) {
+    DB_CHECK(schema_->column(col).nullable);
+    EnsureNullBitmap(col);
+    BitmapSet(cols_[col].nulls.data(), row);
+    // Store a deterministic zero payload under the NULL.
+    std::memset(data + uint64_t(row) * TypeWidth(schema_->type(col)), 0,
+                TypeWidth(schema_->type(col)));
+    return;
+  }
+  if (!cols_[col].nulls.empty()) BitmapClear(cols_[col].nulls.data(), row);
+  switch (schema_->type(col)) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      reinterpret_cast<int32_t*>(data)[row] = static_cast<int32_t>(v.i64());
+      break;
+    case TypeId::kChar1:
+      reinterpret_cast<uint32_t*>(data)[row] = static_cast<uint32_t>(v.i64());
+      break;
+    case TypeId::kInt64:
+      reinterpret_cast<int64_t*>(data)[row] = v.i64();
+      break;
+    case TypeId::kDouble:
+      reinterpret_cast<double*>(data)[row] = v.f64();
+      break;
+    case TypeId::kString:
+      reinterpret_cast<StringRef*>(data)[row] = cols_[col].arena.Add(v.str());
+      break;
+  }
+}
+
+void Chunk::MarkDeleted(uint32_t row) {
+  DB_DCHECK(row < size_);
+  if (deleted_.empty()) deleted_.assign(BitmapWords(capacity_), 0);
+  if (!BitmapTest(deleted_.data(), row)) {
+    BitmapSet(deleted_.data(), row);
+    ++num_deleted_;
+  }
+}
+
+uint64_t Chunk::MemoryBytes() const {
+  uint64_t total = 0;
+  for (uint32_t c = 0; c < schema_->num_columns(); ++c) {
+    total += uint64_t(size_) * TypeWidth(schema_->type(c));
+    total += cols_[c].arena.size_bytes();
+    total += cols_[c].nulls.size() * 8;
+  }
+  total += deleted_.size() * 8;
+  return total;
+}
+
+}  // namespace datablocks

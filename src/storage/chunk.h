@@ -1,0 +1,106 @@
+#ifndef DATABLOCKS_STORAGE_CHUNK_H_
+#define DATABLOCKS_STORAGE_CHUNK_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "storage/string_arena.h"
+#include "storage/types.h"
+#include "storage/value.h"
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+
+namespace datablocks {
+
+/// A fixed-capacity, hot (uncompressed, mutable) horizontal partition of a
+/// relation, stored column-wise (PAX-style: all attributes of the same rows
+/// live in one chunk).
+///
+/// Chunks are the unit of freezing: a full chunk identified as cold is
+/// compressed into an immutable DataBlock (paper Section 1/3).
+class Chunk {
+ public:
+  Chunk(const Schema* schema, uint32_t capacity);
+
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
+  Chunk(Chunk&&) = default;
+  Chunk& operator=(Chunk&&) = default;
+
+  uint32_t size() const { return size_; }
+  uint32_t capacity() const { return capacity_; }
+  bool full() const { return size_ == capacity_; }
+  const Schema& schema() const { return *schema_; }
+
+  /// Appends one row; `row` must have one Value per schema column.
+  /// Returns the row index within this chunk.
+  uint32_t Append(std::span<const Value> row);
+
+  /// Raw fixed-width column data (int32/int64/double/StringRef), padded by
+  /// kScanPadding bytes beyond the last row.
+  const uint8_t* column_data(uint32_t col) const {
+    return cols_[col].fixed.data();
+  }
+  uint8_t* mutable_column_data(uint32_t col) { return cols_[col].fixed.data(); }
+
+  std::string_view GetString(uint32_t col, uint32_t row) const {
+    const StringRef* refs =
+        reinterpret_cast<const StringRef*>(cols_[col].fixed.data());
+    return cols_[col].arena.Get(refs[row]);
+  }
+
+  /// Generic (slow-path) point accessors. In-place string updates append
+  /// the new bytes to the arena; the superseded bytes are reclaimed when
+  /// the chunk is frozen (rewritten into the block's dictionary).
+  Value GetValue(uint32_t col, uint32_t row) const;
+  void SetValue(uint32_t col, uint32_t row, const Value& v);
+
+  bool IsNull(uint32_t col, uint32_t row) const {
+    const auto& nulls = cols_[col].nulls;
+    return !nulls.empty() && BitmapTest(nulls.data(), row);
+  }
+
+  /// NULL bitmap for `col`, or nullptr if the column has no NULLs.
+  const uint64_t* null_bitmap(uint32_t col) const {
+    return cols_[col].nulls.empty() ? nullptr : cols_[col].nulls.data();
+  }
+
+  bool has_nulls(uint32_t col) const { return !cols_[col].nulls.empty(); }
+
+  /// Deletion support (visibility). Deleted rows keep their slot so row ids
+  /// stay stable; scans and point accesses skip them.
+  void MarkDeleted(uint32_t row);
+  bool IsDeleted(uint32_t row) const {
+    return !deleted_.empty() && BitmapTest(deleted_.data(), row);
+  }
+  uint32_t num_deleted() const { return num_deleted_; }
+  const uint64_t* delete_bitmap() const {
+    return deleted_.empty() ? nullptr : deleted_.data();
+  }
+
+  /// Bytes of memory used by this chunk's data (for compression-ratio
+  /// reporting, Table 1 / Figure 10).
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct ColumnStore {
+    AlignedBuffer fixed;           // capacity * TypeWidth(type) bytes
+    std::vector<uint64_t> nulls;   // lazily allocated bitmap
+    StringArena arena;             // only used for kString columns
+  };
+
+  void EnsureNullBitmap(uint32_t col);
+
+  const Schema* schema_;
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  uint32_t num_deleted_ = 0;
+  std::vector<ColumnStore> cols_;
+  std::vector<uint64_t> deleted_;  // lazily allocated bitmap
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_CHUNK_H_

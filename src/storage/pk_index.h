@@ -1,0 +1,53 @@
+#ifndef DATABLOCKS_STORAGE_PK_INDEX_H_
+#define DATABLOCKS_STORAGE_PK_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace datablocks {
+
+/// A hash-based primary-key index over one integer column, the "traditional
+/// global index structure" of the paper's point-access experiment (Table 3)
+/// and of the TPC-C workload. The index spans hot and frozen chunks alike;
+/// lookups into frozen chunks decompress a single position.
+class PkIndex {
+ public:
+  PkIndex() = default;
+
+  /// Builds the index over all visible rows of `table`.
+  PkIndex(const Table& table, uint32_t key_col) : key_col_(key_col) {
+    map_.reserve(table.num_visible() * 2);
+    for (size_t c = 0; c < table.num_chunks(); ++c) {
+      uint32_t rows = table.chunk_rows(c);
+      for (uint32_t r = 0; r < rows; ++r) {
+        RowId id = MakeRowId(c, r);
+        if (!table.IsVisible(id)) continue;
+        map_.emplace(table.GetInt(id, key_col_), id);
+      }
+    }
+  }
+
+  std::optional<RowId> Lookup(int64_t key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Incremental maintenance for OLTP workloads.
+  void Put(int64_t key, RowId id) { map_[key] = id; }
+  void Erase(int64_t key) { map_.erase(key); }
+
+  size_t size() const { return map_.size(); }
+  uint32_t key_col() const { return key_col_; }
+
+ private:
+  uint32_t key_col_ = 0;
+  std::unordered_map<int64_t, RowId> map_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_PK_INDEX_H_

@@ -1,0 +1,51 @@
+#ifndef DATABLOCKS_STORAGE_STRING_ARENA_H_
+#define DATABLOCKS_STORAGE_STRING_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace datablocks {
+
+/// Reference to a string stored in a StringArena: fixed 8-byte payload kept
+/// in the column's fixed-width data area.
+struct StringRef {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+static_assert(sizeof(StringRef) == 8);
+
+/// Append-only byte arena backing the string columns of hot (uncompressed)
+/// chunks. Views returned by Get() are resolved against the current backing
+/// store and remain valid until the next Add() (the store may relocate when
+/// it grows); scans therefore re-resolve views per batch.
+class StringArena {
+ public:
+  StringArena() = default;
+
+  StringRef Add(std::string_view s) {
+    StringRef ref{static_cast<uint32_t>(bytes_.size()),
+                  static_cast<uint32_t>(s.size())};
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    return ref;
+  }
+
+  std::string_view Get(StringRef ref) const {
+    return std::string_view(
+        reinterpret_cast<const char*>(bytes_.data()) + ref.offset, ref.length);
+  }
+
+  uint64_t size_bytes() const { return bytes_.size(); }
+
+  /// Reserves capacity up-front so Get() views remain stable while a chunk is
+  /// being filled (vector reallocation would otherwise move the bytes).
+  void Reserve(uint64_t n) { bytes_.reserve(n); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_STRING_ARENA_H_

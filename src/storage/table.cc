@@ -1,0 +1,211 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace datablocks {
+
+Table::Table(std::string name, Schema schema, uint32_t chunk_capacity)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      chunk_capacity_(chunk_capacity) {
+  DB_CHECK(chunk_capacity_ > 0 && chunk_capacity_ <= (1u << kRowIdxBits));
+}
+
+Chunk* Table::Tail() {
+  if (slots_.empty() || slots_.back().hot == nullptr ||
+      slots_.back().hot->full()) {
+    Slot slot;
+    slot.hot = std::make_unique<Chunk>(&schema_, chunk_capacity_);
+    slots_.push_back(std::move(slot));
+  }
+  return slots_.back().hot.get();
+}
+
+RowId Table::Insert(std::span<const Value> row) {
+  Chunk* tail = Tail();
+  uint32_t r = tail->Append(row);
+  slots_.back().rows = tail->size();
+  ++num_rows_;
+  return MakeRowId(slots_.size() - 1, r);
+}
+
+void Table::Delete(RowId id) {
+  Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  DB_CHECK(row < slot.rows);
+  if (slot.hot != nullptr) {
+    uint32_t before = slot.hot->num_deleted();
+    slot.hot->MarkDeleted(row);
+    num_deleted_ += slot.hot->num_deleted() - before;
+  } else {
+    if (slot.frozen_deleted.empty())
+      slot.frozen_deleted.assign(BitmapWords(slot.rows), 0);
+    if (!BitmapTest(slot.frozen_deleted.data(), row)) {
+      BitmapSet(slot.frozen_deleted.data(), row);
+      ++slot.frozen_deleted_count;
+      ++num_deleted_;
+    }
+  }
+}
+
+RowId Table::Update(RowId id, std::span<const Value> row) {
+  Delete(id);
+  return Insert(row);
+}
+
+void Table::UpdateInPlace(RowId id, uint32_t col, const Value& v) {
+  Slot& slot = slots_[RowIdChunk(id)];
+  DB_CHECK(slot.hot != nullptr);  // frozen data is immutable
+  slot.hot->SetValue(col, RowIdRow(id), v);
+}
+
+bool Table::IsVisible(RowId id) const {
+  const Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  if (row >= slot.rows) return false;
+  if (slot.hot != nullptr) return !slot.hot->IsDeleted(row);
+  return slot.frozen_deleted.empty() ||
+         !BitmapTest(slot.frozen_deleted.data(), row);
+}
+
+Value Table::GetValue(RowId id, uint32_t col) const {
+  const Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  if (slot.hot != nullptr) return slot.hot->GetValue(col, row);
+  return slot.frozen->GetValue(col, row);
+}
+
+int64_t Table::GetInt(RowId id, uint32_t col) const {
+  const Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  if (slot.frozen != nullptr) return slot.frozen->GetInt(col, row);
+  const uint8_t* data = slot.hot->column_data(col);
+  switch (schema_.type(col)) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return reinterpret_cast<const int32_t*>(data)[row];
+    case TypeId::kChar1:
+      return reinterpret_cast<const uint32_t*>(data)[row];
+    default:
+      return reinterpret_cast<const int64_t*>(data)[row];
+  }
+}
+
+double Table::GetDouble(RowId id, uint32_t col) const {
+  const Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  if (slot.frozen != nullptr) return slot.frozen->GetDouble(col, row);
+  return reinterpret_cast<const double*>(slot.hot->column_data(col))[row];
+}
+
+std::string_view Table::GetStringView(RowId id, uint32_t col) const {
+  const Slot& slot = slots_[RowIdChunk(id)];
+  uint32_t row = RowIdRow(id);
+  if (slot.frozen != nullptr) return slot.frozen->GetStringView(col, row);
+  return slot.hot->GetString(col, row);
+}
+
+const uint64_t* Table::delete_bitmap(size_t chunk_idx) const {
+  const Slot& slot = slots_[chunk_idx];
+  if (slot.hot != nullptr) return slot.hot->delete_bitmap();
+  return slot.frozen_deleted.empty() ? nullptr : slot.frozen_deleted.data();
+}
+
+uint32_t Table::deleted_in_chunk(size_t chunk_idx) const {
+  const Slot& slot = slots_[chunk_idx];
+  if (slot.hot != nullptr) return slot.hot->num_deleted();
+  return slot.frozen_deleted_count;
+}
+
+void Table::FreezeChunk(size_t chunk_idx, int sort_col, bool build_psma) {
+  Slot& slot = slots_[chunk_idx];
+  DB_CHECK(slot.hot != nullptr);
+  Chunk* chunk = slot.hot.get();
+  DB_CHECK(chunk->size() > 0);
+
+  std::vector<uint32_t> perm;
+  const uint32_t* perm_ptr = nullptr;
+  if (sort_col >= 0) {
+    DB_CHECK(chunk->num_deleted() == 0);  // sorting would scramble RowIds
+    perm.resize(chunk->size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    const TypeId sort_type = schema_.type(uint32_t(sort_col));
+    const uint8_t* data = chunk->column_data(uint32_t(sort_col));
+    if (sort_type == TypeId::kString) {
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return chunk->GetString(uint32_t(sort_col), a) <
+                                chunk->GetString(uint32_t(sort_col), b);
+                       });
+    } else {
+      DB_CHECK(IsIntegerLike(sort_type));
+      auto key = [&](uint32_t r) -> int64_t {
+        switch (sort_type) {
+          case TypeId::kInt32:
+          case TypeId::kDate:
+            return reinterpret_cast<const int32_t*>(data)[r];
+          case TypeId::kChar1:
+            return reinterpret_cast<const uint32_t*>(data)[r];
+          default:
+            return reinterpret_cast<const int64_t*>(data)[r];
+        }
+      };
+      std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        return key(a) < key(b);
+      });
+    }
+    perm_ptr = perm.data();
+  }
+
+  auto block = std::make_unique<DataBlock>(
+      DataBlock::Build(*chunk, perm_ptr, build_psma));
+
+  // Carry deletion flags over (positions are preserved without sorting).
+  if (chunk->num_deleted() > 0) {
+    slot.frozen_deleted.assign(BitmapWords(chunk->size()), 0);
+    for (uint32_t r = 0; r < chunk->size(); ++r) {
+      if (chunk->IsDeleted(r)) BitmapSet(slot.frozen_deleted.data(), r);
+    }
+    slot.frozen_deleted_count = chunk->num_deleted();
+  }
+  slot.rows = chunk->size();
+  slot.frozen = std::move(block);
+  slot.hot.reset();
+}
+
+void Table::AppendFrozen(DataBlock block) {
+  DB_CHECK(block.num_columns() == schema_.num_columns());
+  for (uint32_t c = 0; c < schema_.num_columns(); ++c) {
+    DB_CHECK(block.type(c) == schema_.type(c));
+  }
+  Slot slot;
+  slot.rows = block.num_rows();
+  slot.frozen = std::make_unique<DataBlock>(std::move(block));
+  num_rows_ += slot.rows;
+  slots_.push_back(std::move(slot));
+}
+
+void Table::FreezeAll(int sort_col, bool build_psma) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].hot != nullptr && slots_[i].hot->size() > 0) {
+      FreezeChunk(i, sort_col, build_psma);
+    }
+  }
+}
+
+uint64_t Table::HotBytes() const {
+  uint64_t total = 0;
+  for (const Slot& s : slots_)
+    if (s.hot != nullptr) total += s.hot->MemoryBytes();
+  return total;
+}
+
+uint64_t Table::FrozenBytes() const {
+  uint64_t total = 0;
+  for (const Slot& s : slots_)
+    if (s.frozen != nullptr) total += s.frozen->SizeBytes();
+  return total;
+}
+
+}  // namespace datablocks

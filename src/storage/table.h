@@ -1,0 +1,126 @@
+#ifndef DATABLOCKS_STORAGE_TABLE_H_
+#define DATABLOCKS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datablock/data_block.h"
+#include "storage/chunk.h"
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace datablocks {
+
+/// Stable row identifier: chunk index in the upper bits, row-in-chunk in the
+/// lower 24 bits. Row ids survive freezing (freezing preserves positions
+/// unless an explicit sort criterion is given).
+using RowId = uint64_t;
+
+inline constexpr uint32_t kRowIdxBits = 24;
+
+inline RowId MakeRowId(uint64_t chunk, uint32_t row) {
+  return (chunk << kRowIdxBits) | row;
+}
+inline uint64_t RowIdChunk(RowId id) { return id >> kRowIdxBits; }
+inline uint32_t RowIdRow(RowId id) {
+  return uint32_t(id) & ((1u << kRowIdxBits) - 1);
+}
+
+/// A relation: a sequence of fixed-size chunks, each either hot
+/// (uncompressed, mutable) or frozen into an immutable compressed DataBlock
+/// (paper Figure 1). Updates to frozen rows are translated into a delete
+/// plus an insert into the hot tail (Section 3).
+class Table {
+ public:
+  Table(std::string name, Schema schema,
+        uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint32_t chunk_capacity() const { return chunk_capacity_; }
+
+  /// Appends a row to the hot tail. Returns its stable RowId.
+  RowId Insert(std::span<const Value> row);
+
+  /// Marks a row deleted (works on hot and frozen rows; frozen records are
+  /// flagged in a side bitmap, the block itself stays immutable).
+  void Delete(RowId id);
+
+  /// Update = delete + insert (paper Section 3). Returns the new RowId.
+  RowId Update(RowId id, std::span<const Value> row);
+
+  /// In-place update of a single attribute; only legal on hot rows (frozen
+  /// data is immutable).
+  void UpdateInPlace(RowId id, uint32_t col, const Value& v);
+
+  bool IsVisible(RowId id) const;
+
+  /// Point access (hot or frozen; frozen values are decompressed from a
+  /// single position).
+  Value GetValue(RowId id, uint32_t col) const;
+  int64_t GetInt(RowId id, uint32_t col) const;
+  double GetDouble(RowId id, uint32_t col) const;
+  std::string_view GetStringView(RowId id, uint32_t col) const;
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_visible() const { return num_rows_ - num_deleted_; }
+  size_t num_chunks() const { return slots_.size(); }
+
+  bool is_frozen(size_t chunk_idx) const {
+    return slots_[chunk_idx].frozen != nullptr;
+  }
+  const Chunk* hot_chunk(size_t chunk_idx) const {
+    return slots_[chunk_idx].hot.get();
+  }
+  const DataBlock* frozen_block(size_t chunk_idx) const {
+    return slots_[chunk_idx].frozen.get();
+  }
+  uint32_t chunk_rows(size_t chunk_idx) const { return slots_[chunk_idx].rows; }
+
+  /// Delete bitmap of a chunk (hot or frozen); nullptr if nothing deleted.
+  const uint64_t* delete_bitmap(size_t chunk_idx) const;
+  uint32_t deleted_in_chunk(size_t chunk_idx) const;
+
+  /// Freezes chunk `chunk_idx` into a DataBlock. `sort_col >= 0` reorders
+  /// the block's rows by that column before compressing (Section 3.2:
+  /// clustering improves PSMA precision); sorting invalidates RowIds into
+  /// this chunk, so it must only be used before indexes are built.
+  void FreezeChunk(size_t chunk_idx, int sort_col = -1, bool build_psma = true);
+
+  /// Freezes all hot chunks (including a partially filled tail).
+  void FreezeAll(int sort_col = -1, bool build_psma = true);
+
+  /// Appends an already-frozen block as a new chunk (e.g., reloaded from a
+  /// BlockArchive). The block's column types must match the schema.
+  void AppendFrozen(DataBlock block);
+
+  /// Memory accounting for the compression experiments.
+  uint64_t HotBytes() const;
+  uint64_t FrozenBytes() const;
+  uint64_t MemoryBytes() const { return HotBytes() + FrozenBytes(); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Chunk> hot;        // exactly one of hot/frozen is set
+    std::unique_ptr<DataBlock> frozen;
+    std::vector<uint64_t> frozen_deleted;  // side bitmap for frozen chunks
+    uint32_t frozen_deleted_count = 0;
+    uint32_t rows = 0;
+  };
+
+  Chunk* Tail();
+
+  std::string name_;
+  Schema schema_;
+  uint32_t chunk_capacity_;
+  uint64_t num_rows_ = 0;
+  uint64_t num_deleted_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_TABLE_H_

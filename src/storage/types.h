@@ -1,0 +1,94 @@
+#ifndef DATABLOCKS_STORAGE_TYPES_H_
+#define DATABLOCKS_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+/// Logical column types.
+///
+/// Decimals are represented as kInt64 with an application-defined scale
+/// (TPC-H money is stored in cents), dates as days since 1970-01-01
+/// (kDate, 4 bytes), and char(1) as a 32-bit code point (kChar1) following
+/// the paper (Section 3.3: "the string type char(1) ... is always represented
+/// as a 32-bit integer").
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kDate = 4,
+  kChar1 = 5,
+};
+
+/// Physical width in bytes of a value of `type` in uncompressed chunk
+/// storage. Strings are stored as an 8-byte (offset, length) pair into the
+/// chunk's string arena.
+inline uint32_t TypeWidth(TypeId type) {
+  switch (type) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+    case TypeId::kChar1:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+    case TypeId::kString:
+      return 8;
+  }
+  return 0;
+}
+
+/// True for types whose values order and compare as (signed) integers.
+inline bool IsIntegerLike(TypeId type) {
+  return type == TypeId::kInt32 || type == TypeId::kInt64 ||
+         type == TypeId::kDate || type == TypeId::kChar1;
+}
+
+inline const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt32: return "int32";
+    case TypeId::kInt64: return "int64";
+    case TypeId::kDouble: return "double";
+    case TypeId::kString: return "string";
+    case TypeId::kDate: return "date";
+    case TypeId::kChar1: return "char1";
+  }
+  return "?";
+}
+
+/// A column definition: name, logical type, nullability.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = false;
+};
+
+/// An ordered list of column definitions.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  uint32_t num_columns() const { return static_cast<uint32_t>(cols_.size()); }
+  const ColumnDef& column(uint32_t i) const { return cols_[i]; }
+  TypeId type(uint32_t i) const { return cols_[i].type; }
+
+  /// Returns the index of the column named `name`; aborts if absent.
+  uint32_t Find(const std::string& name) const {
+    for (uint32_t i = 0; i < cols_.size(); ++i)
+      if (cols_[i].name == name) return i;
+    DB_CHECK(false && "unknown column");
+    return 0;
+  }
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_TYPES_H_

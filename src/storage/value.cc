@@ -1,0 +1,46 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace datablocks {
+
+int Value::Compare(const Value& other) const {
+  if (kind_ != other.kind_) {
+    if (kind_ == Kind::kNull) return -1;
+    if (other.kind_ == Kind::kNull) return 1;
+    // Allow int/double cross-kind comparison on the double axis.
+    double a = kind_ == Kind::kInt ? double(i_) : d_;
+    double b = other.kind_ == Kind::kInt ? double(other.i_) : other.d_;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kInt:
+      return i_ < other.i_ ? -1 : (i_ > other.i_ ? 1 : 0);
+    case Kind::kDouble:
+      return d_ < other.d_ ? -1 : (d_ > other.d_ ? 1 : 0);
+    case Kind::kString:
+      return s_.compare(other.s_) < 0 ? -1 : (s_ == other.s_ ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(i_);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", d_);
+      return buf;
+    }
+    case Kind::kString:
+      return s_;
+  }
+  return "?";
+}
+
+}  // namespace datablocks

@@ -1,0 +1,81 @@
+#ifndef DATABLOCKS_STORAGE_VALUE_H_
+#define DATABLOCKS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/types.h"
+
+namespace datablocks {
+
+/// A dynamically typed value used on slow paths: tuple insertion, point
+/// access results and predicate constants. Scans never materialize Values.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kInt, kDouble, kString };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+
+  static Value Int(int64_t v) {
+    Value x;
+    x.kind_ = Kind::kInt;
+    x.i_ = v;
+    return x;
+  }
+
+  static Value Double(double v) {
+    Value x;
+    x.kind_ = Kind::kDouble;
+    x.d_ = v;
+    return x;
+  }
+
+  static Value Str(std::string v) {
+    Value x;
+    x.kind_ = Kind::kString;
+    x.s_ = std::move(v);
+    return x;
+  }
+
+  /// char(1) helper: stores the character as its integer code point.
+  static Value Char(char c) { return Int(static_cast<unsigned char>(c)); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  int64_t i64() const {
+    DB_DCHECK(kind_ == Kind::kInt);
+    return i_;
+  }
+
+  double f64() const {
+    DB_DCHECK(kind_ == Kind::kDouble);
+    return d_;
+  }
+
+  const std::string& str() const {
+    DB_DCHECK(kind_ == Kind::kString);
+    return s_;
+  }
+
+  /// Three-way comparison within the same kind; NULLs sort first.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  /// Human-readable rendering for examples / debugging.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  int64_t i_ = 0;
+  double d_ = 0;
+  std::string s_;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_STORAGE_VALUE_H_

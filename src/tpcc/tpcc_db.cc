@@ -1,0 +1,351 @@
+#include "tpcc/tpcc_db.h"
+
+#include <cstdio>
+
+#include "util/date.h"
+
+namespace datablocks::tpcc {
+
+namespace {
+
+Schema ItemSchema() {
+  return Schema({{"i_id", TypeId::kInt32},
+                 {"i_im_id", TypeId::kInt32},
+                 {"i_name", TypeId::kString},
+                 {"i_price", TypeId::kInt64},
+                 {"i_data", TypeId::kString}});
+}
+
+Schema WarehouseSchema() {
+  return Schema({{"w_id", TypeId::kInt32},
+                 {"w_name", TypeId::kString},
+                 {"w_street_1", TypeId::kString},
+                 {"w_street_2", TypeId::kString},
+                 {"w_city", TypeId::kString},
+                 {"w_state", TypeId::kString},
+                 {"w_zip", TypeId::kString},
+                 {"w_tax", TypeId::kInt64},
+                 {"w_ytd", TypeId::kInt64}});
+}
+
+Schema DistrictSchema() {
+  return Schema({{"d_id", TypeId::kInt32},
+                 {"d_w_id", TypeId::kInt32},
+                 {"d_name", TypeId::kString},
+                 {"d_street_1", TypeId::kString},
+                 {"d_street_2", TypeId::kString},
+                 {"d_city", TypeId::kString},
+                 {"d_state", TypeId::kString},
+                 {"d_zip", TypeId::kString},
+                 {"d_tax", TypeId::kInt64},
+                 {"d_ytd", TypeId::kInt64},
+                 {"d_next_o_id", TypeId::kInt32}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_id", TypeId::kInt32},
+                 {"c_d_id", TypeId::kInt32},
+                 {"c_w_id", TypeId::kInt32},
+                 {"c_first", TypeId::kString},
+                 {"c_middle", TypeId::kString},
+                 {"c_last", TypeId::kString},
+                 {"c_street_1", TypeId::kString},
+                 {"c_street_2", TypeId::kString},
+                 {"c_city", TypeId::kString},
+                 {"c_state", TypeId::kString},
+                 {"c_zip", TypeId::kString},
+                 {"c_phone", TypeId::kString},
+                 {"c_since", TypeId::kDate},
+                 {"c_credit", TypeId::kString},
+                 {"c_credit_lim", TypeId::kInt64},
+                 {"c_discount", TypeId::kInt64},
+                 {"c_balance", TypeId::kInt64},
+                 {"c_ytd_payment", TypeId::kInt64},
+                 {"c_payment_cnt", TypeId::kInt32},
+                 {"c_delivery_cnt", TypeId::kInt32},
+                 {"c_data", TypeId::kString}});
+}
+
+Schema HistorySchema() {
+  return Schema({{"h_c_id", TypeId::kInt32},
+                 {"h_c_d_id", TypeId::kInt32},
+                 {"h_c_w_id", TypeId::kInt32},
+                 {"h_d_id", TypeId::kInt32},
+                 {"h_w_id", TypeId::kInt32},
+                 {"h_date", TypeId::kDate},
+                 {"h_amount", TypeId::kInt64},
+                 {"h_data", TypeId::kString}});
+}
+
+Schema NewOrderSchema() {
+  return Schema({{"no_o_id", TypeId::kInt32},
+                 {"no_d_id", TypeId::kInt32},
+                 {"no_w_id", TypeId::kInt32}});
+}
+
+Schema OrderSchema() {
+  return Schema({{"o_id", TypeId::kInt32},
+                 {"o_d_id", TypeId::kInt32},
+                 {"o_w_id", TypeId::kInt32},
+                 {"o_c_id", TypeId::kInt32},
+                 {"o_entry_d", TypeId::kDate},
+                 {"o_carrier_id", TypeId::kInt32, /*nullable=*/true},
+                 {"o_ol_cnt", TypeId::kInt32},
+                 {"o_all_local", TypeId::kInt32}});
+}
+
+Schema OrderLineSchema() {
+  return Schema({{"ol_o_id", TypeId::kInt32},
+                 {"ol_d_id", TypeId::kInt32},
+                 {"ol_w_id", TypeId::kInt32},
+                 {"ol_number", TypeId::kInt32},
+                 {"ol_i_id", TypeId::kInt32},
+                 {"ol_supply_w_id", TypeId::kInt32},
+                 {"ol_delivery_d", TypeId::kDate, /*nullable=*/true},
+                 {"ol_quantity", TypeId::kInt32},
+                 {"ol_amount", TypeId::kInt64},
+                 {"ol_dist_info", TypeId::kString}});
+}
+
+Schema StockSchema() {
+  return Schema({{"s_i_id", TypeId::kInt32},
+                 {"s_w_id", TypeId::kInt32},
+                 {"s_quantity", TypeId::kInt32},
+                 {"s_dist", TypeId::kString},
+                 {"s_ytd", TypeId::kInt64},
+                 {"s_order_cnt", TypeId::kInt32},
+                 {"s_remote_cnt", TypeId::kInt32},
+                 {"s_data", TypeId::kString}});
+}
+
+/// The 16 C_LAST syllables of the TPC-C spec.
+const char* kLastSyl[10] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                            "ESE", "ANTI", "CALLY", "ATION", "EING"};
+
+std::string LastName(int num) {
+  return std::string(kLastSyl[(num / 100) % 10]) + kLastSyl[(num / 10) % 10] +
+         kLastSyl[num % 10];
+}
+
+const int32_t kLoadDate = MakeDate(2015, 1, 1);
+
+}  // namespace
+
+TpccDatabase::TpccDatabase(const TpccConfig& config)
+    : item("item", ItemSchema(), config.chunk_capacity),
+      warehouse("warehouse", WarehouseSchema(), config.chunk_capacity),
+      district("district", DistrictSchema(), config.chunk_capacity),
+      customer("customer", CustomerSchema(), config.chunk_capacity),
+      history("history", HistorySchema(), config.chunk_capacity),
+      neworder("neworder", NewOrderSchema(), config.chunk_capacity),
+      order("order", OrderSchema(), config.chunk_capacity),
+      orderline("orderline", OrderLineSchema(), config.chunk_capacity),
+      stock("stock", StockSchema(), config.chunk_capacity),
+      config_(config) {}
+
+void TpccDatabase::Load() {
+  Rng rng(config_.seed);
+  std::vector<Value> row;
+  char buf[32];
+
+  // items.
+  item_idx_.resize(size_t(config_.num_items));
+  for (int i = 1; i <= config_.num_items; ++i) {
+    std::string data = rng.RandomString(26, 50);
+    if (rng.Uniform(0, 9) == 0) data.replace(data.size() / 2, 8, "ORIGINAL");
+    row = {Value::Int(i), Value::Int(rng.Uniform(1, 10000)),
+           Value::Str(rng.RandomString(14, 24)),
+           Value::Int(rng.Uniform(100, 10000)), Value::Str(data)};
+    item_idx_[size_t(i - 1)] = item.Insert(row);
+  }
+
+  warehouse_idx_.resize(size_t(config_.num_warehouses));
+  for (int w = 1; w <= config_.num_warehouses; ++w) {
+    std::snprintf(buf, sizeof(buf), "WH%04d", w);
+    row = {Value::Int(w),
+           Value::Str(buf),
+           Value::Str(rng.RandomString(10, 20)),
+           Value::Str(rng.RandomString(10, 20)),
+           Value::Str(rng.RandomString(10, 20)),
+           Value::Str(rng.RandomString(2, 2)),
+           Value::Str(rng.RandomString(9, 9)),
+           Value::Int(rng.Uniform(0, 2000)),     // tax, basis points
+           Value::Int(30000000)};                // ytd = 300,000.00
+    warehouse_idx_[size_t(w - 1)] = warehouse.Insert(row);
+
+    // stock for this warehouse.
+    for (int i = 1; i <= config_.num_items; ++i) {
+      std::string data = rng.RandomString(26, 50);
+      if (rng.Uniform(0, 9) == 0)
+        data.replace(data.size() / 2, 8, "ORIGINAL");
+      row = {Value::Int(i),
+             Value::Int(w),
+             Value::Int(rng.Uniform(10, 100)),
+             Value::Str(rng.RandomString(24, 24)),
+             Value::Int(0),
+             Value::Int(0),
+             Value::Int(0),
+             Value::Str(data)};
+      stock_idx_[StockKey(w, i)] = stock.Insert(row);
+    }
+
+    for (int d = 1; d <= 10; ++d) {
+      std::snprintf(buf, sizeof(buf), "DIST%02d", d);
+      row = {Value::Int(d),
+             Value::Int(w),
+             Value::Str(buf),
+             Value::Str(rng.RandomString(10, 20)),
+             Value::Str(rng.RandomString(10, 20)),
+             Value::Str(rng.RandomString(10, 20)),
+             Value::Str(rng.RandomString(2, 2)),
+             Value::Str(rng.RandomString(9, 9)),
+             Value::Int(rng.Uniform(0, 2000)),
+             Value::Int(3000000),                // ytd = 30,000.00
+             Value::Int(config_.orders_per_district + 1)};
+      district_idx_[DistKey(w, d)] = district.Insert(row);
+
+      // customers.
+      for (int c = 1; c <= config_.customers_per_district; ++c) {
+        int last_num = c <= 1000 ? c - 1 : int(rng.NuRand(255, 0, 999));
+        std::snprintf(buf, sizeof(buf), "%016d", c);
+        row = {Value::Int(c),
+               Value::Int(d),
+               Value::Int(w),
+               Value::Str(rng.RandomString(8, 16)),   // first
+               Value::Str("OE"),
+               Value::Str(LastName(last_num)),
+               Value::Str(rng.RandomString(10, 20)),
+               Value::Str(rng.RandomString(10, 20)),
+               Value::Str(rng.RandomString(10, 20)),
+               Value::Str(rng.RandomString(2, 2)),
+               Value::Str(rng.RandomString(9, 9)),
+               Value::Str(buf),                        // phone
+               Value::Int(kLoadDate),
+               Value::Str(rng.Uniform(0, 9) == 0 ? "BC" : "GC"),
+               Value::Int(5000000),                    // credit_lim 50,000.00
+               Value::Int(rng.Uniform(0, 5000)),       // discount bp
+               Value::Int(-1000),                      // balance -10.00
+               Value::Int(1000),                       // ytd_payment 10.00
+               Value::Int(1),
+               Value::Int(0),
+               Value::Str(rng.RandomString(50, 100))};
+        customer_idx_[CustKey(w, d, c)] = customer.Insert(row);
+      }
+
+      // orders 1..orders_per_district over a random customer permutation.
+      std::vector<int> cust_perm(size_t(config_.customers_per_district));
+      for (size_t i = 0; i < cust_perm.size(); ++i)
+        cust_perm[i] = int(i) + 1;
+      for (size_t i = cust_perm.size(); i > 1; --i)
+        std::swap(cust_perm[i - 1], cust_perm[size_t(rng.Uniform(
+                                        0, int64_t(i) - 1))]);
+      const int new_order_start =
+          config_.orders_per_district - config_.orders_per_district * 3 / 10;
+      for (int o = 1; o <= config_.orders_per_district; ++o) {
+        int c = cust_perm[size_t(o - 1) % cust_perm.size()];
+        int ol_cnt = int(rng.Uniform(5, 15));
+        bool delivered = o <= new_order_start;
+        row = {Value::Int(o),
+               Value::Int(d),
+               Value::Int(w),
+               Value::Int(c),
+               Value::Int(kLoadDate),
+               delivered ? Value::Int(int(rng.Uniform(1, 10)))
+                         : Value::Null(),
+               Value::Int(ol_cnt),
+               Value::Int(1)};
+        int64_t okey = OrderKey(w, d, o);
+        order_idx_[okey] = order.Insert(row);
+        last_order_of_cust_[CustKey(w, d, c)] = o;
+
+        std::vector<RowId>& lines = orderlines_idx_[okey];
+        for (int l = 1; l <= ol_cnt; ++l) {
+          int64_t amount = delivered ? 0 : rng.Uniform(1, 999999);
+          row = {Value::Int(o),
+                 Value::Int(d),
+                 Value::Int(w),
+                 Value::Int(l),
+                 Value::Int(int(rng.Uniform(1, config_.num_items))),
+                 Value::Int(w),
+                 delivered ? Value::Int(kLoadDate) : Value::Null(),
+                 Value::Int(5),
+                 Value::Int(amount),
+                 Value::Str(rng.RandomString(24, 24))};
+          lines.push_back(orderline.Insert(row));
+        }
+        if (!delivered) {
+          row = {Value::Int(o), Value::Int(d), Value::Int(w)};
+          neworder_idx_[okey] = neworder.Insert(row);
+          neworder_queue_[DistKey(w, d)].push_back(o);
+        }
+      }
+
+      // One history row per customer.
+      for (int c = 1; c <= config_.customers_per_district; ++c) {
+        row = {Value::Int(c),          Value::Int(d),
+               Value::Int(w),          Value::Int(d),
+               Value::Int(w),          Value::Int(kLoadDate),
+               Value::Int(1000),       Value::Str(rng.RandomString(12, 24))};
+        history.Insert(row);
+      }
+    }
+  }
+}
+
+void TpccDatabase::FreezeOldNewOrders() {
+  // All but the tail chunk are cold: the queue consumes from the oldest end.
+  for (size_t i = 0; i + 1 < neworder.num_chunks(); ++i) {
+    if (!neworder.is_frozen(i) && neworder.chunk_rows(i) > 0)
+      neworder.FreezeChunk(i);
+  }
+}
+
+void TpccDatabase::FreezeEverything() {
+  item.FreezeAll();
+  warehouse.FreezeAll();
+  district.FreezeAll();
+  customer.FreezeAll();
+  history.FreezeAll();
+  neworder.FreezeAll();
+  order.FreezeAll();
+  orderline.FreezeAll();
+  stock.FreezeAll();
+}
+
+bool TpccDatabase::CheckConsistency(std::string* msg) const {
+  // W_YTD == sum(D_YTD) per warehouse.
+  for (int w = 1; w <= config_.num_warehouses; ++w) {
+    int64_t w_ytd =
+        warehouse.GetInt(warehouse_idx_[size_t(w - 1)], col::warehouse::ytd);
+    int64_t d_sum = 0;
+    for (int d = 1; d <= 10; ++d)
+      d_sum += district.GetInt(district_idx_.at(DistKey(w, d)),
+                               col::district::ytd);
+    if (w_ytd != d_sum) {
+      if (msg != nullptr)
+        *msg = "W_YTD mismatch for warehouse " + std::to_string(w);
+      return false;
+    }
+  }
+  // D_NEXT_O_ID - 1 == max order id per district; neworder queue sanity.
+  for (int w = 1; w <= config_.num_warehouses; ++w) {
+    for (int d = 1; d <= 10; ++d) {
+      int32_t next =
+          int32_t(district.GetInt(district_idx_.at(DistKey(w, d)),
+                                  col::district::next_o_id));
+      if (!order_idx_.count(OrderKey(w, d, next - 1))) {
+        if (msg != nullptr) *msg = "missing max order";
+        return false;
+      }
+      const auto it = neworder_queue_.find(DistKey(w, d));
+      if (it != neworder_queue_.end() && !it->second.empty() &&
+          it->second.back() >= next) {
+        if (msg != nullptr) *msg = "neworder beyond next_o_id";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace datablocks::tpcc

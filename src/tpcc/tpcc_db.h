@@ -1,0 +1,148 @@
+#ifndef DATABLOCKS_TPCC_TPCC_DB_H_
+#define DATABLOCKS_TPCC_TPCC_DB_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace datablocks::tpcc {
+
+// Column indexes per table, in schema order.
+namespace col {
+namespace item { enum : uint32_t { id, im_id, name, price, data }; }
+namespace warehouse {
+enum : uint32_t { id, name, street1, street2, city, state, zip, tax, ytd };
+}
+namespace district {
+enum : uint32_t {
+  id, w_id, name, street1, street2, city, state, zip, tax, ytd, next_o_id
+};
+}
+namespace customer {
+enum : uint32_t {
+  id, d_id, w_id, first, middle, last, street1, street2, city, state, zip,
+  phone, since, credit, credit_lim, discount, balance, ytd_payment,
+  payment_cnt, delivery_cnt, data
+};
+}
+namespace history {
+enum : uint32_t { c_id, c_d_id, c_w_id, d_id, w_id, date, amount, data };
+}
+namespace neworder { enum : uint32_t { o_id, d_id, w_id }; }
+namespace order {
+enum : uint32_t { id, d_id, w_id, c_id, entry_d, carrier_id, ol_cnt, all_local };
+}
+namespace orderline {
+enum : uint32_t {
+  o_id, d_id, w_id, number, i_id, supply_w_id, delivery_d, quantity, amount,
+  dist_info
+};
+}
+namespace stock {
+enum : uint32_t { i_id, w_id, quantity, dist, ytd, order_cnt, remote_cnt, data };
+}
+}  // namespace col
+
+struct TpccConfig {
+  int num_warehouses = 5;           // paper Section 5.3 uses 5
+  int num_items = 100000;
+  int customers_per_district = 3000;
+  int orders_per_district = 3000;
+  uint32_t chunk_capacity = 1u << 16;
+  uint64_t seed = 42;
+};
+
+struct NewOrderResult {
+  bool committed = false;  // 1% of NewOrders roll back (invalid item)
+  int64_t total_amount = 0;
+};
+
+/// TPC-C database with the five standard transactions. Primary-key indexes
+/// are hash maps over stable RowIds; freezing cold chunks keeps RowIds valid
+/// so OLTP point accesses transparently hit compressed Data Blocks —
+/// the scenario of the paper's Section 5.3 experiments.
+class TpccDatabase {
+ public:
+  explicit TpccDatabase(const TpccConfig& config);
+
+  /// Populates all tables per the TPC-C load specification (scaled).
+  void Load();
+
+  // -- Transactions (single-threaded; deterministic given the Rng). -------
+  NewOrderResult NewOrder(Rng& rng);
+  void Payment(Rng& rng);
+  void OrderStatus(Rng& rng);  // read-only
+  int Delivery(Rng& rng);      // returns #orders delivered
+  int StockLevel(Rng& rng);    // read-only; returns low-stock count
+
+  /// Runs the standard mix (45/43/4/4/4) once; returns the transaction type
+  /// executed (0..4).
+  int RunMixedTransaction(Rng& rng);
+
+  // -- Experiments ---------------------------------------------------------
+  /// Freezes all full (cold) neworder chunks into Data Blocks (first
+  /// experiment in Section 5.3).
+  void FreezeOldNewOrders();
+  /// Freezes every table (read-only experiment in Section 5.3).
+  void FreezeEverything();
+
+  /// Validates invariants (W_YTD = sum(D_YTD), order/orderline counts, ...).
+  bool CheckConsistency(std::string* msg) const;
+
+  const TpccConfig& config() const { return config_; }
+
+  Table item;
+  Table warehouse;
+  Table district;
+  Table customer;
+  Table history;
+  Table neworder;
+  Table order;
+  Table orderline;
+  Table stock;
+
+ private:
+  friend class TpccTest;
+
+  // Composite-key encodings.
+  int64_t DistKey(int w, int d) const { return int64_t(w) * 10 + d - 11; }
+  int64_t CustKey(int w, int d, int c) const {
+    return DistKey(w, d) * 100000 + c;
+  }
+  int64_t StockKey(int w, int i) const {
+    return int64_t(w - 1) * config_.num_items + i - 1;
+  }
+  int64_t OrderKey(int w, int d, int o) const {
+    return DistKey(w, d) * 10000000 + o;
+  }
+
+  int RandomCustomerId(Rng& rng) {
+    return int(rng.NuRand(1023, 1, config_.customers_per_district));
+  }
+  int RandomItemId(Rng& rng) {
+    return int(rng.NuRand(8191, 1, config_.num_items));
+  }
+
+  TpccConfig config_;
+
+  // Primary-key indexes (RowIds stay stable across freezing).
+  std::vector<RowId> item_idx_;                       // by i_id - 1
+  std::vector<RowId> warehouse_idx_;                  // by w_id - 1
+  std::unordered_map<int64_t, RowId> district_idx_;
+  std::unordered_map<int64_t, RowId> customer_idx_;
+  std::unordered_map<int64_t, RowId> stock_idx_;
+  std::unordered_map<int64_t, RowId> order_idx_;
+  std::unordered_map<int64_t, std::vector<RowId>> orderlines_idx_;
+  std::unordered_map<int64_t, RowId> neworder_idx_;   // by OrderKey
+  std::unordered_map<int64_t, std::deque<int32_t>> neworder_queue_;
+  std::unordered_map<int64_t, int32_t> last_order_of_cust_;  // CustKey -> o_id
+};
+
+}  // namespace datablocks::tpcc
+
+#endif  // DATABLOCKS_TPCC_TPCC_DB_H_

@@ -1,0 +1,273 @@
+// The five TPC-C transactions, implemented against the Table point-access
+// API. Reads transparently hit hot chunks or frozen Data Blocks (single
+// position decompression); writes follow the paper's rules: hot rows are
+// updated in place, frozen rows can only be deleted (Section 3).
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tpcc/tpcc_db.h"
+#include "util/date.h"
+
+namespace datablocks::tpcc {
+
+namespace {
+const int32_t kTxnDate = MakeDate(2016, 6, 1);
+}
+
+NewOrderResult TpccDatabase::NewOrder(Rng& rng) {
+  NewOrderResult result;
+  const int w = int(rng.Uniform(1, config_.num_warehouses));
+  const int d = int(rng.Uniform(1, 10));
+  const int c = RandomCustomerId(rng);
+  const int ol_cnt = int(rng.Uniform(5, 15));
+  const bool rollback = rng.Uniform(1, 100) == 1;  // 1% unused item id
+
+  struct Line {
+    int i_id;
+    int supply_w;
+    int qty;
+  };
+  std::vector<Line> lines(static_cast<size_t>(ol_cnt));
+  for (int l = 0; l < ol_cnt; ++l) {
+    Line& ln = lines[size_t(l)];
+    ln.i_id = RandomItemId(rng);
+    if (rollback && l == ol_cnt - 1) ln.i_id = config_.num_items + 1;
+    ln.supply_w = w;
+    if (config_.num_warehouses > 1 && rng.Uniform(1, 100) == 1) {
+      do {
+        ln.supply_w = int(rng.Uniform(1, config_.num_warehouses));
+      } while (ln.supply_w == w);
+    }
+    ln.qty = int(rng.Uniform(1, 10));
+  }
+
+  // Validate items first (a failed lookup aborts the transaction before any
+  // write, which is how the 1% rollback manifests here).
+  for (const Line& ln : lines) {
+    if (ln.i_id > config_.num_items) return result;  // not committed
+  }
+
+  RowId d_row = district_idx_.at(DistKey(w, d));
+  const int32_t o_id =
+      int32_t(district.GetInt(d_row, col::district::next_o_id));
+  district.UpdateInPlace(d_row, col::district::next_o_id,
+                         Value::Int(o_id + 1));
+  const int64_t w_tax =
+      warehouse.GetInt(warehouse_idx_[size_t(w - 1)], col::warehouse::tax);
+  const int64_t d_tax = district.GetInt(d_row, col::district::tax);
+  const int64_t c_disc =
+      customer.GetInt(customer_idx_.at(CustKey(w, d, c)),
+                      col::customer::discount);
+
+  bool all_local = true;
+  for (const Line& ln : lines) all_local &= ln.supply_w == w;
+
+  std::vector<Value> row = {Value::Int(o_id),   Value::Int(d),
+                            Value::Int(w),      Value::Int(c),
+                            Value::Int(kTxnDate), Value::Null(),
+                            Value::Int(ol_cnt), Value::Int(all_local ? 1 : 0)};
+  int64_t okey = OrderKey(w, d, o_id);
+  order_idx_[okey] = order.Insert(row);
+  last_order_of_cust_[CustKey(w, d, c)] = o_id;
+
+  row = {Value::Int(o_id), Value::Int(d), Value::Int(w)};
+  neworder_idx_[okey] = neworder.Insert(row);
+  neworder_queue_[DistKey(w, d)].push_back(o_id);
+
+  int64_t total = 0;
+  std::vector<RowId>& ol_rows = orderlines_idx_[okey];
+  for (int l = 0; l < ol_cnt; ++l) {
+    const Line& ln = lines[size_t(l)];
+    RowId i_row = item_idx_[size_t(ln.i_id - 1)];
+    int64_t price = item.GetInt(i_row, col::item::price);
+    RowId s_row = stock_idx_.at(StockKey(ln.supply_w, ln.i_id));
+    int32_t s_qty = int32_t(stock.GetInt(s_row, col::stock::quantity));
+    s_qty = s_qty >= ln.qty + 10 ? s_qty - ln.qty : s_qty - ln.qty + 91;
+    stock.UpdateInPlace(s_row, col::stock::quantity, Value::Int(s_qty));
+    stock.UpdateInPlace(
+        s_row, col::stock::ytd,
+        Value::Int(stock.GetInt(s_row, col::stock::ytd) + ln.qty));
+    stock.UpdateInPlace(
+        s_row, col::stock::order_cnt,
+        Value::Int(stock.GetInt(s_row, col::stock::order_cnt) + 1));
+    if (ln.supply_w != w) {
+      stock.UpdateInPlace(
+          s_row, col::stock::remote_cnt,
+          Value::Int(stock.GetInt(s_row, col::stock::remote_cnt) + 1));
+    }
+    int64_t amount = price * ln.qty;
+    total += amount;
+    row = {Value::Int(o_id),
+           Value::Int(d),
+           Value::Int(w),
+           Value::Int(l + 1),
+           Value::Int(ln.i_id),
+           Value::Int(ln.supply_w),
+           Value::Null(),
+           Value::Int(ln.qty),
+           Value::Int(amount),
+           Value::Str(std::string(stock.GetStringView(s_row,
+                                                      col::stock::dist)))};
+    ol_rows.push_back(orderline.Insert(row));
+  }
+
+  result.committed = true;
+  result.total_amount =
+      total * (10000 - c_disc) / 10000 * (10000 + w_tax + d_tax) / 10000;
+  return result;
+}
+
+void TpccDatabase::Payment(Rng& rng) {
+  const int w = int(rng.Uniform(1, config_.num_warehouses));
+  const int d = int(rng.Uniform(1, 10));
+  int c_w = w, c_d = d;
+  if (config_.num_warehouses > 1 && rng.Uniform(1, 100) <= 15) {
+    do {
+      c_w = int(rng.Uniform(1, config_.num_warehouses));
+    } while (c_w == w);
+    c_d = int(rng.Uniform(1, 10));
+  }
+  const int64_t amount = rng.Uniform(100, 500000);
+
+  RowId w_row = warehouse_idx_[size_t(w - 1)];
+  warehouse.UpdateInPlace(
+      w_row, col::warehouse::ytd,
+      Value::Int(warehouse.GetInt(w_row, col::warehouse::ytd) + amount));
+  RowId d_row = district_idx_.at(DistKey(w, d));
+  district.UpdateInPlace(
+      d_row, col::district::ytd,
+      Value::Int(district.GetInt(d_row, col::district::ytd) + amount));
+
+  const int c = RandomCustomerId(rng);
+  RowId c_row = customer_idx_.at(CustKey(c_w, c_d, c));
+  customer.UpdateInPlace(
+      c_row, col::customer::balance,
+      Value::Int(customer.GetInt(c_row, col::customer::balance) - amount));
+  customer.UpdateInPlace(
+      c_row, col::customer::ytd_payment,
+      Value::Int(customer.GetInt(c_row, col::customer::ytd_payment) +
+                 amount));
+  customer.UpdateInPlace(
+      c_row, col::customer::payment_cnt,
+      Value::Int(customer.GetInt(c_row, col::customer::payment_cnt) + 1));
+
+  std::vector<Value> row = {Value::Int(c),        Value::Int(c_d),
+                            Value::Int(c_w),      Value::Int(d),
+                            Value::Int(w),        Value::Int(kTxnDate),
+                            Value::Int(amount),   Value::Str("payment")};
+  history.Insert(row);
+}
+
+void TpccDatabase::OrderStatus(Rng& rng) {
+  const int w = int(rng.Uniform(1, config_.num_warehouses));
+  const int d = int(rng.Uniform(1, 10));
+  const int c = RandomCustomerId(rng);
+
+  RowId c_row = customer_idx_.at(CustKey(w, d, c));
+  volatile int64_t balance =
+      customer.GetInt(c_row, col::customer::balance);
+  (void)balance;
+
+  auto it = last_order_of_cust_.find(CustKey(w, d, c));
+  if (it == last_order_of_cust_.end()) return;
+  int64_t okey = OrderKey(w, d, it->second);
+  RowId o_row = order_idx_.at(okey);
+  volatile int64_t entry = order.GetInt(o_row, col::order::entry_d);
+  (void)entry;
+
+  int64_t sum_amount = 0;
+  for (RowId ol : orderlines_idx_.at(okey)) {
+    sum_amount += orderline.GetInt(ol, col::orderline::amount);
+    volatile int64_t qty = orderline.GetInt(ol, col::orderline::quantity);
+    (void)qty;
+  }
+  (void)sum_amount;
+}
+
+int TpccDatabase::Delivery(Rng& rng) {
+  const int w = int(rng.Uniform(1, config_.num_warehouses));
+  const int carrier = int(rng.Uniform(1, 10));
+  int delivered = 0;
+  for (int d = 1; d <= 10; ++d) {
+    auto qit = neworder_queue_.find(DistKey(w, d));
+    if (qit == neworder_queue_.end() || qit->second.empty()) continue;
+    int32_t o_id = qit->second.front();
+    qit->second.pop_front();
+    int64_t okey = OrderKey(w, d, o_id);
+
+    // Delete the neworder row (works on hot *and* frozen chunks).
+    auto nit = neworder_idx_.find(okey);
+    if (nit != neworder_idx_.end()) {
+      neworder.Delete(nit->second);
+      neworder_idx_.erase(nit);
+    }
+
+    RowId o_row = order_idx_.at(okey);
+    int c = int(order.GetInt(o_row, col::order::c_id));
+    order.UpdateInPlace(o_row, col::order::carrier_id, Value::Int(carrier));
+
+    int64_t total = 0;
+    for (RowId ol : orderlines_idx_.at(okey)) {
+      orderline.UpdateInPlace(ol, col::orderline::delivery_d,
+                              Value::Int(kTxnDate));
+      total += orderline.GetInt(ol, col::orderline::amount);
+    }
+    RowId c_row = customer_idx_.at(CustKey(w, d, c));
+    customer.UpdateInPlace(
+        c_row, col::customer::balance,
+        Value::Int(customer.GetInt(c_row, col::customer::balance) + total));
+    customer.UpdateInPlace(
+        c_row, col::customer::delivery_cnt,
+        Value::Int(customer.GetInt(c_row, col::customer::delivery_cnt) + 1));
+    ++delivered;
+  }
+  return delivered;
+}
+
+int TpccDatabase::StockLevel(Rng& rng) {
+  const int w = int(rng.Uniform(1, config_.num_warehouses));
+  const int d = int(rng.Uniform(1, 10));
+  const int threshold = int(rng.Uniform(10, 20));
+
+  RowId d_row = district_idx_.at(DistKey(w, d));
+  const int32_t next_o =
+      int32_t(district.GetInt(d_row, col::district::next_o_id));
+
+  std::unordered_set<int32_t> low_items;
+  for (int32_t o = std::max(1, next_o - 20); o < next_o; ++o) {
+    auto it = orderlines_idx_.find(OrderKey(w, d, o));
+    if (it == orderlines_idx_.end()) continue;
+    for (RowId ol : it->second) {
+      int32_t i_id = int32_t(orderline.GetInt(ol, col::orderline::i_id));
+      RowId s_row = stock_idx_.at(StockKey(w, i_id));
+      if (stock.GetInt(s_row, col::stock::quantity) < threshold)
+        low_items.insert(i_id);
+    }
+  }
+  return int(low_items.size());
+}
+
+int TpccDatabase::RunMixedTransaction(Rng& rng) {
+  int64_t roll = rng.Uniform(1, 100);
+  if (roll <= 45) {
+    NewOrder(rng);
+    return 0;
+  }
+  if (roll <= 88) {
+    Payment(rng);
+    return 1;
+  }
+  if (roll <= 92) {
+    OrderStatus(rng);
+    return 2;
+  }
+  if (roll <= 96) {
+    Delivery(rng);
+    return 3;
+  }
+  StockLevel(rng);
+  return 4;
+}
+
+}  // namespace datablocks::tpcc

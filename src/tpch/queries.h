@@ -1,0 +1,100 @@
+#ifndef DATABLOCKS_TPCH_QUERIES_H_
+#define DATABLOCKS_TPCH_QUERIES_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/table_scanner.h"
+#include "tpch/tpch_db.h"
+
+namespace datablocks::tpch {
+
+/// Scan configuration under which a query runs; every paper configuration
+/// (Table 2 / Table 4 columns) is one ScanOptions value.
+struct ScanOptions {
+  ScanMode mode = ScanMode::kDataBlocksPsma;
+  uint32_t vector_size = TableScanner::kDefaultVectorSize;
+  Isa isa = BestIsa();
+
+  TableScanner Scan(const Table& table, std::vector<uint32_t> cols,
+                    std::vector<Predicate> preds = {}) const {
+    return TableScanner(table, std::move(cols), std::move(preds), mode,
+                        vector_size, isa);
+  }
+};
+
+/// Result rows, already formatted and ordered like the SQL output; equal
+/// results across scan modes must compare equal.
+struct QueryResult {
+  std::vector<std::string> rows;
+
+  bool operator==(const QueryResult& o) const { return rows == o.rows; }
+  std::string ToString() const {
+    std::string s;
+    for (const auto& r : rows) {
+      s += r;
+      s += '\n';
+    }
+    return s;
+  }
+};
+
+// The 22 TPC-H queries (validation parameters), hand-fused against the
+// vectorized scan interface. SARGable restrictions are pushed into the
+// scans; LIKE / IN / cross-column predicates run in the pipeline.
+QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt);   // pricing summary report
+QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt);   // minimum cost supplier
+QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt);   // shipping priority (top 10)
+QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt);   // order priority checking
+QueryResult Q5(const TpchDatabase& db, const ScanOptions& opt);   // local supplier volume
+QueryResult Q6(const TpchDatabase& db, const ScanOptions& opt);   // forecasting revenue change
+QueryResult Q7(const TpchDatabase& db, const ScanOptions& opt);   // volume shipping
+QueryResult Q8(const TpchDatabase& db, const ScanOptions& opt);   // national market share
+QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt);   // product type profit
+QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt);  // returned items (top 20)
+QueryResult Q11(const TpchDatabase& db, const ScanOptions& opt);  // important stock
+QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt);  // shipping modes / priority
+QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt);  // customer distribution
+QueryResult Q14(const TpchDatabase& db, const ScanOptions& opt);  // promotion effect
+QueryResult Q15(const TpchDatabase& db, const ScanOptions& opt);  // top supplier
+QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt);  // parts/supplier relationship
+QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt);  // small-quantity revenue
+QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt);  // large volume customers
+QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt);  // discounted revenue (OR clauses)
+QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt);  // potential part promotion
+QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt);  // suppliers who kept orders waiting
+QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt);  // global sales opportunity
+
+/// Runs TPC-H query `q` (1-based). Aborts on out-of-range q.
+QueryResult RunQuery(int q, const TpchDatabase& db, const ScanOptions& opt);
+
+namespace detail {
+
+/// Drains a scanner, invoking fn(batch) per non-empty batch.
+template <typename Fn>
+void ScanLoop(TableScanner scanner, Fn fn) {
+  Batch batch;
+  while (scanner.Next(&batch)) fn(batch);
+}
+
+inline std::string Money(int64_t cents) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", double(cents) / 100.0);
+  return buf;
+}
+
+inline std::string F2(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Dense index of an order key (order keys are 4 * ordinal).
+inline int64_t OrderIdx(int64_t orderkey) { return orderkey / 4 - 1; }
+
+}  // namespace detail
+
+}  // namespace datablocks::tpch
+
+#endif  // DATABLOCKS_TPCH_QUERIES_H_

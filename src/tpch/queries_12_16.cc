@@ -1,0 +1,238 @@
+// TPC-H queries 12-16.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tpch/queries.h"
+#include "util/date.h"
+#include "util/like.h"
+
+namespace datablocks::tpch {
+
+using namespace detail;
+namespace li = col::lineitem;
+namespace ord = col::orders;
+namespace cust = col::customer;
+namespace prt = col::part;
+namespace ps = col::partsupp;
+namespace sup = col::supplier;
+
+// --- Q12: shipping modes and order priority -----------------------------------
+
+QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
+
+  // orderkey -> is high priority (1-URGENT / 2-HIGH).
+  std::vector<uint8_t> high(size_t(db.NumOrders()), 0);
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::orderpriority}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               std::string_view p = b.cols[1].str[i];
+               high[size_t(OrderIdx(b.cols[0].i64[i]))] =
+                   (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0;
+             }
+           });
+
+  // mode -> (high count, low count).
+  std::map<std::string, std::pair<int64_t, int64_t>> counts;
+  counts["MAIL"];
+  counts["SHIP"];
+  ScanLoop(
+      opt.Scan(db.lineitem,
+               {li::orderkey, li::shipdate, li::commitdate, li::receiptdate,
+                li::shipmode},
+               {Predicate::Between(li::receiptdate, Value::Int(lo),
+                                   Value::Int(hi - 1))}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          std::string_view mode = b.cols[4].str[i];
+          if (mode != "MAIL" && mode != "SHIP") continue;
+          if (b.cols[2].i32[i] >= b.cols[3].i32[i]) continue;  // commit<recpt
+          if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;  // ship<commit
+          auto& c = counts[std::string(mode)];
+          if (high[size_t(OrderIdx(b.cols[0].i64[i]))])
+            ++c.first;
+          else
+            ++c.second;
+        }
+      });
+
+  QueryResult result;
+  for (auto& [mode, c] : counts)
+    result.rows.push_back(mode + "|" + std::to_string(c.first) + "|" +
+                          std::to_string(c.second));
+  return result;
+}
+
+// --- Q13: customer distribution ------------------------------------------------
+
+QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
+  std::vector<int32_t> order_count(size_t(db.NumCustomers()) + 1, 0);
+  ScanLoop(opt.Scan(db.orders, {ord::custkey, ord::comment}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (LikeMatch(b.cols[1].str[i], "%special%requests%")) continue;
+               ++order_count[size_t(b.cols[0].i32[i])];
+             }
+           });
+
+  // c_count -> number of customers (left join keeps 0-order customers).
+  std::unordered_map<int32_t, int64_t> dist;
+  ScanLoop(opt.Scan(db.customer, {cust::custkey}), [&](const Batch& b) {
+    for (uint32_t i = 0; i < b.count; ++i)
+      ++dist[order_count[size_t(b.cols[0].i32[i])]];
+  });
+
+  struct OutRow {
+    int32_t c_count;
+    int64_t custdist;
+  };
+  std::vector<OutRow> out;
+  for (auto& [cc, cd] : dist) out.push_back({cc, cd});
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    return a.custdist != b.custdist ? a.custdist > b.custdist
+                                    : a.c_count > b.c_count;
+  });
+  QueryResult result;
+  for (const OutRow& r : out)
+    result.rows.push_back(std::to_string(r.c_count) + "|" +
+                          std::to_string(r.custdist));
+  return result;
+}
+
+// --- Q14: promotion effect ------------------------------------------------------
+
+QueryResult Q14(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1995, 9, 1), hi = MakeDate(1995, 10, 1);
+
+  std::unordered_set<int32_t> promo_parts;
+  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::type}), [&](const Batch& b) {
+    for (uint32_t i = 0; i < b.count; ++i)
+      if (LikeMatch(b.cols[1].str[i], "PROMO%"))
+        promo_parts.insert(b.cols[0].i32[i]);
+  });
+
+  int64_t promo = 0, total = 0;
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::partkey, li::extendedprice, li::discount},
+                    {Predicate::Between(li::shipdate, Value::Int(lo),
+                                        Value::Int(hi - 1))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int64_t v = b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+               total += v;
+               if (promo_parts.count(b.cols[0].i32[i])) promo += v;
+             }
+           });
+
+  QueryResult result;
+  char row[64];
+  std::snprintf(row, sizeof(row), "%.4f",
+                total == 0 ? 0.0 : 100.0 * double(promo) / double(total));
+  result.rows.push_back(row);
+  return result;
+}
+
+// --- Q15: top supplier -----------------------------------------------------------
+
+QueryResult Q15(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1996, 1, 1), hi = MakeDate(1996, 4, 1);
+
+  std::vector<int64_t> revenue(size_t(db.NumSuppliers()) + 1, 0);
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::suppkey, li::extendedprice, li::discount},
+                    {Predicate::Between(li::shipdate, Value::Int(lo),
+                                        Value::Int(hi - 1))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               revenue[size_t(b.cols[0].i32[i])] +=
+                   b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+           });
+
+  int64_t max_rev = 0;
+  for (int64_t r : revenue) max_rev = std::max(max_rev, r);
+
+  QueryResult result;
+  ScanLoop(opt.Scan(db.supplier,
+                    {sup::suppkey, sup::name, sup::address, sup::phone}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t sk = b.cols[0].i32[i];
+               if (revenue[size_t(sk)] != max_rev || max_rev == 0) continue;
+               result.rows.push_back(
+                   std::to_string(sk) + "|" + std::string(b.cols[1].str[i]) +
+                   "|" + std::string(b.cols[2].str[i]) + "|" +
+                   std::string(b.cols[3].str[i]) + "|" +
+                   F2(double(max_rev) / 1e4));
+             }
+           });
+  std::sort(result.rows.begin(), result.rows.end());
+  return result;
+}
+
+// --- Q16: parts/supplier relationship ----------------------------------------------
+
+QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt) {
+  static const int kSizes[8] = {49, 14, 23, 45, 19, 3, 36, 9};
+
+  struct PartInfo {
+    std::string brand, type;
+    int32_t size;
+  };
+  std::unordered_map<int32_t, PartInfo> parts;
+  ScanLoop(
+      opt.Scan(db.part, {prt::partkey, prt::brand, prt::type, prt::size},
+               {Predicate::Ne(prt::brand, Value::Str("Brand#45"))}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (LikeMatch(b.cols[2].str[i], "MEDIUM POLISHED%")) continue;
+          int32_t size = b.cols[3].i32[i];
+          bool size_ok = false;
+          for (int s : kSizes) size_ok |= (size == s);
+          if (!size_ok) continue;
+          parts[b.cols[0].i32[i]] =
+              PartInfo{std::string(b.cols[1].str[i]),
+                       std::string(b.cols[2].str[i]), size};
+        }
+      });
+
+  std::unordered_set<int32_t> excluded_supp;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::comment}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (LikeMatch(b.cols[1].str[i], "%Customer%Complaints%"))
+                 excluded_supp.insert(b.cols[0].i32[i]);
+           });
+
+  std::map<std::string, std::unordered_set<int32_t>> group_supps;
+  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto pit = parts.find(b.cols[0].i32[i]);
+               if (pit == parts.end()) continue;
+               if (excluded_supp.count(b.cols[1].i32[i])) continue;
+               std::string key = pit->second.brand + "|" + pit->second.type +
+                                 "|" + std::to_string(pit->second.size);
+               group_supps[key].insert(b.cols[1].i32[i]);
+             }
+           });
+
+  struct OutRow {
+    std::string key;
+    int64_t cnt;
+  };
+  std::vector<OutRow> out;
+  for (auto& [key, supps] : group_supps)
+    out.push_back({key, int64_t(supps.size())});
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    return a.cnt != b.cnt ? a.cnt > b.cnt : a.key < b.key;
+  });
+  QueryResult result;
+  for (const OutRow& r : out)
+    result.rows.push_back(r.key + "|" + std::to_string(r.cnt));
+  return result;
+}
+
+}  // namespace datablocks::tpch

@@ -1,0 +1,385 @@
+// TPC-H queries 17-22.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tpch/queries.h"
+#include "util/date.h"
+#include "util/like.h"
+
+namespace datablocks::tpch {
+
+using namespace detail;
+namespace li = col::lineitem;
+namespace ord = col::orders;
+namespace cust = col::customer;
+namespace prt = col::part;
+namespace ps = col::partsupp;
+namespace sup = col::supplier;
+namespace nat = col::nation;
+
+// --- Q17: small-quantity-order revenue ---------------------------------------
+
+QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
+  std::unordered_set<int32_t> parts;
+  ScanLoop(opt.Scan(db.part, {prt::partkey},
+                    {Predicate::Eq(prt::brand, Value::Str("Brand#23")),
+                     Predicate::Eq(prt::container, Value::Str("MED BOX"))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               parts.insert(b.cols[0].i32[i]);
+           });
+
+  struct QtyAgg {
+    int64_t sum = 0;
+    int64_t count = 0;
+  };
+  std::unordered_map<int32_t, QtyAgg> qty_agg;
+  ScanLoop(opt.Scan(db.lineitem, {li::partkey, li::quantity}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t pk = b.cols[0].i32[i];
+               if (!parts.count(pk)) continue;
+               QtyAgg& a = qty_agg[pk];
+               a.sum += b.cols[1].i32[i];
+               ++a.count;
+             }
+           });
+
+  int64_t total = 0;  // cents
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::partkey, li::quantity, li::extendedprice}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t pk = b.cols[0].i32[i];
+               auto it = qty_agg.find(pk);
+               if (it == qty_agg.end()) continue;
+               double avg = double(it->second.sum) / double(it->second.count);
+               if (double(b.cols[1].i32[i]) < 0.2 * avg)
+                 total += b.cols[2].i64[i];
+             }
+           });
+
+  QueryResult result;
+  result.rows.push_back(F2(double(total) / 100.0 / 7.0));
+  return result;
+}
+
+// --- Q18: large volume customers -----------------------------------------------
+
+QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt) {
+  std::vector<uint16_t> order_qty(size_t(db.NumOrders()), 0);
+  ScanLoop(opt.Scan(db.lineitem, {li::orderkey, li::quantity}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               order_qty[size_t(OrderIdx(b.cols[0].i64[i]))] +=
+                   uint16_t(b.cols[1].i32[i]);
+           });
+
+  struct OutRow {
+    std::string c_name;
+    int32_t custkey;
+    int64_t orderkey;
+    int32_t orderdate;
+    int64_t totalprice;
+    int32_t qty;
+  };
+  std::vector<OutRow> out;
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey, ord::orderdate,
+                                ord::totalprice}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int64_t ok = b.cols[0].i64[i];
+               uint16_t q = order_qty[size_t(OrderIdx(ok))];
+               if (q <= 300) continue;
+               out.push_back({"", b.cols[1].i32[i], ok, b.cols[2].i32[i],
+                              b.cols[3].i64[i], q});
+             }
+           });
+
+  std::unordered_map<int32_t, std::string> cust_name;
+  std::unordered_set<int32_t> wanted;
+  for (const OutRow& r : out) wanted.insert(r.custkey);
+  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::name}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (wanted.count(b.cols[0].i32[i]))
+                 cust_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+           });
+  for (OutRow& r : out) r.c_name = cust_name[r.custkey];
+
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    if (a.totalprice != b.totalprice) return a.totalprice > b.totalprice;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  if (out.size() > 100) out.resize(100);
+
+  QueryResult result;
+  for (const OutRow& r : out) {
+    result.rows.push_back(r.c_name + "|" + std::to_string(r.custkey) + "|" +
+                          std::to_string(r.orderkey) + "|" +
+                          DateToString(r.orderdate) + "|" +
+                          Money(r.totalprice) + "|" + std::to_string(r.qty));
+  }
+  return result;
+}
+
+// --- Q19: discounted revenue -----------------------------------------------------
+
+QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
+  struct PartInfo {
+    std::string brand, container;
+    int32_t size;
+  };
+  std::unordered_map<int32_t, PartInfo> parts;
+  ScanLoop(opt.Scan(db.part,
+                    {prt::partkey, prt::brand, prt::container, prt::size},
+                    {Predicate::Between(prt::size, Value::Int(1),
+                                        Value::Int(15))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               parts[b.cols[0].i32[i]] =
+                   PartInfo{std::string(b.cols[1].str[i]),
+                            std::string(b.cols[2].str[i]), b.cols[3].i32[i]};
+           });
+
+  auto in = [](const std::string& v, std::initializer_list<const char*> set) {
+    for (const char* s : set)
+      if (v == s) return true;
+    return false;
+  };
+
+  int64_t revenue = 0;
+  ScanLoop(
+      opt.Scan(db.lineitem,
+               {li::partkey, li::quantity, li::extendedprice, li::discount,
+                li::shipmode, li::shipinstruct},
+               {Predicate::Le(li::quantity, Value::Int(40))}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (b.cols[5].str[i] != "DELIVER IN PERSON") continue;
+          std::string_view mode = b.cols[4].str[i];
+          if (mode != "AIR" && mode != "REG AIR") continue;
+          auto it = parts.find(b.cols[0].i32[i]);
+          if (it == parts.end()) continue;
+          const PartInfo& p = it->second;
+          int32_t qty = b.cols[1].i32[i];
+          bool clause1 = p.brand == "Brand#12" &&
+                         in(p.container,
+                            {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}) &&
+                         qty >= 1 && qty <= 11 && p.size <= 5;
+          bool clause2 = p.brand == "Brand#23" &&
+                         in(p.container,
+                            {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}) &&
+                         qty >= 10 && qty <= 20 && p.size <= 10;
+          bool clause3 = p.brand == "Brand#34" &&
+                         in(p.container,
+                            {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}) &&
+                         qty >= 20 && qty <= 30 && p.size <= 15;
+          if (clause1 || clause2 || clause3)
+            revenue += b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
+        }
+      });
+
+  QueryResult result;
+  result.rows.push_back(F2(double(revenue) / 1e4));
+  return result;
+}
+
+// --- Q20: potential part promotion -------------------------------------------------
+
+QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
+
+  std::unordered_set<int32_t> forest_parts;
+  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::name}), [&](const Batch& b) {
+    for (uint32_t i = 0; i < b.count; ++i)
+      if (LikeMatch(b.cols[1].str[i], "forest%"))
+        forest_parts.insert(b.cols[0].i32[i]);
+  });
+
+  const int64_t supp_span = db.NumSuppliers() + 1;
+  std::unordered_map<int64_t, int64_t> shipped_qty;  // (pk,sk) -> qty
+  ScanLoop(opt.Scan(db.lineitem, {li::partkey, li::suppkey, li::quantity},
+                    {Predicate::Between(li::shipdate, Value::Int(lo),
+                                        Value::Int(hi - 1))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t pk = b.cols[0].i32[i];
+               if (!forest_parts.count(pk)) continue;
+               shipped_qty[int64_t(pk) * supp_span + b.cols[1].i32[i]] +=
+                   b.cols[2].i32[i];
+             }
+           });
+
+  std::unordered_set<int32_t> candidate_supp;
+  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::availqty}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t pk = b.cols[0].i32[i];
+               if (!forest_parts.count(pk)) continue;
+               auto it = shipped_qty.find(int64_t(pk) * supp_span +
+                                          b.cols[1].i32[i]);
+               int64_t q = it == shipped_qty.end() ? 0 : it->second;
+               if (double(b.cols[2].i32[i]) > 0.5 * double(q) && q > 0)
+                 candidate_supp.insert(b.cols[1].i32[i]);
+             }
+           });
+
+  int32_t canada = -1;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey},
+                    {Predicate::Eq(nat::name, Value::Str("CANADA"))}),
+           [&](const Batch& b) { canada = b.cols[0].i32[0]; });
+
+  QueryResult result;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::name, sup::address},
+                    {Predicate::Eq(sup::nationkey, Value::Int(canada))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (candidate_supp.count(b.cols[0].i32[i]))
+                 result.rows.push_back(std::string(b.cols[1].str[i]) + "|" +
+                                       std::string(b.cols[2].str[i]));
+           });
+  std::sort(result.rows.begin(), result.rows.end());
+  return result;
+}
+
+// --- Q21: suppliers who kept orders waiting ------------------------------------------
+
+QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
+  const int64_t num_orders = db.NumOrders();
+
+  // Per-order supplier structure, computed in one lineitem pass:
+  //  first_supp / multi_supp: did >1 distinct supplier contribute?
+  //  late_first / late_multi: distinct suppliers with receipt > commit.
+  std::vector<int32_t> first_supp(size_t(num_orders), -1);
+  std::vector<int32_t> late_first(size_t(num_orders), -1);
+  std::vector<uint8_t> multi_supp(size_t(num_orders), 0);
+  std::vector<uint8_t> late_multi(size_t(num_orders), 0);
+  ScanLoop(opt.Scan(db.lineitem, {li::orderkey, li::suppkey, li::commitdate,
+                                  li::receiptdate}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               size_t o = size_t(OrderIdx(b.cols[0].i64[i]));
+               int32_t sk = b.cols[1].i32[i];
+               if (first_supp[o] == -1)
+                 first_supp[o] = sk;
+               else if (first_supp[o] != sk)
+                 multi_supp[o] = 1;
+               if (b.cols[3].i32[i] > b.cols[2].i32[i]) {
+                 if (late_first[o] == -1)
+                   late_first[o] = sk;
+                 else if (late_first[o] != sk)
+                   late_multi[o] = 1;
+               }
+             }
+           });
+
+  std::vector<uint8_t> status_f(size_t(num_orders), 0);
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey},
+                    {Predicate::Eq(ord::orderstatus, Value::Int('F'))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               status_f[size_t(OrderIdx(b.cols[0].i64[i]))] = 1;
+           });
+
+  int32_t saudi = -1;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey},
+                    {Predicate::Eq(nat::name, Value::Str("SAUDI ARABIA"))}),
+           [&](const Batch& b) { saudi = b.cols[0].i32[0]; });
+  std::unordered_map<int32_t, std::string> saudi_supp;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::name},
+                    {Predicate::Eq(sup::nationkey, Value::Int(saudi))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               saudi_supp[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+           });
+
+  // numwait per saudi supplier: orders with status F where this supplier was
+  // the only late one and other suppliers participated.
+  std::unordered_map<int32_t, int64_t> numwait;
+  for (size_t o = 0; o < size_t(num_orders); ++o) {
+    if (!status_f[o] || late_first[o] == -1 || late_multi[o] ||
+        !multi_supp[o])
+      continue;
+    auto it = saudi_supp.find(late_first[o]);
+    if (it == saudi_supp.end()) continue;
+    ++numwait[late_first[o]];
+  }
+
+  struct OutRow {
+    std::string name;
+    int64_t count;
+  };
+  std::vector<OutRow> out;
+  for (auto& [sk, c] : numwait) out.push_back({saudi_supp[sk], c});
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    return a.count != b.count ? a.count > b.count : a.name < b.name;
+  });
+  if (out.size() > 100) out.resize(100);
+  QueryResult result;
+  for (const OutRow& r : out)
+    result.rows.push_back(r.name + "|" + std::to_string(r.count));
+  return result;
+}
+
+// --- Q22: global sales opportunity ----------------------------------------------------
+
+QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt) {
+  static const char* kCodes[7] = {"13", "31", "23", "29", "30", "18", "17"};
+  auto code_of = [](std::string_view phone) {
+    return std::string(phone.substr(0, 2));
+  };
+  auto code_ok = [&](std::string_view phone) {
+    for (const char* c : kCodes)
+      if (phone.substr(0, 2) == c) return true;
+    return false;
+  };
+
+  // Average positive balance of customers in the country codes.
+  int64_t sum = 0, count = 0;
+  ScanLoop(opt.Scan(db.customer, {cust::phone, cust::acctbal},
+                    {Predicate::Gt(cust::acctbal, Value::Int(0))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!code_ok(b.cols[0].str[i])) continue;
+               sum += b.cols[1].i64[i];
+               ++count;
+             }
+           });
+  const double avg = count == 0 ? 0.0 : double(sum) / double(count);
+
+  std::vector<uint8_t> has_order(size_t(db.NumCustomers()) + 1, 0);
+  ScanLoop(opt.Scan(db.orders, {ord::custkey}), [&](const Batch& b) {
+    for (uint32_t i = 0; i < b.count; ++i)
+      has_order[size_t(b.cols[0].i32[i])] = 1;
+  });
+
+  struct Agg {
+    int64_t count = 0;
+    int64_t sum = 0;
+  };
+  std::map<std::string, Agg> groups;
+  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::phone, cust::acctbal}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!code_ok(b.cols[1].str[i])) continue;
+               if (double(b.cols[2].i64[i]) <= avg) continue;
+               if (has_order[size_t(b.cols[0].i32[i])]) continue;
+               Agg& a = groups[code_of(b.cols[1].str[i])];
+               ++a.count;
+               a.sum += b.cols[2].i64[i];
+             }
+           });
+
+  QueryResult result;
+  for (auto& [code, a] : groups)
+    result.rows.push_back(code + "|" + std::to_string(a.count) + "|" +
+                          Money(a.sum));
+  return result;
+}
+
+}  // namespace datablocks::tpch

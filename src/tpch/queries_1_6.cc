@@ -1,0 +1,394 @@
+// TPC-H queries 1-6, hand-fused against the vectorized scan interface (the
+// role of the JIT-compiled pipelines in HyPer; see DESIGN.md substitution 1).
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tpch/queries.h"
+#include "util/date.h"
+#include "util/like.h"
+
+namespace datablocks::tpch {
+
+using namespace detail;
+namespace li = col::lineitem;
+namespace ord = col::orders;
+namespace cust = col::customer;
+namespace prt = col::part;
+namespace ps = col::partsupp;
+namespace sup = col::supplier;
+namespace nat = col::nation;
+namespace reg = col::region;
+
+// --- Q1: pricing summary report ------------------------------------------
+
+QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt) {
+  struct Agg {
+    int64_t sum_qty = 0;
+    int64_t sum_base = 0;        // cents
+    int64_t sum_disc_price = 0;  // cents * 1e-2  (ext * (100-d))
+    int64_t sum_charge = 0;      // cents * 1e-4  (ext * (100-d) * (100+t))
+    int64_t sum_disc = 0;        // percent units
+    int64_t count = 0;
+  };
+  std::array<Agg, 256 * 256> groups{};
+  const int32_t cutoff = MakeDate(1998, 9, 2);
+
+  ScanLoop(
+      opt.Scan(db.lineitem,
+               {li::quantity, li::extendedprice, li::discount, li::tax,
+                li::returnflag, li::linestatus},
+               {Predicate::Le(li::shipdate, Value::Int(cutoff))}),
+      [&](const Batch& b) {
+        const int32_t* qty = b.cols[0].i32.data();
+        const int64_t* ext = b.cols[1].i64.data();
+        const int32_t* disc = b.cols[2].i32.data();
+        const int32_t* tax = b.cols[3].i32.data();
+        const int32_t* rf = b.cols[4].i32.data();
+        const int32_t* ls = b.cols[5].i32.data();
+        for (uint32_t i = 0; i < b.count; ++i) {
+          Agg& g = groups[size_t(rf[i]) * 256 + size_t(ls[i])];
+          int64_t dp = ext[i] * (100 - disc[i]);
+          g.sum_qty += qty[i];
+          g.sum_base += ext[i];
+          g.sum_disc_price += dp;
+          g.sum_charge += dp * (100 + tax[i]) / 100;
+          g.sum_disc += disc[i];
+          ++g.count;
+        }
+      });
+
+  QueryResult result;
+  for (size_t k = 0; k < groups.size(); ++k) {
+    const Agg& g = groups[k];
+    if (g.count == 0) continue;
+    char row[256];
+    std::snprintf(
+        row, sizeof(row), "%c|%c|%lld|%.2f|%.2f|%.2f|%.2f|%.2f|%.4f|%lld",
+        char(k / 256), char(k % 256), (long long)g.sum_qty,
+        double(g.sum_base) / 100, double(g.sum_disc_price) / 1e4,
+        double(g.sum_charge) / 1e4, double(g.sum_qty) / double(g.count),
+        double(g.sum_base) / 100 / double(g.count),
+        double(g.sum_disc) / 100 / double(g.count), (long long)g.count);
+    result.rows.push_back(row);
+  }
+  return result;  // array iteration order == (returnflag, linestatus) order
+}
+
+// --- Q2: minimum cost supplier --------------------------------------------
+
+QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
+  // Region EUROPE -> nations.
+  int32_t europe = -1;
+  ScanLoop(opt.Scan(db.region, {reg::regionkey},
+                    {Predicate::Eq(reg::name, Value::Str("EUROPE"))}),
+           [&](const Batch& b) { europe = b.cols[0].i32[0]; });
+  std::unordered_map<int32_t, std::string> nation_name;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey, nat::name},
+                    {Predicate::Eq(nat::regionkey, Value::Int(europe))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+           });
+
+  struct SuppInfo {
+    std::string name, address, phone, comment, nation;
+    int64_t acctbal;
+  };
+  std::unordered_map<int32_t, SuppInfo> supp;
+  ScanLoop(opt.Scan(db.supplier,
+                    {sup::suppkey, sup::name, sup::address, sup::nationkey,
+                     sup::phone, sup::acctbal, sup::comment}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto it = nation_name.find(b.cols[3].i32[i]);
+               if (it == nation_name.end()) continue;
+               supp[b.cols[0].i32[i]] =
+                   SuppInfo{std::string(b.cols[1].str[i]),
+                            std::string(b.cols[2].str[i]),
+                            std::string(b.cols[4].str[i]),
+                            std::string(b.cols[6].str[i]), it->second,
+                            b.cols[5].i64[i]};
+             }
+           });
+
+  // partsupp rows of European suppliers + per-part minimum cost.
+  struct PsRow {
+    int32_t partkey, suppkey;
+    int64_t cost;
+  };
+  std::vector<PsRow> ps_rows;
+  std::unordered_map<int32_t, int64_t> min_cost;
+  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::supplycost}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t sk = b.cols[1].i32[i];
+               if (!supp.count(sk)) continue;
+               int32_t pk = b.cols[0].i32[i];
+               int64_t cost = b.cols[2].i64[i];
+               ps_rows.push_back({pk, sk, cost});
+               auto [it, fresh] = min_cost.emplace(pk, cost);
+               if (!fresh) it->second = std::min(it->second, cost);
+             }
+           });
+
+  // Qualifying parts: size = 15, type like '%BRASS'.
+  std::unordered_map<int32_t, std::string> part_mfgr;
+  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::mfgr, prt::type},
+                    {Predicate::Eq(prt::size, Value::Int(15))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!LikeMatch(b.cols[2].str[i], "%BRASS")) continue;
+               part_mfgr[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+             }
+           });
+
+  struct OutRow {
+    int64_t acctbal;
+    std::string s_name, n_name;
+    int32_t partkey;
+    std::string mfgr, address, phone, comment;
+  };
+  std::vector<OutRow> out;
+  for (const PsRow& r : ps_rows) {
+    auto pit = part_mfgr.find(r.partkey);
+    if (pit == part_mfgr.end()) continue;
+    if (r.cost != min_cost[r.partkey]) continue;
+    const SuppInfo& s = supp[r.suppkey];
+    out.push_back({s.acctbal, s.name, s.nation, r.partkey, pit->second,
+                   s.address, s.phone, s.comment});
+  }
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    if (a.acctbal != b.acctbal) return a.acctbal > b.acctbal;
+    if (a.n_name != b.n_name) return a.n_name < b.n_name;
+    if (a.s_name != b.s_name) return a.s_name < b.s_name;
+    return a.partkey < b.partkey;
+  });
+  if (out.size() > 100) out.resize(100);
+
+  QueryResult result;
+  for (const OutRow& r : out) {
+    result.rows.push_back(Money(r.acctbal) + "|" + r.s_name + "|" + r.n_name +
+                          "|" + std::to_string(r.partkey) + "|" + r.mfgr +
+                          "|" + r.address + "|" + r.phone + "|" + r.comment);
+  }
+  return result;
+}
+
+// --- Q3: shipping priority -------------------------------------------------
+
+QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t date = MakeDate(1995, 3, 15);
+
+  std::unordered_set<int32_t> building;
+  ScanLoop(opt.Scan(db.customer, {cust::custkey},
+                    {Predicate::Eq(cust::mktsegment, Value::Str("BUILDING"))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               building.insert(b.cols[0].i32[i]);
+           });
+
+  struct OrdInfo {
+    int32_t orderdate;
+    int32_t shippriority;
+  };
+  std::unordered_map<int64_t, OrdInfo> ord_info;
+  ScanLoop(opt.Scan(db.orders,
+                    {ord::orderkey, ord::custkey, ord::orderdate,
+                     ord::shippriority},
+                    {Predicate::Lt(ord::orderdate, Value::Int(date))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!building.count(b.cols[1].i32[i])) continue;
+               ord_info[b.cols[0].i64[i]] =
+                   OrdInfo{b.cols[2].i32[i], b.cols[3].i32[i]};
+             }
+           });
+
+  std::unordered_map<int64_t, int64_t> revenue;
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::orderkey, li::extendedprice, li::discount},
+                    {Predicate::Gt(li::shipdate, Value::Int(date))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int64_t ok = b.cols[0].i64[i];
+               if (!ord_info.count(ok)) continue;
+               revenue[ok] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+             }
+           });
+
+  struct OutRow {
+    int64_t orderkey, rev;
+    int32_t orderdate, shippriority;
+  };
+  std::vector<OutRow> out;
+  out.reserve(revenue.size());
+  for (auto& [ok, rev] : revenue) {
+    const OrdInfo& oi = ord_info[ok];
+    out.push_back({ok, rev, oi.orderdate, oi.shippriority});
+  }
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    if (a.rev != b.rev) return a.rev > b.rev;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  if (out.size() > 10) out.resize(10);
+
+  QueryResult result;
+  for (const OutRow& r : out) {
+    result.rows.push_back(std::to_string(r.orderkey) + "|" +
+                          F2(double(r.rev) / 1e4) + "|" +
+                          DateToString(r.orderdate) + "|" +
+                          std::to_string(r.shippriority));
+  }
+  return result;
+}
+
+// --- Q4: order priority checking -------------------------------------------
+
+QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1993, 7, 1);
+  const int32_t hi = MakeDate(1993, 10, 1);
+
+  // Orders in the quarter, by priority; existence test against lineitem.
+  std::unordered_map<int64_t, uint32_t> in_quarter;  // orderkey -> prio idx
+  std::vector<std::string> prio_names;
+  std::unordered_map<std::string, uint32_t> prio_idx;
+  ScanLoop(
+      opt.Scan(db.orders, {ord::orderkey, ord::orderpriority},
+               {Predicate::Between(ord::orderdate, Value::Int(lo),
+                                   Value::Int(hi - 1))}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          std::string p(b.cols[1].str[i]);
+          auto [it, fresh] = prio_idx.emplace(p, prio_names.size());
+          if (fresh) prio_names.push_back(p);
+          in_quarter[b.cols[0].i64[i]] = it->second;
+        }
+      });
+
+  std::vector<int64_t> counts(prio_names.size(), 0);
+  std::unordered_set<int64_t> counted;
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::orderkey, li::commitdate, li::receiptdate}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;
+               int64_t ok = b.cols[0].i64[i];
+               auto it = in_quarter.find(ok);
+               if (it == in_quarter.end()) continue;
+               if (counted.insert(ok).second) ++counts[it->second];
+             }
+           });
+
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (size_t i = 0; i < prio_names.size(); ++i)
+    out.emplace_back(prio_names[i], counts[i]);
+  std::sort(out.begin(), out.end());
+  QueryResult result;
+  for (auto& [p, c] : out)
+    result.rows.push_back(p + "|" + std::to_string(c));
+  return result;
+}
+
+// --- Q5: local supplier volume ---------------------------------------------
+
+QueryResult Q5(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1994, 1, 1);
+  const int32_t hi = MakeDate(1995, 1, 1);
+
+  int32_t asia = -1;
+  ScanLoop(opt.Scan(db.region, {reg::regionkey},
+                    {Predicate::Eq(reg::name, Value::Str("ASIA"))}),
+           [&](const Batch& b) { asia = b.cols[0].i32[0]; });
+  std::unordered_map<int32_t, std::string> nation_name;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey, nat::name},
+                    {Predicate::Eq(nat::regionkey, Value::Int(asia))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+           });
+
+  std::unordered_map<int32_t, int32_t> cust_nation;  // asian customers
+  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (nation_name.count(b.cols[1].i32[i]))
+                 cust_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
+           });
+
+  std::unordered_map<int64_t, int32_t> order_nation;
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey},
+                    {Predicate::Between(ord::orderdate, Value::Int(lo),
+                                        Value::Int(hi - 1))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto it = cust_nation.find(b.cols[1].i32[i]);
+               if (it != cust_nation.end())
+                 order_nation[b.cols[0].i64[i]] = it->second;
+             }
+           });
+
+  std::unordered_map<int32_t, int32_t> supp_nation;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (nation_name.count(b.cols[1].i32[i]))
+                 supp_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
+           });
+
+  std::unordered_map<int32_t, int64_t> revenue;  // nationkey -> rev
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::orderkey, li::suppkey, li::extendedprice,
+                     li::discount}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto oit = order_nation.find(b.cols[0].i64[i]);
+               if (oit == order_nation.end()) continue;
+               auto sit = supp_nation.find(b.cols[1].i32[i]);
+               if (sit == supp_nation.end()) continue;
+               if (oit->second != sit->second) continue;
+               revenue[oit->second] +=
+                   b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
+             }
+           });
+
+  std::vector<std::pair<int64_t, std::string>> out;
+  for (auto& [nk, rev] : revenue) out.emplace_back(rev, nation_name[nk]);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  QueryResult result;
+  for (auto& [rev, name] : out)
+    result.rows.push_back(name + "|" + F2(double(rev) / 1e4));
+  return result;
+}
+
+// --- Q6: forecasting revenue change ----------------------------------------
+
+QueryResult Q6(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1994, 1, 1);
+  const int32_t hi = MakeDate(1995, 1, 1);
+
+  int64_t revenue = 0;  // cents * percent
+  ScanLoop(opt.Scan(db.lineitem, {li::extendedprice, li::discount},
+                    {Predicate::Between(li::shipdate, Value::Int(lo),
+                                        Value::Int(hi - 1)),
+                     Predicate::Between(li::discount, Value::Int(5),
+                                        Value::Int(7)),
+                     Predicate::Lt(li::quantity, Value::Int(24))}),
+           [&](const Batch& b) {
+             const int64_t* ext = b.cols[0].i64.data();
+             const int32_t* disc = b.cols[1].i32.data();
+             for (uint32_t i = 0; i < b.count; ++i)
+               revenue += ext[i] * disc[i];
+           });
+
+  QueryResult result;
+  result.rows.push_back(F2(double(revenue) / 1e4));
+  return result;
+}
+
+}  // namespace datablocks::tpch

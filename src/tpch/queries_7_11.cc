@@ -1,0 +1,387 @@
+// TPC-H queries 7-11.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tpch/queries.h"
+#include "util/date.h"
+#include "util/like.h"
+
+namespace datablocks::tpch {
+
+using namespace detail;
+namespace li = col::lineitem;
+namespace ord = col::orders;
+namespace cust = col::customer;
+namespace prt = col::part;
+namespace ps = col::partsupp;
+namespace sup = col::supplier;
+namespace nat = col::nation;
+namespace reg = col::region;
+
+namespace {
+
+/// nationkey -> name for all 25 nations.
+std::unordered_map<int32_t, std::string> AllNations(const TpchDatabase& db,
+                                                    const ScanOptions& opt) {
+  std::unordered_map<int32_t, std::string> names;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey, nat::name}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               names[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+           });
+  return names;
+}
+
+int32_t NationKeyOf(const TpchDatabase& db, const ScanOptions& opt,
+                    const std::string& name) {
+  int32_t key = -1;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey},
+                    {Predicate::Eq(nat::name, Value::Str(name))}),
+           [&](const Batch& b) { key = b.cols[0].i32[0]; });
+  return key;
+}
+
+/// Dense orderkey -> custkey vector (order keys are 4*ordinal).
+std::vector<int32_t> OrderCustVector(const TpchDatabase& db,
+                                     const ScanOptions& opt) {
+  std::vector<int32_t> v(size_t(db.NumOrders()), 0);
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               v[size_t(OrderIdx(b.cols[0].i64[i]))] = b.cols[1].i32[i];
+           });
+  return v;
+}
+
+}  // namespace
+
+// --- Q7: volume shipping -----------------------------------------------------
+
+QueryResult Q7(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t france = NationKeyOf(db, opt, "FRANCE");
+  const int32_t germany = NationKeyOf(db, opt, "GERMANY");
+  const int32_t lo = MakeDate(1995, 1, 1), hi = MakeDate(1996, 12, 31);
+
+  std::unordered_map<int32_t, int32_t> supp_nation;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t nk = b.cols[1].i32[i];
+               if (nk == france || nk == germany)
+                 supp_nation[b.cols[0].i32[i]] = nk;
+             }
+           });
+  std::unordered_map<int32_t, int32_t> cust_nation;
+  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               int32_t nk = b.cols[1].i32[i];
+               if (nk == france || nk == germany)
+                 cust_nation[b.cols[0].i32[i]] = nk;
+             }
+           });
+  std::vector<int32_t> order_cust = OrderCustVector(db, opt);
+
+  // (supp_nation, cust_nation, year) -> volume.
+  std::map<std::tuple<int32_t, int32_t, int32_t>, int64_t> volume;
+  ScanLoop(
+      opt.Scan(db.lineitem,
+               {li::orderkey, li::suppkey, li::extendedprice, li::discount,
+                li::shipdate},
+               {Predicate::Between(li::shipdate, Value::Int(lo),
+                                   Value::Int(hi))}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto sit = supp_nation.find(b.cols[1].i32[i]);
+          if (sit == supp_nation.end()) continue;
+          auto cit = cust_nation.find(
+              order_cust[size_t(OrderIdx(b.cols[0].i64[i]))]);
+          if (cit == cust_nation.end()) continue;
+          if (sit->second == cit->second) continue;
+          volume[{sit->second, cit->second, DateYear(b.cols[4].i32[i])}] +=
+              b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
+        }
+      });
+
+  auto nation_of = [&](int32_t nk) {
+    return nk == france ? std::string("FRANCE") : std::string("GERMANY");
+  };
+  QueryResult result;
+  for (auto& [key, vol] : volume) {
+    auto [sn, cn, year] = key;
+    result.rows.push_back(nation_of(sn) + "|" + nation_of(cn) + "|" +
+                          std::to_string(year) + "|" + F2(double(vol) / 1e4));
+  }
+  std::sort(result.rows.begin(), result.rows.end());
+  return result;
+}
+
+// --- Q8: national market share ----------------------------------------------
+
+QueryResult Q8(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1995, 1, 1), hi = MakeDate(1996, 12, 31);
+  const int32_t brazil = NationKeyOf(db, opt, "BRAZIL");
+
+  int32_t america = -1;
+  ScanLoop(opt.Scan(db.region, {reg::regionkey},
+                    {Predicate::Eq(reg::name, Value::Str("AMERICA"))}),
+           [&](const Batch& b) { america = b.cols[0].i32[0]; });
+  std::unordered_set<int32_t> american_nations;
+  ScanLoop(opt.Scan(db.nation, {nat::nationkey},
+                    {Predicate::Eq(nat::regionkey, Value::Int(america))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               american_nations.insert(b.cols[0].i32[i]);
+           });
+
+  std::unordered_set<int32_t> parts;
+  ScanLoop(opt.Scan(db.part, {prt::partkey},
+                    {Predicate::Eq(prt::type,
+                                   Value::Str("ECONOMY ANODIZED STEEL"))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               parts.insert(b.cols[0].i32[i]);
+           });
+
+  std::unordered_set<int32_t> american_custs;
+  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (american_nations.count(b.cols[1].i32[i]))
+                 american_custs.insert(b.cols[0].i32[i]);
+           });
+
+  std::unordered_map<int64_t, int32_t> order_year;
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey, ord::orderdate},
+                    {Predicate::Between(ord::orderdate, Value::Int(lo),
+                                        Value::Int(hi))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               if (american_custs.count(b.cols[1].i32[i]))
+                 order_year[b.cols[0].i64[i]] = DateYear(b.cols[2].i32[i]);
+           });
+
+  std::unordered_map<int32_t, bool> supp_is_brazil;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               supp_is_brazil[b.cols[0].i32[i]] =
+                   b.cols[1].i32[i] == brazil;
+           });
+
+  std::map<int32_t, std::pair<double, double>> share;  // year -> (brazil, all)
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::orderkey, li::partkey, li::suppkey,
+                     li::extendedprice, li::discount}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!parts.count(b.cols[1].i32[i])) continue;
+               auto oit = order_year.find(b.cols[0].i64[i]);
+               if (oit == order_year.end()) continue;
+               double vol =
+                   double(b.cols[3].i64[i]) * (100 - b.cols[4].i32[i]) / 1e4;
+               auto& s = share[oit->second];
+               s.second += vol;
+               if (supp_is_brazil[b.cols[2].i32[i]]) s.first += vol;
+             }
+           });
+
+  QueryResult result;
+  for (auto& [year, s] : share) {
+    double mkt = s.second == 0 ? 0 : s.first / s.second;
+    char row[64];
+    std::snprintf(row, sizeof(row), "%d|%.4f", year, mkt);
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+// --- Q9: product type profit measure -----------------------------------------
+
+QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
+  auto nations = AllNations(db, opt);
+
+  std::unordered_set<int32_t> green_parts;
+  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::name}), [&](const Batch& b) {
+    for (uint32_t i = 0; i < b.count; ++i)
+      if (b.cols[1].str[i].find("green") != std::string_view::npos)
+        green_parts.insert(b.cols[0].i32[i]);
+  });
+
+  std::unordered_map<int32_t, int32_t> supp_nation;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               supp_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
+           });
+
+  // (partkey, suppkey) -> supplycost, keys encoded densely.
+  const int64_t supp_span = db.NumSuppliers() + 1;
+  std::unordered_map<int64_t, int64_t> ps_cost;
+  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::supplycost}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!green_parts.count(b.cols[0].i32[i])) continue;
+               ps_cost[int64_t(b.cols[0].i32[i]) * supp_span +
+                       b.cols[1].i32[i]] = b.cols[2].i64[i];
+             }
+           });
+
+  // orderkey -> year.
+  std::vector<int32_t> order_year(size_t(db.NumOrders()), 0);
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::orderdate}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               order_year[size_t(OrderIdx(b.cols[0].i64[i]))] =
+                   DateYear(b.cols[1].i32[i]);
+           });
+
+  std::map<std::pair<std::string, int32_t>, double> profit;
+  ScanLoop(
+      opt.Scan(db.lineitem, {li::orderkey, li::partkey, li::suppkey,
+                             li::quantity, li::extendedprice, li::discount}),
+      [&](const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t pk = b.cols[1].i32[i];
+          if (!green_parts.count(pk)) continue;
+          int32_t sk = b.cols[2].i32[i];
+          int64_t cost = ps_cost[int64_t(pk) * supp_span + sk];
+          double amount =
+              double(b.cols[4].i64[i]) * (100 - b.cols[5].i32[i]) / 1e4 -
+              double(cost) * b.cols[3].i32[i] / 100.0;
+          int32_t year = order_year[size_t(OrderIdx(b.cols[0].i64[i]))];
+          profit[{nations[supp_nation[sk]], year}] += amount;
+        }
+      });
+
+  QueryResult result;
+  for (auto it = profit.begin(); it != profit.end(); ++it) {
+    // order by nation asc, year desc: collect per nation then reverse years.
+    result.rows.push_back(it->first.first + "|" +
+                          std::to_string(it->first.second) + "|" +
+                          F2(it->second));
+  }
+  // std::map ordering gives (nation asc, year asc); flip year order.
+  std::stable_sort(result.rows.begin(), result.rows.end(),
+                   [](const std::string& a, const std::string& b) {
+                     auto na = a.substr(0, a.find('|'));
+                     auto nb = b.substr(0, b.find('|'));
+                     if (na != nb) return na < nb;
+                     return a.substr(a.find('|')) > b.substr(b.find('|'));
+                   });
+  return result;
+}
+
+// --- Q10: returned item reporting --------------------------------------------
+
+QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t lo = MakeDate(1993, 10, 1), hi = MakeDate(1994, 1, 1);
+  auto nations = AllNations(db, opt);
+
+  std::unordered_map<int64_t, int32_t> order_cust;
+  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey},
+                    {Predicate::Between(ord::orderdate, Value::Int(lo),
+                                        Value::Int(hi - 1))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               order_cust[b.cols[0].i64[i]] = b.cols[1].i32[i];
+           });
+
+  std::unordered_map<int32_t, int64_t> revenue;
+  ScanLoop(opt.Scan(db.lineitem,
+                    {li::orderkey, li::extendedprice, li::discount},
+                    {Predicate::Eq(li::returnflag, Value::Int('R'))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto it = order_cust.find(b.cols[0].i64[i]);
+               if (it == order_cust.end()) continue;
+               revenue[it->second] +=
+                   b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+             }
+           });
+
+  struct OutRow {
+    int32_t custkey;
+    int64_t rev;
+    std::string name, address, phone, comment, nation;
+    int64_t acctbal;
+  };
+  std::vector<OutRow> out;
+  ScanLoop(opt.Scan(db.customer,
+                    {cust::custkey, cust::name, cust::acctbal, cust::phone,
+                     cust::nationkey, cust::address, cust::comment}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               auto it = revenue.find(b.cols[0].i32[i]);
+               if (it == revenue.end()) continue;
+               out.push_back({b.cols[0].i32[i], it->second,
+                              std::string(b.cols[1].str[i]),
+                              std::string(b.cols[5].str[i]),
+                              std::string(b.cols[3].str[i]),
+                              std::string(b.cols[6].str[i]),
+                              nations[b.cols[4].i32[i]], b.cols[2].i64[i]});
+             }
+           });
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    return a.rev != b.rev ? a.rev > b.rev : a.custkey < b.custkey;
+  });
+  if (out.size() > 20) out.resize(20);
+
+  QueryResult result;
+  for (const OutRow& r : out) {
+    result.rows.push_back(std::to_string(r.custkey) + "|" + r.name + "|" +
+                          F2(double(r.rev) / 1e4) + "|" + Money(r.acctbal) +
+                          "|" + r.nation + "|" + r.address + "|" + r.phone +
+                          "|" + r.comment);
+  }
+  return result;
+}
+
+// --- Q11: important stock identification --------------------------------------
+
+QueryResult Q11(const TpchDatabase& db, const ScanOptions& opt) {
+  const int32_t germany = NationKeyOf(db, opt, "GERMANY");
+
+  std::unordered_set<int32_t> german_supp;
+  ScanLoop(opt.Scan(db.supplier, {sup::suppkey},
+                    {Predicate::Eq(sup::nationkey, Value::Int(germany))}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i)
+               german_supp.insert(b.cols[0].i32[i]);
+           });
+
+  std::unordered_map<int32_t, int64_t> value;  // partkey -> cost*qty (cents)
+  int64_t total = 0;
+  ScanLoop(opt.Scan(db.partsupp,
+                    {ps::partkey, ps::suppkey, ps::availqty, ps::supplycost}),
+           [&](const Batch& b) {
+             for (uint32_t i = 0; i < b.count; ++i) {
+               if (!german_supp.count(b.cols[1].i32[i])) continue;
+               int64_t v = b.cols[3].i64[i] * b.cols[2].i32[i];
+               value[b.cols[0].i32[i]] += v;
+               total += v;
+             }
+           });
+
+  const double threshold = double(total) * 0.0001 / db.config.scale_factor;
+  struct OutRow {
+    int32_t partkey;
+    int64_t value;
+  };
+  std::vector<OutRow> out;
+  for (auto& [pk, v] : value)
+    if (double(v) > threshold) out.push_back({pk, v});
+  std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
+    return a.value != b.value ? a.value > b.value : a.partkey < b.partkey;
+  });
+
+  QueryResult result;
+  for (const OutRow& r : out)
+    result.rows.push_back(std::to_string(r.partkey) + "|" + Money(r.value));
+  return result;
+}
+
+}  // namespace datablocks::tpch

@@ -1,0 +1,36 @@
+#include "tpch/queries.h"
+#include "util/macros.h"
+
+namespace datablocks::tpch {
+
+QueryResult RunQuery(int q, const TpchDatabase& db, const ScanOptions& opt) {
+  switch (q) {
+    case 1: return Q1(db, opt);
+    case 2: return Q2(db, opt);
+    case 3: return Q3(db, opt);
+    case 4: return Q4(db, opt);
+    case 5: return Q5(db, opt);
+    case 6: return Q6(db, opt);
+    case 7: return Q7(db, opt);
+    case 8: return Q8(db, opt);
+    case 9: return Q9(db, opt);
+    case 10: return Q10(db, opt);
+    case 11: return Q11(db, opt);
+    case 12: return Q12(db, opt);
+    case 13: return Q13(db, opt);
+    case 14: return Q14(db, opt);
+    case 15: return Q15(db, opt);
+    case 16: return Q16(db, opt);
+    case 17: return Q17(db, opt);
+    case 18: return Q18(db, opt);
+    case 19: return Q19(db, opt);
+    case 20: return Q20(db, opt);
+    case 21: return Q21(db, opt);
+    case 22: return Q22(db, opt);
+    default:
+      DB_CHECK(false && "TPC-H query number out of range");
+      return {};
+  }
+}
+
+}  // namespace datablocks::tpch

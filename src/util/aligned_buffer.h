@@ -1,0 +1,73 @@
+#ifndef DATABLOCKS_UTIL_ALIGNED_BUFFER_H_
+#define DATABLOCKS_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+/// All scannable data areas are padded by this many bytes so that SIMD loads
+/// and 32-bit gathers starting at the last valid element never touch
+/// unmapped memory.
+inline constexpr uint64_t kScanPadding = 32;
+
+/// A 64-byte-aligned, move-only byte buffer with scan padding.
+///
+/// Used as backing storage for Data Blocks and uncompressed column chunks.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(uint64_t size) { Allocate(size); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Allocates `size` usable bytes (plus internal padding), zero-initialized.
+  void Allocate(uint64_t size) {
+    Free();
+    uint64_t total = ((size + kScanPadding + 63) / 64) * 64;
+    data_ = static_cast<uint8_t*>(std::aligned_alloc(64, total));
+    DB_CHECK(data_ != nullptr);
+    std::memset(data_, 0, total);
+    size_ = size;
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Free() {
+    if (data_ != nullptr) std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,52 @@
+#ifndef DATABLOCKS_UTIL_BITS_H_
+#define DATABLOCKS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace datablocks {
+
+/// Number of bytes needed to represent `v` (at least 1).
+inline uint32_t BytesNeeded(uint64_t v) {
+  if (v == 0) return 1;
+  uint32_t bits = 64 - std::countl_zero(v);
+  return (bits + 7) / 8;
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+inline uint32_t BitsNeeded(uint64_t v) {
+  if (v == 0) return 1;
+  return 64 - std::countl_zero(v);
+}
+
+/// Rounds `v` up to the next multiple of `align` (power of two).
+inline uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Index of the most significant non-zero byte (0-based). Undefined for 0.
+inline uint32_t MsbByteIndex(uint64_t v) {
+  return (63 - std::countl_zero(v)) >> 3;
+}
+
+/// Sets bit `i` in a word-addressed bitmap.
+inline void BitmapSet(uint64_t* bitmap, uint64_t i) {
+  bitmap[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+/// Clears bit `i` in a word-addressed bitmap.
+inline void BitmapClear(uint64_t* bitmap, uint64_t i) {
+  bitmap[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+/// Tests bit `i` in a word-addressed bitmap.
+inline bool BitmapTest(const uint64_t* bitmap, uint64_t i) {
+  return (bitmap[i >> 6] >> (i & 63)) & 1;
+}
+
+/// Number of 64-bit words required for a bitmap of `n` bits.
+inline uint64_t BitmapWords(uint64_t n) { return (n + 63) / 64; }
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_BITS_H_

@@ -1,0 +1,60 @@
+#ifndef DATABLOCKS_UTIL_DATE_H_
+#define DATABLOCKS_UTIL_DATE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace datablocks {
+
+/// Calendar helpers. Dates are stored as int32 days since 1970-01-01
+/// (proleptic Gregorian), which keeps them truncation-compressible and
+/// SARGable as plain integers.
+
+/// Civil date -> days since 1970-01-01 (Howard Hinnant's algorithm).
+constexpr int32_t MakeDate(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+struct CivilDate {
+  int year;
+  int month;
+  int day;
+};
+
+/// Days since epoch -> civil date.
+constexpr CivilDate ToCivil(int32_t z) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return {y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+constexpr int DateYear(int32_t days) { return ToCivil(days).year; }
+constexpr int DateMonth(int32_t days) { return ToCivil(days).month; }
+
+inline std::string DateToString(int32_t days) {
+  CivilDate c = ToCivil(days);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+/// First day of `year`.
+constexpr int32_t YearStart(int year) { return MakeDate(year, 1, 1); }
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_DATE_H_

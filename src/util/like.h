@@ -1,0 +1,49 @@
+#ifndef DATABLOCKS_UTIL_LIKE_H_
+#define DATABLOCKS_UTIL_LIKE_H_
+
+#include <string_view>
+
+namespace datablocks {
+
+/// Minimal SQL LIKE matcher supporting '%' wildcards (no '_'), which covers
+/// every pattern in TPC-H. Non-SARGable: evaluated in the query pipeline on
+/// unpacked strings, never pushed into scans.
+inline bool LikeMatch(std::string_view s, std::string_view pattern) {
+  // Split the pattern into literal segments separated by '%'.
+  size_t sp = 0;
+  bool anchored_start = true;
+  size_t pos = 0;
+  while (sp < pattern.size()) {
+    size_t next = pattern.find('%', sp);
+    if (next == std::string_view::npos) next = pattern.size();
+    std::string_view seg = pattern.substr(sp, next - sp);
+    bool at_end = next == pattern.size();
+    if (!seg.empty()) {
+      if (anchored_start) {
+        if (s.substr(pos).substr(0, seg.size()) != seg) return false;
+        pos += seg.size();
+      } else if (at_end) {
+        // Last segment without trailing '%': must match the suffix.
+        if (s.size() - pos < seg.size()) return false;
+        if (s.substr(s.size() - seg.size()) != seg) return false;
+        pos = s.size();
+      } else {
+        size_t found = s.find(seg, pos);
+        if (found == std::string_view::npos) return false;
+        pos = found + seg.size();
+      }
+    }
+    if (at_end) {
+      // Pattern ended without '%': everything must be consumed.
+      return pos == s.size();
+    }
+    anchored_start = false;
+    sp = next + 1;
+  }
+  // Pattern ends with '%': any suffix matches.
+  return true;
+}
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_LIKE_H_

@@ -1,0 +1,25 @@
+#ifndef DATABLOCKS_UTIL_MACROS_H_
+#define DATABLOCKS_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check. Active in all build types: the library is a
+/// research artifact and silent corruption is worse than an abort.
+#define DB_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DB_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define DB_DCHECK(cond) ((void)0)
+#else
+#define DB_DCHECK(cond) DB_CHECK(cond)
+#endif
+
+#endif  // DATABLOCKS_UTIL_MACROS_H_

@@ -1,0 +1,52 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace datablocks {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n == 0) return 0;
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = Zeta(n, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    double zeta2 = Zeta(2, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+  double u = NextDouble();
+  double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(n) * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return v >= n ? n - 1 : v;
+}
+
+std::string Rng::RandomString(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string s(static_cast<size_t>(len), ' ');
+  for (int i = 0; i < len; ++i)
+    s[static_cast<size_t>(i)] = static_cast<char>('a' + Uniform(0, 25));
+  return s;
+}
+
+std::string Rng::RandomWords(const std::vector<std::string>& vocab, int n) {
+  std::string s;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) s += ' ';
+    s += vocab[static_cast<size_t>(Uniform(0, int64_t(vocab.size()) - 1))];
+  }
+  return s;
+}
+
+}  // namespace datablocks

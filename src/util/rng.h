@@ -1,0 +1,67 @@
+#ifndef DATABLOCKS_UTIL_RNG_H_
+#define DATABLOCKS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datablocks {
+
+/// Fast xorshift128+ pseudo random number generator.
+///
+/// Deterministic for a given seed, which the data generators rely on to make
+/// experiments reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ULL;
+    s1_ = seed * 0xbf58476d1ce4e5b9ULL + 1;
+    // Warm up to decouple close seeds.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (lo >= hi) return lo;
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// TPC-C NURand non-uniform random (see TPC-C spec clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c_) % (y - x + 1)) + x;
+  }
+
+  /// Zipf-distributed value in [0, n) with skew `theta` in (0, 1).
+  /// Uses the Gray et al. quick approximation.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string RandomString(int min_len, int max_len);
+
+  /// Random sentence of `n` words drawn from `vocab`, space separated.
+  std::string RandomWords(const std::vector<std::string>& vocab, int n);
+
+ private:
+  uint64_t s0_, s1_;
+  int64_t c_ = 42;  // NURand constant.
+  // Zipf state (memoized for repeated calls with the same (n, theta)).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = 0, zipf_zetan_ = 0, zipf_alpha_ = 0, zipf_eta_ = 0;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_RNG_H_

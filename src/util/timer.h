@@ -1,0 +1,44 @@
+#ifndef DATABLOCKS_UTIL_TIMER_H_
+#define DATABLOCKS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace datablocks {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Reads the CPU timestamp counter; used to report cycles/tuple like the
+/// paper's microbenchmarks (Figures 9 and 12).
+inline uint64_t ReadTsc() {
+#if defined(__x86_64__)
+  uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (uint64_t(hi) << 32) | lo;
+#else
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+#endif
+}
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_TIMER_H_

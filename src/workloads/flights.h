@@ -1,0 +1,49 @@
+#ifndef DATABLOCKS_WORKLOADS_FLIGHTS_H_
+#define DATABLOCKS_WORKLOADS_FLIGHTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/table_scanner.h"
+#include "storage/table.h"
+
+namespace datablocks::workloads {
+
+/// Synthetic stand-in for the ASA "flight arrival and departure details"
+/// data set (Oct 1987 - Apr 2008) used in the paper's Section 5.1/5.2 and
+/// Appendix D. Rows are generated in date order — the natural ordering that
+/// makes SMA block-skipping effective — with realistic carrier/airport
+/// dictionary sizes and delay distributions.
+struct FlightsConfig {
+  uint64_t num_rows = 2'000'000;
+  int year_from = 1987;
+  int year_to = 2008;
+  uint32_t chunk_capacity = 1u << 16;
+  uint64_t seed = 1987;
+};
+
+namespace flights_col {
+enum : uint32_t {
+  year, month, dayofmonth, dayofweek, flightdate, deptime, arrtime,
+  uniquecarrier, flightnum, arrdelay, depdelay, origin, dest, distance,
+  cancelled
+};
+}  // namespace flights_col
+
+std::unique_ptr<Table> MakeFlights(const FlightsConfig& config);
+
+/// Appendix D query: carriers and their average arrival delay into SFO for
+/// 1998-2008, ordered by average delay descending.
+struct CarrierDelay {
+  std::string carrier;
+  double avg_delay;
+  int64_t count;
+};
+std::vector<CarrierDelay> RunFlightsQuery(const Table& flights, ScanMode mode,
+                                          uint32_t vector_size = 8192,
+                                          Isa isa = BestIsa());
+
+}  // namespace datablocks::workloads
+
+#endif  // DATABLOCKS_WORKLOADS_FLIGHTS_H_

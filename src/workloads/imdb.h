@@ -1,0 +1,31 @@
+#ifndef DATABLOCKS_WORKLOADS_IMDB_H_
+#define DATABLOCKS_WORKLOADS_IMDB_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace datablocks::workloads {
+
+/// Synthetic stand-in for the IMDB `cast_info` relation (the largest IMDB
+/// table, used for the paper's compression experiments, Section 5.1). Shapes
+/// matched: monotone id, skewed person/movie ids, a small role domain,
+/// sparse NULL-heavy note/order columns.
+struct ImdbConfig {
+  uint64_t num_rows = 1'000'000;
+  uint64_t num_persons = 400'000;
+  uint64_t num_movies = 250'000;
+  uint32_t chunk_capacity = 1u << 16;
+  uint64_t seed = 1894;
+};
+
+namespace cast_info_col {
+enum : uint32_t { id, person_id, movie_id, person_role_id, note, nr_order,
+                  role_id };
+}  // namespace cast_info_col
+
+std::unique_ptr<Table> MakeCastInfo(const ImdbConfig& config);
+
+}  // namespace datablocks::workloads
+
+#endif  // DATABLOCKS_WORKLOADS_IMDB_H_

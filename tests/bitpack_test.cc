@@ -1,0 +1,120 @@
+// Horizontal bit-packing baseline (Section 5.4): pack/unpack identity,
+// positional access, and scan correctness for both mask-conversion
+// strategies.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitpack/bitpacked_column.h"
+#include "util/bits.h"
+
+namespace datablocks {
+namespace {
+
+class BitWidths : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitWidths, PackGetRoundTrip) {
+  const uint32_t bits = GetParam();
+  std::mt19937_64 rng(bits);
+  const uint32_t n = 10000;
+  const uint32_t mask = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = uint32_t(rng()) & mask;
+  BitPackedColumn col = BitPackedColumn::Pack(values.data(), n, bits);
+  EXPECT_EQ(col.size(), n);
+  EXPECT_EQ(col.bits(), bits);
+  for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(col.Get(i), values[i]) << i;
+}
+
+TEST_P(BitWidths, UnpackAllRoundTrip) {
+  const uint32_t bits = GetParam();
+  std::mt19937_64 rng(bits * 31);
+  const uint32_t n = 7777;
+  const uint32_t mask = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = uint32_t(rng()) & mask;
+  BitPackedColumn col = BitPackedColumn::Pack(values.data(), n, bits);
+  std::vector<uint32_t> out(n);
+  col.UnpackAll(out.data());
+  EXPECT_EQ(out, values);
+}
+
+TEST_P(BitWidths, ScanMatchesReference) {
+  const uint32_t bits = GetParam();
+  std::mt19937_64 rng(bits * 101);
+  const uint32_t n = 20000;
+  const uint32_t mask = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = uint32_t(rng()) & mask;
+  BitPackedColumn col = BitPackedColumn::Pack(values.data(), n, bits);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    uint32_t lo = uint32_t(rng()) & mask;
+    uint32_t hi = uint32_t(rng()) & mask;
+    if (lo > hi) std::swap(lo, hi);
+
+    std::vector<uint32_t> expect;
+    for (uint32_t i = 0; i < n; ++i)
+      if (values[i] >= lo && values[i] <= hi) expect.push_back(i);
+
+    // Bitmap scan.
+    std::vector<uint64_t> bitmap(BitmapWords(n), 0);
+    col.ScanBetween(lo, hi, bitmap.data());
+    std::vector<uint32_t> from_bitmap;
+    for (uint32_t i = 0; i < n; ++i)
+      if (BitmapTest(bitmap.data(), i)) from_bitmap.push_back(i);
+    EXPECT_EQ(from_bitmap, expect);
+
+    // Position scans: bit-iteration and positions-table variants.
+    std::vector<uint32_t> pos(n + 8);
+    uint32_t cnt = col.ScanBetweenPositions(lo, hi, pos.data(), false);
+    ASSERT_EQ(cnt, expect.size());
+    for (uint32_t i = 0; i < cnt; ++i) EXPECT_EQ(pos[i], expect[i]);
+    cnt = col.ScanBetweenPositions(lo, hi, pos.data(), true);
+    ASSERT_EQ(cnt, expect.size());
+    for (uint32_t i = 0; i < cnt; ++i) EXPECT_EQ(pos[i], expect[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidths,
+                         ::testing::Values(1, 3, 7, 8, 9, 12, 16, 17, 21, 25,
+                                           27, 32));
+
+TEST(BitPack, PaperExperimentWidths) {
+  // The Figure 12 experiment uses 9- and 17-bit domains: byte-aligned
+  // formats are forced to 2 and 4 bytes, bit-packing stays sub-byte-exact,
+  // so its compressed size is roughly half.
+  const uint32_t n = 1u << 16;
+  std::mt19937_64 rng(5);
+  std::vector<uint32_t> v9(n), v17(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    v9[i] = uint32_t(rng()) & ((1u << 9) - 1);
+    v17[i] = uint32_t(rng()) & ((1u << 17) - 1);
+  }
+  BitPackedColumn c9 = BitPackedColumn::Pack(v9.data(), n, 9);
+  BitPackedColumn c17 = BitPackedColumn::Pack(v17.data(), n, 17);
+  EXPECT_LT(double(c9.bytes()), n * 2 * 0.6);
+  EXPECT_LT(double(c17.bytes()), n * 4 * 0.6);
+}
+
+TEST(BitPack, ZeroAndMaxValues) {
+  std::vector<uint32_t> values = {0, 511, 0, 511, 255};
+  BitPackedColumn col = BitPackedColumn::Pack(values.data(), 5, 9);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(col.Get(i), values[i]);
+  std::vector<uint32_t> pos(16);
+  EXPECT_EQ(col.ScanBetweenPositions(511, 511, pos.data(), true), 2u);
+  EXPECT_EQ(pos[0], 1u);
+  EXPECT_EQ(pos[1], 3u);
+}
+
+TEST(BitPack, SingleElement) {
+  uint32_t v = 97;
+  BitPackedColumn col = BitPackedColumn::Pack(&v, 1, 7);
+  EXPECT_EQ(col.Get(0), 97u);
+  std::vector<uint32_t> pos(16);
+  EXPECT_EQ(col.ScanBetweenPositions(0, 127, pos.data(), false), 1u);
+}
+
+}  // namespace
+}  // namespace datablocks

@@ -1,0 +1,315 @@
+// Block scan logic: predicate translation into the compressed domain, SMA
+// skipping, dictionary-miss pruning, PSMA narrowing soundness, and
+// find-matches vs. brute force on randomized blocks.
+
+#include <gtest/gtest.h>
+
+#include "datablock/block_scan.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace datablocks {
+namespace {
+
+DataBlock MakeIntBlock(const std::vector<int64_t>& values, TypeId type,
+                       Schema* schema) {
+  *schema = Schema({{"c", type}});
+  Chunk chunk(schema, uint32_t(values.size()));
+  for (int64_t v : values) {
+    std::vector<Value> row = {Value::Int(v)};
+    chunk.Append(row);
+  }
+  return DataBlock::Build(chunk);
+}
+
+TEST(Translate, SmaSkipsOutOfRangeBlocks) {
+  Schema schema;
+  DataBlock block = MakeIntBlock({100, 200, 300}, TypeId::kInt64, &schema);
+  auto prep = PrepareBlockScan(block, {Predicate::Gt(0, Value::Int(500))},
+                               false);
+  EXPECT_TRUE(prep.skip);
+  prep = PrepareBlockScan(block, {Predicate::Lt(0, Value::Int(100))}, false);
+  EXPECT_TRUE(prep.skip);
+  prep = PrepareBlockScan(block, {Predicate::Eq(0, Value::Int(150))}, false);
+  EXPECT_FALSE(prep.skip);  // inside [min,max]; kernel must run
+}
+
+TEST(Translate, ImpliedPredicateBecomesMatchAll) {
+  Schema schema;
+  DataBlock block = MakeIntBlock({100, 200, 300}, TypeId::kInt64, &schema);
+  auto prep = PrepareBlockScan(block, {Predicate::Ge(0, Value::Int(50))},
+                               false);
+  EXPECT_FALSE(prep.skip);
+  EXPECT_TRUE(prep.MatchAll());
+}
+
+TEST(Translate, DictionaryMissSkipsBlock) {
+  Schema schema;
+  // Dictionary-compressed column without the probed value inside [min,max].
+  std::vector<int64_t> v;
+  for (int i = 0; i < 300; ++i)
+    v.push_back(i % 2 ? 0 : 1000000000000ll);
+  DataBlock block = MakeIntBlock(v, TypeId::kInt64, &schema);
+  ASSERT_EQ(block.compression(0), Compression::kDictionary);
+  auto prep =
+      PrepareBlockScan(block, {Predicate::Eq(0, Value::Int(500))}, false);
+  EXPECT_TRUE(prep.skip);  // binary search miss (Section 3.4)
+}
+
+TEST(Translate, StringDictionaryMiss) {
+  Schema schema({{"s", TypeId::kString}});
+  Chunk chunk(&schema, 10);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Value> row = {Value::Str(i % 2 ? "alpha" : "omega")};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  auto prep = PrepareBlockScan(
+      block, {Predicate::Eq(0, Value::Str("beta"))}, false);
+  EXPECT_TRUE(prep.skip);
+  prep = PrepareBlockScan(block, {Predicate::Eq(0, Value::Str("alpha"))},
+                          false);
+  EXPECT_FALSE(prep.skip);
+}
+
+TEST(Translate, SingleValueEvaluatesToAllOrNone) {
+  Schema schema;
+  DataBlock block =
+      MakeIntBlock(std::vector<int64_t>(50, 7), TypeId::kInt64, &schema);
+  ASSERT_EQ(block.compression(0), Compression::kSingleValue);
+  auto all = PrepareBlockScan(block, {Predicate::Eq(0, Value::Int(7))}, false);
+  EXPECT_TRUE(all.MatchAll());
+  auto none =
+      PrepareBlockScan(block, {Predicate::Eq(0, Value::Int(8))}, false);
+  EXPECT_TRUE(none.skip);
+}
+
+TEST(Translate, PsmaNarrowsSortedBlock) {
+  Schema schema;
+  std::vector<int64_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(i / 10);  // sorted, clustered
+  DataBlock block = MakeIntBlock(v, TypeId::kInt64, &schema);
+  auto with = PrepareBlockScan(
+      block, {Predicate::Between(0, Value::Int(500), Value::Int(502))}, true);
+  auto without = PrepareBlockScan(
+      block, {Predicate::Between(0, Value::Int(500), Value::Int(502))},
+      false);
+  EXPECT_EQ(without.range_end - without.range_begin, 10000u);
+  // Deltas 500..502 are 2-byte values, so they share a PSMA slot with all
+  // deltas having the same most significant byte (256..511): the narrowed
+  // range is the rows holding values 256..511 — 2560 rows, a 4x cut.
+  EXPECT_EQ(with.range_begin, 2560u);
+  EXPECT_EQ(with.range_end, 5120u);
+
+  // Deltas below 256 map to exact slots: a probe there narrows to exactly
+  // the matching rows.
+  auto exact = PrepareBlockScan(
+      block, {Predicate::Between(0, Value::Int(100), Value::Int(101))}, true);
+  EXPECT_EQ(exact.range_begin, 1000u);
+  EXPECT_EQ(exact.range_end, 1020u);
+}
+
+// Randomized: FindMatchesInBlock must equal a brute-force evaluation for all
+// op/type/compression combinations.
+class BlockScanRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockScanRandom, MatchesBruteForce) {
+  const int seed = GetParam();
+  Rng rng(uint64_t(seed) * 1337 + 11);
+  Schema schema({{"a", TypeId::kInt64},
+                 {"b", TypeId::kInt32},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDouble}});
+  const uint32_t n = 2000;
+  Chunk chunk(&schema, n);
+  std::vector<int64_t> a(n), b(n);
+  std::vector<std::string> s(n);
+  std::vector<double> d(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-500, 500) * (seed % 2 ? 1000000000ll : 1);
+    b[i] = rng.Uniform(0, 50);
+    s[i] = std::string("k") + std::to_string(rng.Uniform(0, 20));
+    d[i] = rng.NextDouble() * 100;
+    std::vector<Value> row = {Value::Int(a[i]), Value::Int(b[i]),
+                              Value::Str(s[i]), Value::Double(d[i])};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+
+  struct Case {
+    std::vector<Predicate> preds;
+    std::function<bool(uint32_t)> ref;
+  };
+  int64_t alo = rng.Uniform(-400, 0) * (seed % 2 ? 1000000000ll : 1);
+  int64_t ahi = rng.Uniform(0, 400) * (seed % 2 ? 1000000000ll : 1);
+  std::vector<Case> cases;
+  cases.push_back({{Predicate::Between(0, Value::Int(alo), Value::Int(ahi))},
+                   [&](uint32_t i) { return a[i] >= alo && a[i] <= ahi; }});
+  cases.push_back({{Predicate::Le(1, Value::Int(25))},
+                   [&](uint32_t i) { return b[i] <= 25; }});
+  cases.push_back({{Predicate::Ne(1, Value::Int(7))},
+                   [&](uint32_t i) { return b[i] != 7; }});
+  cases.push_back({{Predicate::Eq(2, Value::Str("k5"))},
+                   [&](uint32_t i) { return s[i] == "k5"; }});
+  cases.push_back(
+      {{Predicate::Between(2, Value::Str("k2"), Value::Str("k5"))},
+       [&](uint32_t i) { return s[i] >= "k2" && s[i] <= "k5"; }});
+  cases.push_back({{Predicate::Gt(3, Value::Double(40.0))},
+                   [&](uint32_t i) { return d[i] > 40.0; }});
+  cases.push_back(
+      {{Predicate::Between(0, Value::Int(alo), Value::Int(ahi)),
+        Predicate::Le(1, Value::Int(30)), Predicate::Gt(3, Value::Double(20))},
+       [&](uint32_t i) {
+         return a[i] >= alo && a[i] <= ahi && b[i] <= 30 && d[i] > 20;
+       }});
+
+  for (const Case& c : cases) {
+    for (bool use_psma : {false, true}) {
+      auto prep = PrepareBlockScan(block, c.preds, use_psma);
+      std::vector<uint32_t> got;
+      if (!prep.skip) {
+        std::vector<uint32_t> buf(n + 8);
+        uint32_t cnt =
+            FindMatchesInBlock(block, prep, prep.range_begin, prep.range_end,
+                               BestIsa(), buf.data());
+        got.assign(buf.begin(), buf.begin() + cnt);
+      }
+      std::vector<uint32_t> expect;
+      for (uint32_t i = 0; i < n; ++i)
+        if (c.ref(i)) expect.push_back(i);
+      ASSERT_EQ(got, expect) << "psma=" << use_psma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockScanRandom, ::testing::Range(0, 8));
+
+TEST(BlockScan, NullsExcludedFromValuePredicates) {
+  Schema schema({{"x", TypeId::kInt64, true}});
+  Chunk chunk(&schema, 100);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Value> row = {i % 4 == 0 ? Value::Null()
+                                         : Value::Int(i % 10)};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  // NULL payload is code 0 == value min; predicate >= min must not match
+  // NULL rows.
+  auto prep =
+      PrepareBlockScan(block, {Predicate::Ge(0, Value::Int(0))}, false);
+  ASSERT_FALSE(prep.skip);
+  std::vector<uint32_t> buf(108);
+  uint32_t cnt = FindMatchesInBlock(block, prep, 0, 100, BestIsa(),
+                                    buf.data());
+  EXPECT_EQ(cnt, 75u);
+  for (uint32_t j = 0; j < cnt; ++j) EXPECT_NE(buf[j] % 4, 0u);
+}
+
+TEST(BlockScan, IsNullAndIsNotNull) {
+  Schema schema({{"x", TypeId::kInt64, true}});
+  Chunk chunk(&schema, 60);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<Value> row = {i % 3 == 0 ? Value::Null() : Value::Int(i)};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  std::vector<uint32_t> buf(68);
+  auto prep = PrepareBlockScan(block, {Predicate::IsNull(0)}, false);
+  EXPECT_EQ(FindMatchesInBlock(block, prep, 0, 60, BestIsa(), buf.data()),
+            20u);
+  prep = PrepareBlockScan(block, {Predicate::IsNotNull(0)}, false);
+  EXPECT_EQ(FindMatchesInBlock(block, prep, 0, 60, BestIsa(), buf.data()),
+            40u);
+}
+
+TEST(BlockScan, UnpackColumnMatchesPointAccess) {
+  Schema schema({{"a", TypeId::kInt32},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDouble}});
+  Chunk chunk(&schema, 500);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<Value> row = {Value::Int(rng.Uniform(0, 1000)),
+                              Value::Str(rng.RandomString(1, 8)),
+                              Value::Double(rng.NextDouble())};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  std::vector<uint32_t> pos = {0, 7, 13, 42, 99, 400, 499};
+  ColumnVector a, s, d;
+  a.Init(TypeId::kInt32);
+  s.Init(TypeId::kString);
+  d.Init(TypeId::kDouble);
+  UnpackColumn(block, 0, pos.data(), uint32_t(pos.size()), &a);
+  UnpackColumn(block, 1, pos.data(), uint32_t(pos.size()), &s);
+  UnpackColumn(block, 2, pos.data(), uint32_t(pos.size()), &d);
+  for (size_t j = 0; j < pos.size(); ++j) {
+    EXPECT_EQ(int64_t(a.i32[j]), block.GetInt(0, pos[j]));
+    EXPECT_EQ(s.str[j], block.GetStringView(1, pos[j]));
+    EXPECT_EQ(d.f64[j], block.GetDouble(2, pos[j]));
+  }
+}
+
+TEST(BlockScan, UnpackRangeEqualsUnpackPositions) {
+  Schema schema({{"a", TypeId::kInt64}});
+  Chunk chunk(&schema, 300);
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Value> row = {Value::Int(rng.Uniform(0, 100000))};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  ColumnVector by_range, by_pos;
+  by_range.Init(TypeId::kInt64);
+  by_pos.Init(TypeId::kInt64);
+  UnpackColumnRange(block, 0, 50, 250, &by_range);
+  std::vector<uint32_t> pos;
+  for (uint32_t i = 50; i < 250; ++i) pos.push_back(i);
+  UnpackColumn(block, 0, pos.data(), uint32_t(pos.size()), &by_pos);
+  EXPECT_EQ(by_range.i64, by_pos.i64);
+}
+
+TEST(BlockScan, DateColumnsTranslate) {
+  Schema schema({{"d", TypeId::kDate}});
+  Chunk chunk(&schema, 365);
+  for (int i = 0; i < 365; ++i) {
+    std::vector<Value> row = {Value::Int(MakeDate(1994, 1, 1) + i)};
+    chunk.Append(row);
+  }
+  DataBlock block = DataBlock::Build(chunk);
+  EXPECT_EQ(block.compression(0), Compression::kTruncation);
+  auto prep = PrepareBlockScan(
+      block,
+      {Predicate::Between(0, Value::Int(MakeDate(1994, 3, 1)),
+                          Value::Int(MakeDate(1994, 3, 31)))},
+      true);
+  ASSERT_FALSE(prep.skip);
+  std::vector<uint32_t> buf(373);
+  uint32_t cnt = FindMatchesInBlock(block, prep, prep.range_begin,
+                                    prep.range_end, BestIsa(), buf.data());
+  EXPECT_EQ(cnt, 31u);
+}
+
+TEST(FilterPositions, ByBitmap) {
+  std::vector<uint64_t> bitmap(2, 0);
+  BitmapSet(bitmap.data(), 3);
+  BitmapSet(bitmap.data(), 70);
+  std::vector<uint32_t> pos = {1, 3, 5, 70, 100};
+  std::vector<uint32_t> out(5);
+  uint32_t n = FilterPositionsByBitmap(pos.data(), 5, bitmap.data(), false,
+                                       out.data());
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 5u);
+  EXPECT_EQ(out[2], 100u);
+  n = FilterPositionsByBitmap(pos.data(), 5, bitmap.data(), true, out.data());
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 70u);
+  // Null bitmap: everything kept when keeping clear bits.
+  n = FilterPositionsByBitmap(pos.data(), 5, nullptr, false, out.data());
+  EXPECT_EQ(n, 5u);
+}
+
+}  // namespace
+}  // namespace datablocks

@@ -1,0 +1,197 @@
+// Compression scheme selection (Section 3.3): the chosen scheme must be the
+// space-optimal byte-aligned one for the block's value distribution.
+
+#include <gtest/gtest.h>
+
+#include "datablock/compression.h"
+#include "datablock/data_block.h"
+#include "storage/chunk.h"
+
+namespace datablocks {
+namespace {
+
+Chunk MakeIntChunk(const std::vector<int64_t>& values, TypeId type,
+                   Schema* schema) {
+  *schema = Schema({{"c", type}});
+  Chunk chunk(schema, uint32_t(values.size()));
+  for (int64_t v : values) {
+    std::vector<Value> row = {Value::Int(v)};
+    chunk.Append(row);
+  }
+  return chunk;
+}
+
+TEST(CodeWidth, RoundsToLegalWidths) {
+  EXPECT_EQ(CodeWidthFor(0), 1u);
+  EXPECT_EQ(CodeWidthFor(255), 1u);
+  EXPECT_EQ(CodeWidthFor(256), 2u);
+  EXPECT_EQ(CodeWidthFor(65535), 2u);
+  EXPECT_EQ(CodeWidthFor(65536), 4u);       // 3 bytes round up to 4
+  EXPECT_EQ(CodeWidthFor(UINT32_MAX), 4u);
+  EXPECT_EQ(CodeWidthFor(uint64_t(UINT32_MAX) + 1), 8u);
+}
+
+TEST(Stats, MinMaxDistinct) {
+  Schema schema;
+  Chunk chunk = MakeIntChunk({5, 1, 9, 5, 1}, TypeId::kInt64, &schema);
+  ColumnStats s = CollectStats(chunk, 0, nullptr);
+  EXPECT_EQ(s.min_i, 1);
+  EXPECT_EQ(s.max_i, 9);
+  EXPECT_FALSE(s.all_equal);
+  EXPECT_FALSE(s.has_nulls);
+  ASSERT_TRUE(s.dict_tracked);
+  EXPECT_EQ(s.dict_i.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(s.dict_i.begin(), s.dict_i.end()));
+}
+
+TEST(Stats, PermutationRespected) {
+  Schema schema;
+  Chunk chunk = MakeIntChunk({3, 1, 2}, TypeId::kInt32, &schema);
+  uint32_t perm[3] = {1, 2, 0};
+  ColumnStats s = CollectStats(chunk, 0, perm);
+  EXPECT_EQ(s.min_i, 1);
+  EXPECT_EQ(s.max_i, 3);
+}
+
+TEST(Choose, SingleValueForConstantColumn) {
+  Schema schema;
+  Chunk chunk = MakeIntChunk(std::vector<int64_t>(100, 42), TypeId::kInt64,
+                             &schema);
+  ColumnStats s = CollectStats(chunk, 0, nullptr);
+  EXPECT_TRUE(s.all_equal);
+  CompressionChoice c = ChooseCompression(TypeId::kInt64, s);
+  EXPECT_EQ(c.scheme, Compression::kSingleValue);
+  EXPECT_EQ(c.data_bytes, 0u);
+}
+
+TEST(Choose, TruncationForDenseRange) {
+  Schema schema;
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(1000000 + i % 200);
+  Chunk chunk = MakeIntChunk(v, TypeId::kInt64, &schema);
+  CompressionChoice c =
+      ChooseCompression(TypeId::kInt64, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kTruncation);
+  EXPECT_EQ(c.code_width, 1u);  // span 199 fits a byte
+  EXPECT_EQ(c.data_bytes, 1000u);
+}
+
+TEST(Choose, DictionaryBeatsTruncationForSparseDomain) {
+  Schema schema;
+  // Two distinct, widely separated values: truncation needs 4 bytes,
+  // dictionary needs 1 byte + 16 bytes of dictionary.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 2 == 0 ? 0 : 100000000);
+  Chunk chunk = MakeIntChunk(v, TypeId::kInt64, &schema);
+  CompressionChoice c =
+      ChooseCompression(TypeId::kInt64, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kDictionary);
+  EXPECT_EQ(c.code_width, 1u);
+  EXPECT_EQ(c.dict_bytes, 16u);
+}
+
+TEST(Choose, RawWhenNothingHelps) {
+  Schema schema;
+  // Values spanning (almost) the full int64 domain with all-distinct values:
+  // neither truncation (8-byte codes) nor dictionary (distinct == n) wins.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i)
+    v.push_back(int64_t(i) * 92233720368547ll - 4611686018427387ll);
+  Chunk chunk = MakeIntChunk(v, TypeId::kInt64, &schema);
+  CompressionChoice c =
+      ChooseCompression(TypeId::kInt64, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kRaw);
+  EXPECT_EQ(c.code_width, 8u);
+}
+
+TEST(Choose, TruncationShrinksInt32) {
+  Schema schema;
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(500000 + (i * 37) % 60000);
+  Chunk chunk = MakeIntChunk(v, TypeId::kInt32, &schema);
+  CompressionChoice c =
+      ChooseCompression(TypeId::kInt32, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kTruncation);
+  EXPECT_EQ(c.code_width, 2u);
+}
+
+TEST(Choose, StringsAlwaysDictionary) {
+  Schema schema({{"s", TypeId::kString}});
+  Chunk chunk(&schema, 100);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Value> row = {Value::Str(i % 3 == 0 ? "aa" : "bb")};
+    chunk.Append(row);
+  }
+  ColumnStats s = CollectStats(chunk, 0, nullptr);
+  CompressionChoice c = ChooseCompression(TypeId::kString, s);
+  EXPECT_EQ(c.scheme, Compression::kDictionary);
+  EXPECT_EQ(c.code_width, 1u);
+  EXPECT_EQ(c.dict_bytes, 2 * sizeof(StringDictRef));
+  EXPECT_EQ(c.string_bytes, 4u);  // "aa" + "bb"
+}
+
+TEST(Choose, ConstantStringIsSingleValue) {
+  Schema schema({{"s", TypeId::kString}});
+  Chunk chunk(&schema, 50);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Value> row = {Value::Str("constant")};
+    chunk.Append(row);
+  }
+  CompressionChoice c =
+      ChooseCompression(TypeId::kString, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kSingleValue);
+  EXPECT_EQ(c.string_bytes, 8u);
+}
+
+TEST(Choose, DoublesStayRaw) {
+  Schema schema({{"d", TypeId::kDouble}});
+  Chunk chunk(&schema, 10);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Value> row = {Value::Double(i * 1.5)};
+    chunk.Append(row);
+  }
+  CompressionChoice c =
+      ChooseCompression(TypeId::kDouble, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.scheme, Compression::kRaw);
+  EXPECT_EQ(c.code_width, 8u);
+}
+
+TEST(Choose, AllNullIsSingleValue) {
+  Schema schema({{"x", TypeId::kInt32, /*nullable=*/true}});
+  Chunk chunk(&schema, 20);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Value> row = {Value::Null()};
+    chunk.Append(row);
+  }
+  ColumnStats s = CollectStats(chunk, 0, nullptr);
+  EXPECT_TRUE(s.all_null);
+  CompressionChoice c = ChooseCompression(TypeId::kInt32, s);
+  EXPECT_EQ(c.scheme, Compression::kSingleValue);
+}
+
+TEST(Choose, NullsDisableSingleValueButKeepCompression) {
+  Schema schema({{"x", TypeId::kInt32, /*nullable=*/true}});
+  Chunk chunk(&schema, 20);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Value> row = {i == 7 ? Value::Null() : Value::Int(5)};
+    chunk.Append(row);
+  }
+  ColumnStats s = CollectStats(chunk, 0, nullptr);
+  EXPECT_TRUE(s.has_nulls);
+  EXPECT_FALSE(s.all_null);
+  CompressionChoice c = ChooseCompression(TypeId::kInt32, s);
+  EXPECT_NE(c.scheme, Compression::kSingleValue);
+}
+
+TEST(Choose, Char1CompressesToOneByte) {
+  Schema schema;
+  std::vector<int64_t> v;
+  for (int i = 0; i < 300; ++i) v.push_back('A' + i % 3);
+  Chunk chunk = MakeIntChunk(v, TypeId::kChar1, &schema);
+  CompressionChoice c =
+      ChooseCompression(TypeId::kChar1, CollectStats(chunk, 0, nullptr));
+  EXPECT_EQ(c.code_width, 1u);
+}
+
+}  // namespace
+}  // namespace datablocks

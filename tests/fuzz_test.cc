@@ -1,0 +1,197 @@
+// Model-based randomized testing: a Table is driven through random
+// interleavings of inserts, deletes, updates, in-place updates and chunk
+// freezes while a simple in-memory model tracks the expected visible rows.
+// After every phase, point accesses and full scans under every ScanMode
+// must agree with the model exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "exec/table_scanner.h"
+#include "util/rng.h"
+
+namespace datablocks {
+namespace {
+
+struct ModelRow {
+  int64_t key;
+  int64_t val;
+  std::string tag;
+  std::optional<int64_t> opt;
+};
+
+class FuzzModel {
+ public:
+  explicit FuzzModel(uint64_t seed)
+      : rng_(seed),
+        schema_({{"key", TypeId::kInt64},
+                 {"val", TypeId::kInt64},
+                 {"tag", TypeId::kString},
+                 {"opt", TypeId::kInt32, /*nullable=*/true}}),
+        table_("fuzz", schema_, 256) {}
+
+  void RandomOp() {
+    switch (rng_.Uniform(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        Insert();
+        break;
+      case 4:
+      case 5:
+        DeleteRandom();
+        break;
+      case 6:
+        UpdateRandom();
+        break;
+      case 7:
+        InPlaceUpdateRandom();
+        break;
+      case 8:
+        FreezeOneChunk();
+        break;
+      case 9:
+        for (int i = 0; i < 50; ++i) Insert();
+        break;
+    }
+  }
+
+  void Verify() {
+    // Point accesses.
+    for (const auto& [id, row] : live_) {
+      ASSERT_TRUE(table_.IsVisible(id));
+      EXPECT_EQ(table_.GetInt(id, 0), row.key);
+      EXPECT_EQ(table_.GetInt(id, 1), row.val);
+      EXPECT_EQ(table_.GetStringView(id, 2), row.tag);
+      Value v = table_.GetValue(id, 3);
+      if (row.opt.has_value()) {
+        EXPECT_EQ(v.i64(), *row.opt);
+      } else {
+        EXPECT_TRUE(v.is_null());
+      }
+    }
+    EXPECT_EQ(table_.num_visible(), live_.size());
+
+    // Scans under every mode: multiset of (key, val) pairs must match.
+    std::multimap<int64_t, int64_t> expect;
+    for (const auto& [id, row] : live_) expect.emplace(row.key, row.val);
+    for (ScanMode mode :
+         {ScanMode::kJit, ScanMode::kVectorized, ScanMode::kVectorizedSarg,
+          ScanMode::kDataBlocks, ScanMode::kDataBlocksPsma,
+          ScanMode::kDecompressAll}) {
+      std::multimap<int64_t, int64_t> got;
+      TableScanner scan(table_, {0, 1}, {}, mode, 128);
+      Batch b;
+      while (scan.Next(&b)) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          got.emplace(b.cols[0].i64[i], b.cols[1].i64[i]);
+      }
+      ASSERT_EQ(got, expect) << ScanModeName(mode);
+    }
+
+    // A selective scan must agree with a model-side filter.
+    int64_t lo = rng_.Uniform(0, 500), hi = lo + rng_.Uniform(0, 300);
+    uint64_t expect_count = 0;
+    for (const auto& [id, row] : live_)
+      expect_count += (row.val >= lo && row.val <= hi);
+    TableScanner scan(table_, {1},
+                      {Predicate::Between(1, Value::Int(lo), Value::Int(hi))},
+                      ScanMode::kDataBlocksPsma, 128);
+    Batch b;
+    uint64_t got_count = 0;
+    while (scan.Next(&b)) got_count += b.count;
+    EXPECT_EQ(got_count, expect_count);
+  }
+
+ private:
+  void Insert() {
+    ModelRow row;
+    row.key = next_key_++;
+    row.val = rng_.Uniform(0, 999);
+    row.tag = "t" + std::to_string(rng_.Uniform(0, 20));
+    if (rng_.Uniform(0, 3) == 0) {
+      row.opt = std::nullopt;
+    } else {
+      row.opt = rng_.Uniform(0, 100);
+    }
+    std::vector<Value> values = {
+        Value::Int(row.key), Value::Int(row.val), Value::Str(row.tag),
+        row.opt ? Value::Int(*row.opt) : Value::Null()};
+    RowId id = table_.Insert(values);
+    live_[id] = row;
+  }
+
+  RowId PickLive() {
+    auto it = live_.begin();
+    std::advance(it, rng_.Uniform(0, int64_t(live_.size()) - 1));
+    return it->first;
+  }
+
+  void DeleteRandom() {
+    if (live_.empty()) return;
+    RowId id = PickLive();
+    table_.Delete(id);
+    live_.erase(id);
+  }
+
+  void UpdateRandom() {
+    if (live_.empty()) return;
+    RowId id = PickLive();
+    ModelRow row = live_[id];
+    row.val = rng_.Uniform(0, 999);
+    row.tag = "u" + std::to_string(rng_.Uniform(0, 20));
+    std::vector<Value> values = {
+        Value::Int(row.key), Value::Int(row.val), Value::Str(row.tag),
+        row.opt ? Value::Int(*row.opt) : Value::Null()};
+    RowId fresh = table_.Update(id, values);
+    live_.erase(id);
+    live_[fresh] = row;
+  }
+
+  void InPlaceUpdateRandom() {
+    if (live_.empty()) return;
+    // Only hot rows may be updated in place.
+    for (int attempts = 0; attempts < 8; ++attempts) {
+      RowId id = PickLive();
+      if (table_.is_frozen(RowIdChunk(id))) continue;
+      int64_t v = rng_.Uniform(0, 999);
+      table_.UpdateInPlace(id, 1, Value::Int(v));
+      live_[id].val = v;
+      return;
+    }
+  }
+
+  void FreezeOneChunk() {
+    for (size_t c = 0; c + 1 < table_.num_chunks(); ++c) {
+      if (!table_.is_frozen(c) && table_.chunk_rows(c) == 256) {
+        table_.FreezeChunk(c);
+        return;
+      }
+    }
+  }
+
+  Rng rng_;
+  Schema schema_;
+  Table table_;
+  std::map<RowId, ModelRow> live_;
+  int64_t next_key_ = 0;
+};
+
+class TableFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableFuzz, RandomOperationsMatchModel) {
+  FuzzModel model(uint64_t(GetParam()) * 7919 + 13);
+  for (int phase = 0; phase < 8; ++phase) {
+    for (int op = 0; op < 200; ++op) model.RandomOp();
+    model.Verify();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace datablocks

@@ -1,0 +1,136 @@
+// Tagged-pointer join hash table (Appendix E / Figure 14): correctness of
+// probes, no-false-negative tag filters, and vectorized early probing.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+#include "exec/hash_table.h"
+
+namespace datablocks {
+namespace {
+
+TEST(JoinHashTable, InsertAndProbe) {
+  JoinHashTable ht(100);
+  for (uint64_t k = 0; k < 100; ++k) ht.Insert(k, k * 10);
+  EXPECT_EQ(ht.size(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    uint64_t found = 0;
+    int count = 0;
+    ht.Probe(k, [&](uint64_t v) {
+      found = v;
+      ++count;
+    });
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(found, k * 10);
+  }
+}
+
+TEST(JoinHashTable, MissingKeysProbeNothing) {
+  JoinHashTable ht(10);
+  for (uint64_t k = 0; k < 10; ++k) ht.Insert(k * 1000, k);
+  for (uint64_t k = 1; k < 100; k += 7) {
+    int count = 0;
+    ht.Probe(k, [&](uint64_t) { ++count; });
+    EXPECT_EQ(count, 0);
+  }
+}
+
+TEST(JoinHashTable, DuplicateKeys) {
+  JoinHashTable ht(10);
+  ht.Insert(42, 1);
+  ht.Insert(42, 2);
+  ht.Insert(42, 3);
+  std::vector<uint64_t> got;
+  ht.Probe(42, [&](uint64_t v) { got.push_back(v); });
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(JoinHashTable, TagsNeverFalseNegative) {
+  std::mt19937_64 rng(7);
+  JoinHashTable ht(5000);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng();
+    keys.push_back(k);
+    ht.Insert(k, uint64_t(i));
+  }
+  for (uint64_t k : keys) EXPECT_TRUE(ht.MightContain(k));
+}
+
+TEST(JoinHashTable, TagsFilterMostMisses) {
+  std::mt19937_64 rng(11);
+  JoinHashTable ht(1000);
+  for (int i = 0; i < 1000; ++i) ht.Insert(rng(), uint64_t(i));
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i)
+    false_positives += ht.MightContain(rng() | 1ull << 63) ? 1 : 0;
+  // A 16-bit tag over a sparse directory should reject the vast majority.
+  EXPECT_LT(false_positives, probes / 2);
+}
+
+TEST(JoinHashTable, LookupConvenience) {
+  JoinHashTable ht(4);
+  ht.Insert(5, 50);
+  EXPECT_EQ(ht.Lookup(5, UINT64_MAX), 50u);
+  EXPECT_EQ(ht.Lookup(6, UINT64_MAX), UINT64_MAX);
+}
+
+TEST(JoinHashTable, EarlyProbeKeepsAllHits) {
+  std::mt19937_64 rng(13);
+  JoinHashTable ht(2000);
+  std::unordered_map<uint64_t, bool> present;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t k = rng() % 10000;
+    ht.Insert(k, 1);
+    present[k] = true;
+  }
+  const uint32_t n = 5000;
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> pos(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    keys[i] = rng() % 20000;
+    pos[i] = i;
+  }
+  std::vector<uint32_t> out(n);
+  uint32_t kept = ht.EarlyProbe(keys.data(), pos.data(), n, out.data());
+  // Soundness: every truly-present key's position must survive.
+  std::vector<bool> survived(n, false);
+  for (uint32_t j = 0; j < kept; ++j) survived[out[j]] = true;
+  uint32_t true_hits = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (present.count(keys[i])) {
+      ++true_hits;
+      EXPECT_TRUE(survived[i]) << i;
+    }
+  }
+  // Effectiveness: the filter must drop a good share of misses.
+  EXPECT_LT(kept, n);
+  EXPECT_GE(kept, true_hits);
+}
+
+TEST(JoinHashTable, EarlyProbeInPlace) {
+  JoinHashTable ht(10);
+  ht.Insert(1, 1);
+  ht.Insert(3, 3);
+  std::vector<uint64_t> keys = {0, 1, 2, 3, 4};
+  std::vector<uint32_t> pos = {10, 11, 12, 13, 14};
+  uint32_t kept = ht.EarlyProbe(keys.data(), pos.data(), 5, pos.data());
+  ASSERT_GE(kept, 2u);  // tags may let extras through, never drop hits
+  EXPECT_NE(std::find(pos.begin(), pos.begin() + kept, 11u),
+            pos.begin() + kept);
+  EXPECT_NE(std::find(pos.begin(), pos.begin() + kept, 13u),
+            pos.begin() + kept);
+}
+
+TEST(Hash64, Mixes) {
+  EXPECT_NE(Hash64(1), Hash64(2));
+  EXPECT_NE(Hash64(0), 0u);
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace datablocks

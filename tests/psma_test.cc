@@ -1,0 +1,153 @@
+// PSMA properties (Section 3.2 / Appendix B): slot monotonicity, probe
+// soundness (every occurrence of a probed value lies inside the returned
+// range), and precision for small deltas.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "datablock/psma.h"
+
+namespace datablocks {
+namespace {
+
+TEST(PsmaSlot, OneByteDeltasAreExact) {
+  // Deltas < 256 map to unique slots 0..255.
+  for (uint64_t d = 0; d < 256; ++d) EXPECT_EQ(PsmaSlot(d), d);
+}
+
+TEST(PsmaSlot, TwoByteDeltasShareSlots) {
+  // All deltas with the same most significant byte share a slot.
+  EXPECT_EQ(PsmaSlot(0x100), PsmaSlot(0x1FF));
+  EXPECT_NE(PsmaSlot(0x100), PsmaSlot(0x200));
+  EXPECT_EQ(PsmaSlot(0x100), 256u + 1);
+}
+
+TEST(PsmaSlot, PaperExamples) {
+  // Figure 4: probe 7 with min 2 -> delta 5 -> slot 5.
+  EXPECT_EQ(PsmaSlot(5), 5u);
+  // probe 998 with min 2 -> delta 996 = 0x3E4 -> second byte 0x03, r=1:
+  // slot = 3 + 256 = 259.
+  EXPECT_EQ(PsmaSlot(996), 259u);
+}
+
+TEST(PsmaSlot, Monotone) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t a = rng() >> (rng() % 56);
+    uint64_t b = rng() >> (rng() % 56);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(PsmaSlot(a), PsmaSlot(b)) << a << " " << b;
+  }
+}
+
+TEST(PsmaSlot, TableSizes) {
+  EXPECT_EQ(PsmaTableEntries(200), 256u);        // 1-byte deltas -> 2 KB
+  EXPECT_EQ(PsmaTableEntries(60000), 512u);      // 2-byte -> 4 KB
+  EXPECT_EQ(PsmaTableEntries(1u << 24), 1024u);  // 4-byte... (see below)
+  EXPECT_EQ(PsmaTableEntries((1u << 24) - 1), 768u);
+  EXPECT_EQ(PsmaTableEntries(UINT64_MAX), 2048u);
+}
+
+class PsmaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PsmaProperty, ProbeIsSound) {
+  const uint64_t domain = GetParam();
+  std::mt19937_64 rng(domain + 7);
+  const uint32_t n = 20000;
+  std::vector<uint64_t> deltas(n);
+  for (auto& d : deltas) d = rng() % domain;
+
+  uint32_t entries = PsmaTableEntries(domain - 1);
+  std::vector<PsmaEntry> table(entries);
+  BuildPsma(table.data(), n, [&](uint32_t i) { return deltas[i]; });
+
+  // Equality probes: every occurrence must be inside the returned range.
+  for (int t = 0; t < 300; ++t) {
+    uint64_t v = rng() % domain;
+    PsmaRange r = PsmaProbe(table.data(), entries, v, v);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (deltas[i] == v) {
+        ASSERT_GE(i, r.begin);
+        ASSERT_LT(i, r.end);
+      }
+    }
+    EXPECT_LE(r.end, n);
+  }
+
+  // Range probes.
+  for (int t = 0; t < 100; ++t) {
+    uint64_t lo = rng() % domain;
+    uint64_t hi = lo + rng() % (domain - lo);
+    PsmaRange r = PsmaProbe(table.data(), entries, lo, hi);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (deltas[i] >= lo && deltas[i] <= hi) {
+        ASSERT_GE(i, r.begin);
+        ASSERT_LT(i, r.end);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PsmaProperty,
+                         ::testing::Values(2, 16, 250, 256, 4096, 65536,
+                                           1 << 20, uint64_t(1) << 33));
+
+TEST(Psma, AbsentValueYieldsEmptyRange) {
+  std::vector<uint64_t> deltas = {1, 2, 3, 100, 200};
+  uint32_t entries = PsmaTableEntries(255);
+  std::vector<PsmaEntry> table(entries);
+  BuildPsma(table.data(), uint32_t(deltas.size()),
+            [&](uint32_t i) { return deltas[i]; });
+  PsmaRange r = PsmaProbe(table.data(), entries, 50, 50);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Psma, SmallDeltasExactRanges) {
+  // With all deltas < 256 every slot is exact: the probe range covers
+  // exactly first..last occurrence.
+  std::vector<uint64_t> deltas = {7, 2, 6, 42, 128, 7, 255, 2, 42, 5};
+  uint32_t entries = PsmaTableEntries(255);
+  std::vector<PsmaEntry> table(entries);
+  BuildPsma(table.data(), uint32_t(deltas.size()),
+            [&](uint32_t i) { return deltas[i]; });
+  PsmaRange r7 = PsmaProbe(table.data(), entries, 7, 7);
+  EXPECT_EQ(r7.begin, 0u);
+  EXPECT_EQ(r7.end, 6u);
+  PsmaRange r42 = PsmaProbe(table.data(), entries, 42, 42);
+  EXPECT_EQ(r42.begin, 3u);
+  EXPECT_EQ(r42.end, 9u);
+  PsmaRange r5 = PsmaProbe(table.data(), entries, 5, 5);
+  EXPECT_EQ(r5.begin, 9u);
+  EXPECT_EQ(r5.end, 10u);
+}
+
+TEST(Psma, ClusteredDataGivesTightRanges) {
+  // Sorted (clustered) deltas: probe ranges should be tight, which is the
+  // property the Figure 11 experiment exploits.
+  const uint32_t n = 10000;
+  std::vector<uint64_t> deltas(n);
+  for (uint32_t i = 0; i < n; ++i) deltas[i] = i / 40;  // sorted, <256
+  uint32_t entries = PsmaTableEntries(255);
+  std::vector<PsmaEntry> table(entries);
+  BuildPsma(table.data(), n, [&](uint32_t i) { return deltas[i]; });
+  PsmaRange r = PsmaProbe(table.data(), entries, 100, 100);
+  EXPECT_EQ(r.end - r.begin, 40u);
+}
+
+TEST(Psma, RangeUnionCoversGaps) {
+  // Union semantics: probing [lo,hi] unions per-slot ranges even when some
+  // slots are empty.
+  std::vector<uint64_t> deltas = {10, 900000, 20, 10};
+  uint32_t entries = PsmaTableEntries(900000);
+  std::vector<PsmaEntry> table(entries);
+  BuildPsma(table.data(), uint32_t(deltas.size()),
+            [&](uint32_t i) { return deltas[i]; });
+  PsmaRange r = PsmaProbe(table.data(), entries, 15, 1000000);
+  EXPECT_LE(r.begin, 1u);
+  EXPECT_GE(r.end, 3u);
+}
+
+}  // namespace
+}  // namespace datablocks

@@ -1,0 +1,150 @@
+// TPC-C substrate: load invariants, transaction semantics, consistency
+// under the mixed workload, and correct behaviour with frozen (compressed)
+// chunks — the Section 5.3 scenarios.
+
+#include <gtest/gtest.h>
+
+#include "tpcc/tpcc_db.h"
+
+namespace datablocks::tpcc {
+namespace {
+
+TpccConfig SmallConfig() {
+  TpccConfig cfg;
+  cfg.num_warehouses = 2;
+  cfg.num_items = 2000;
+  cfg.customers_per_district = 120;
+  cfg.orders_per_district = 120;
+  cfg.chunk_capacity = 1024;
+  return cfg;
+}
+
+class TpccFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<TpccDatabase>(SmallConfig());
+    db_->Load();
+  }
+  std::unique_ptr<TpccDatabase> db_;
+};
+
+TEST_F(TpccFixture, LoadCardinalities) {
+  const TpccConfig& cfg = db_->config();
+  EXPECT_EQ(db_->item.num_rows(), uint64_t(cfg.num_items));
+  EXPECT_EQ(db_->warehouse.num_rows(), uint64_t(cfg.num_warehouses));
+  EXPECT_EQ(db_->district.num_rows(), uint64_t(cfg.num_warehouses) * 10);
+  EXPECT_EQ(db_->customer.num_rows(),
+            uint64_t(cfg.num_warehouses) * 10 * cfg.customers_per_district);
+  EXPECT_EQ(db_->order.num_rows(),
+            uint64_t(cfg.num_warehouses) * 10 * cfg.orders_per_district);
+  EXPECT_EQ(db_->stock.num_rows(),
+            uint64_t(cfg.num_warehouses) * cfg.num_items);
+  // ~30% of loaded orders are undelivered new-orders.
+  double no_frac =
+      double(db_->neworder.num_rows()) / double(db_->order.num_rows());
+  EXPECT_NEAR(no_frac, 0.3, 0.02);
+}
+
+TEST_F(TpccFixture, ConsistentAfterLoad) {
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, NewOrderCreatesRows) {
+  Rng rng(5);
+  uint64_t orders_before = db_->order.num_rows();
+  uint64_t no_before = db_->neworder.num_visible();
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) committed += db_->NewOrder(rng).committed;
+  EXPECT_EQ(db_->order.num_rows(), orders_before + uint64_t(committed));
+  EXPECT_EQ(db_->neworder.num_visible(), no_before + uint64_t(committed));
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, NewOrderRollbackRateIsOnePercent) {
+  Rng rng(17);
+  int committed = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) committed += db_->NewOrder(rng).committed;
+  double rate = 1.0 - double(committed) / n;
+  EXPECT_NEAR(rate, 0.01, 0.006);
+}
+
+TEST_F(TpccFixture, PaymentMaintainsYtdInvariant) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) db_->Payment(rng);
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, DeliveryConsumesNewOrders) {
+  Rng rng(9);
+  uint64_t visible_before = db_->neworder.num_visible();
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) delivered += db_->Delivery(rng);
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(db_->neworder.num_visible(),
+            visible_before - uint64_t(delivered));
+}
+
+TEST_F(TpccFixture, ReadOnlyTransactionsRun) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    db_->OrderStatus(rng);
+    int low = db_->StockLevel(rng);
+    EXPECT_GE(low, 0);
+  }
+}
+
+TEST_F(TpccFixture, MixedWorkloadStaysConsistent) {
+  Rng rng(13);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[db_->RunMixedTransaction(rng)];
+  // Standard mix: 45/43/4/4/4.
+  EXPECT_NEAR(double(counts[0]) / 5000, 0.45, 0.03);
+  EXPECT_NEAR(double(counts[1]) / 5000, 0.43, 0.03);
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, FrozenNewOrdersKeepWorking) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) db_->RunMixedTransaction(rng);
+  db_->FreezeOldNewOrders();
+  // At least one neworder chunk must actually be frozen for the experiment
+  // to be meaningful.
+  bool any_frozen = false;
+  for (size_t c = 0; c < db_->neworder.num_chunks(); ++c)
+    any_frozen |= db_->neworder.is_frozen(c);
+  EXPECT_TRUE(any_frozen);
+  // Deliveries must drain frozen neworder rows via delete flags; new orders
+  // keep inserting into the hot tail.
+  for (int i = 0; i < 2000; ++i) db_->RunMixedTransaction(rng);
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, FullyFrozenReadOnly) {
+  db_->FreezeEverything();
+  EXPECT_EQ(db_->customer.HotBytes(), 0u);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    db_->OrderStatus(rng);
+    db_->StockLevel(rng);
+  }
+  std::string msg;
+  EXPECT_TRUE(db_->CheckConsistency(&msg)) << msg;
+}
+
+TEST_F(TpccFixture, FreezingCompressesTpccData) {
+  uint64_t hot = db_->customer.MemoryBytes() + db_->orderline.MemoryBytes() +
+                 db_->stock.MemoryBytes();
+  db_->FreezeEverything();
+  uint64_t frozen = db_->customer.MemoryBytes() +
+                    db_->orderline.MemoryBytes() + db_->stock.MemoryBytes();
+  EXPECT_LT(frozen, hot);
+}
+
+}  // namespace
+}  // namespace datablocks::tpcc
