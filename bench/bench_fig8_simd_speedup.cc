@@ -37,6 +37,12 @@ template <typename T>
 void BM_FindBetween(benchmark::State& state) {
   static Fixture<T> fx;
   Isa isa = Isa(state.range(0));
+  if (!IsaSupported(isa)) {
+    // The kernels would silently clamp to a lower flavor; skipping keeps the
+    // figure honest instead of mislabeling a fallback measurement.
+    state.SkipWithError("ISA not supported on this host");
+    return;
+  }
   uint64_t matches = 0;
   uint64_t cycles = 0;
   for (auto _ : state) {
@@ -78,10 +84,15 @@ template <typename T>
 void PrintRow(const char* name) {
   Fixture<T> fx;
   double scalar = MeasureSeconds<T>(Isa::kScalar, fx);
-  double sse = MeasureSeconds<T>(Isa::kSse, fx);
-  double avx2 = MeasureSeconds<T>(Isa::kAvx2, fx);
-  std::printf("%-8s %10.2f %10.2f %10.2f\n", name, 1.0, scalar / sse,
-              scalar / avx2);
+  std::printf("%-8s %10.2f", name, 1.0);
+  for (Isa isa : {Isa::kSse, Isa::kAvx2}) {
+    if (IsaSupported(isa)) {
+      std::printf(" %10.2f", scalar / MeasureSeconds<T>(isa, fx));
+    } else {
+      std::printf(" %10s", "n/a");
+    }
+  }
+  std::printf("\n");
 }
 
 void PrintSummary() {

@@ -48,6 +48,12 @@ template <typename T>
 void BM_ReduceMatches(benchmark::State& state) {
   Fixture<T> fx(int(state.range(1)));
   Isa isa = Isa(state.range(0));
+  if (!IsaSupported(isa)) {
+    // The kernels would silently clamp to a lower flavor; skipping keeps the
+    // figure honest instead of mislabeling a fallback measurement.
+    state.SkipWithError("ISA not supported on this host");
+    return;
+  }
   uint64_t cycles = 0;
   for (auto _ : state) {
     uint64_t t0 = ReadTsc();
@@ -81,6 +87,10 @@ void PrintSeries(const char* name) {
   static const int kSels[] = {1, 5, 10, 25, 50, 75, 100};
   for (int s : kSels) std::printf("%8d", s);
   for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+    if (!IsaSupported(isa)) {
+      std::printf("\n  %-5s: n/a (not supported on this host)", IsaName(isa));
+      continue;
+    }
     std::printf("\n  %-5s:", IsaName(isa));
     for (int s : kSels) {
       Fixture<T> fx(s);

@@ -27,14 +27,24 @@ class BitPackedColumn {
   uint32_t bits() const { return bits_; }
   uint64_t bytes() const { return buf_.size(); }
 
+  /// Scalar extraction of value `i` from a packed buffer. The single source
+  /// of truth for the bit layout on the read side: Get() and the scan/unpack
+  /// kernels' scalar paths all go through here, so layout changes cannot
+  /// drift between them. `base` must have 8 readable bytes past the last
+  /// packed value (Pack() over-allocates accordingly).
+  static uint32_t ExtractAt(const uint8_t* base, uint64_t i, uint32_t bits,
+                            uint32_t mask) {
+    uint64_t bit = i * bits;
+    const uint8_t* p = base + (bit >> 3);
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    return uint32_t(w >> (bit & 7)) & mask;
+  }
+
   /// Positional access: extract the value at index `i` (scalar; used to
   /// unpack individual matching tuples).
   uint32_t Get(uint32_t i) const {
-    uint64_t bit = uint64_t(i) * bits_;
-    const uint8_t* p = buf_.data() + (bit >> 3);
-    uint64_t w;
-    __builtin_memcpy(&w, p, 8);
-    return uint32_t(w >> (bit & 7)) & mask_;
+    return ExtractAt(buf_.data(), i, bits_, mask_);
   }
 
   /// Unpacks the whole column with SIMD into `out` (n entries).

@@ -1,6 +1,7 @@
 #ifndef DATABLOCKS_EXEC_PARALLEL_SCAN_H_
 #define DATABLOCKS_EXEC_PARALLEL_SCAN_H_
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -28,6 +29,8 @@ std::vector<State> ParallelScan(const Table& table,
                                 uint32_t vector_size =
                                     TableScanner::kDefaultVectorSize,
                                 Isa isa = BestIsa()) {
+  // hardware_concurrency() is allowed to return 0 when the host cannot be
+  // queried; clamp so at least one worker always runs.
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
   num_threads = std::max(1u, num_threads);
 

@@ -15,14 +15,21 @@ namespace datablocks {
 namespace {
 
 const char* CompilerPath() {
-  static const char* path = [] {
+  static const std::string path = [] {
+    // $CXX wins over the probe list, mirroring how build systems pick the
+    // host compiler (and letting tests/CI pin a specific one).
+    if (const char* env = std::getenv("CXX");
+        env != nullptr && env[0] != '\0') {
+      std::string cmd = std::string("command -v ") + env + " >/dev/null 2>&1";
+      if (std::system(cmd.c_str()) == 0) return std::string(env);
+    }
     for (const char* cand : {"c++", "g++", "clang++"}) {
       std::string cmd = std::string("command -v ") + cand + " >/dev/null 2>&1";
-      if (std::system(cmd.c_str()) == 0) return cand;
+      if (std::system(cmd.c_str()) == 0) return std::string(cand);
     }
-    return static_cast<const char*>(nullptr);
+    return std::string();
   }();
-  return path;
+  return path.empty() ? nullptr : path.c_str();
 }
 
 std::string TempPath(const char* suffix) {
@@ -44,7 +51,20 @@ void* JitModule::Symbol(const char* name) const {
   return handle_ == nullptr ? nullptr : dlsym(handle_, name);
 }
 
-bool JitCompiler::Available() { return CompilerPath() != nullptr; }
+bool JitCompiler::Available() {
+  // Probe the full pipeline once (compile a trivial TU, dlopen it): a
+  // compiler on PATH is not enough if the sandbox forbids fork/exec, /tmp
+  // writes, or dlopen. Tests use this to GTEST_SKIP instead of failing on
+  // such hosts.
+  static const bool available = [] {
+    if (CompilerPath() == nullptr) return false;
+    auto mod = Compile("extern \"C\" int datablocks_jit_probe() { return 1; }",
+                       nullptr);
+    return mod != nullptr &&
+           mod->Symbol("datablocks_jit_probe") != nullptr;
+  }();
+  return available;
+}
 
 std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
                                                 std::string* error) {

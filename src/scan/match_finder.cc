@@ -5,17 +5,40 @@
 #include <type_traits>
 
 #include "scan/match_table.h"
+#include "util/cpu.h"
+
+// The library is compiled for baseline x86-64; every function that touches
+// AVX2/BMI2 or SSE4.2 instructions is annotated with a `target` attribute so
+// the compiler enables those ISAs for that function only. Selection happens
+// at run time (BestIsa / ClampIsa), so the same binary runs — and the tests
+// pass — on hosts without AVX2. All vector-typed (`__m256i`/`__m128i`)
+// signatures stay on internal-linkage helpers inside this translation unit,
+// which keeps the -Wpsabi ABI warnings (vector argument passing without the
+// matching ISA enabled globally) out of the build.
+#define DB_TARGET_AVX2 __attribute__((target("avx2,bmi2")))
+#define DB_TARGET_SSE42 __attribute__((target("sse4.2")))
 
 namespace datablocks {
 
 Isa BestIsa() {
-#if defined(__AVX2__)
-  return Isa::kAvx2;
-#elif defined(__SSE4_2__)
-  return Isa::kSse;
-#else
+  if (cpu::HasAvx2()) return Isa::kAvx2;
+  if (cpu::HasSse42()) return Isa::kSse;
   return Isa::kScalar;
-#endif
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kSse: return cpu::HasSse42();
+    case Isa::kAvx2: return cpu::HasAvx2();
+  }
+  return false;
+}
+
+Isa ClampIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && !cpu::HasAvx2()) isa = Isa::kSse;
+  if (isa == Isa::kSse && !cpu::HasSse42()) isa = Isa::kScalar;
+  return isa;
 }
 
 const char* IsaName(Isa isa) {
@@ -35,7 +58,8 @@ namespace {
 // means "lane j at absolute position base + j matches".
 // ---------------------------------------------------------------------------
 
-inline uint32_t* EmitAvx2(uint32_t mask8, uint32_t base, uint32_t* writer) {
+DB_TARGET_AVX2 inline uint32_t* EmitAvx2(uint32_t mask8, uint32_t base,
+                                         uint32_t* writer) {
   const MatchTableEntry& e = kMatchTable[mask8];
   __m256i entry =
       _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e.cell));
@@ -45,7 +69,8 @@ inline uint32_t* EmitAvx2(uint32_t mask8, uint32_t base, uint32_t* writer) {
   return writer + MatchCount(e);
 }
 
-inline uint32_t* EmitSse(uint32_t mask8, uint32_t base, uint32_t* writer) {
+DB_TARGET_SSE42 inline uint32_t* EmitSse(uint32_t mask8, uint32_t base,
+                                         uint32_t* writer) {
   const MatchTableEntry& e = kMatchTable[mask8];
   __m128i lo = _mm_srai_epi32(
       _mm_loadu_si128(reinterpret_cast<const __m128i*>(e.cell)), 8);
@@ -60,7 +85,9 @@ inline uint32_t* EmitSse(uint32_t mask8, uint32_t base, uint32_t* writer) {
 }
 
 // ---------------------------------------------------------------------------
-// Scalar kernels (branch-free, the paper's "x86" baseline).
+// Scalar kernels (branch-free, the paper's "x86" baseline). These are also
+// the portable fallback selected on hosts without SSE4.2/AVX2 or under
+// DATABLOCKS_FORCE_SCALAR.
 // ---------------------------------------------------------------------------
 
 template <typename T>
@@ -135,13 +162,19 @@ template <>
 struct Avx2<1> {
   static constexpr uint32_t kLanes = 32;
   using Reg = __m256i;
-  static Reg Splat(int64_t v) { return _mm256_set1_epi8(char(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_AVX2 static Reg Splat(int64_t v) {
+    return _mm256_set1_epi8(char(v));
+  }
+  DB_TARGET_AVX2 static Reg Load(const void* p) {
     return _mm256_loadu_si256(static_cast<const __m256i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi8(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi8(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_AVX2 static Reg Gt(Reg a, Reg b) {
+    return _mm256_cmpgt_epi8(a, b);
+  }
+  DB_TARGET_AVX2 static Reg Eq(Reg a, Reg b) {
+    return _mm256_cmpeq_epi8(a, b);
+  }
+  DB_TARGET_AVX2 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm256_movemask_epi8(m));
   }
 };
@@ -150,13 +183,19 @@ template <>
 struct Avx2<2> {
   static constexpr uint32_t kLanes = 16;
   using Reg = __m256i;
-  static Reg Splat(int64_t v) { return _mm256_set1_epi16(short(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_AVX2 static Reg Splat(int64_t v) {
+    return _mm256_set1_epi16(short(v));
+  }
+  DB_TARGET_AVX2 static Reg Load(const void* p) {
     return _mm256_loadu_si256(static_cast<const __m256i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi16(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi16(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_AVX2 static Reg Gt(Reg a, Reg b) {
+    return _mm256_cmpgt_epi16(a, b);
+  }
+  DB_TARGET_AVX2 static Reg Eq(Reg a, Reg b) {
+    return _mm256_cmpeq_epi16(a, b);
+  }
+  DB_TARGET_AVX2 static uint32_t Mask(Reg m) {
     // One bit per 16-bit lane: extract the odd bits of the byte mask.
     return _pext_u32(static_cast<uint32_t>(_mm256_movemask_epi8(m)),
                      0xAAAAAAAAu);
@@ -167,13 +206,19 @@ template <>
 struct Avx2<4> {
   static constexpr uint32_t kLanes = 8;
   using Reg = __m256i;
-  static Reg Splat(int64_t v) { return _mm256_set1_epi32(int(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_AVX2 static Reg Splat(int64_t v) {
+    return _mm256_set1_epi32(int(v));
+  }
+  DB_TARGET_AVX2 static Reg Load(const void* p) {
     return _mm256_loadu_si256(static_cast<const __m256i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi32(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi32(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_AVX2 static Reg Gt(Reg a, Reg b) {
+    return _mm256_cmpgt_epi32(a, b);
+  }
+  DB_TARGET_AVX2 static Reg Eq(Reg a, Reg b) {
+    return _mm256_cmpeq_epi32(a, b);
+  }
+  DB_TARGET_AVX2 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
   }
 };
@@ -182,13 +227,17 @@ template <>
 struct Avx2<8> {
   static constexpr uint32_t kLanes = 4;
   using Reg = __m256i;
-  static Reg Splat(int64_t v) { return _mm256_set1_epi64x(v); }
-  static Reg Load(const void* p) {
+  DB_TARGET_AVX2 static Reg Splat(int64_t v) { return _mm256_set1_epi64x(v); }
+  DB_TARGET_AVX2 static Reg Load(const void* p) {
     return _mm256_loadu_si256(static_cast<const __m256i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm256_cmpgt_epi64(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm256_cmpeq_epi64(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_AVX2 static Reg Gt(Reg a, Reg b) {
+    return _mm256_cmpgt_epi64(a, b);
+  }
+  DB_TARGET_AVX2 static Reg Eq(Reg a, Reg b) {
+    return _mm256_cmpeq_epi64(a, b);
+  }
+  DB_TARGET_AVX2 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
   }
 };
@@ -200,13 +249,13 @@ template <>
 struct Sse<1> {
   static constexpr uint32_t kLanes = 16;
   using Reg = __m128i;
-  static Reg Splat(int64_t v) { return _mm_set1_epi8(char(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_SSE42 static Reg Splat(int64_t v) { return _mm_set1_epi8(char(v)); }
+  DB_TARGET_SSE42 static Reg Load(const void* p) {
     return _mm_loadu_si128(static_cast<const __m128i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi8(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi8(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_SSE42 static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi8(a, b); }
+  DB_TARGET_SSE42 static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi8(a, b); }
+  DB_TARGET_SSE42 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm_movemask_epi8(m));
   }
 };
@@ -215,14 +264,19 @@ template <>
 struct Sse<2> {
   static constexpr uint32_t kLanes = 8;
   using Reg = __m128i;
-  static Reg Splat(int64_t v) { return _mm_set1_epi16(short(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_SSE42 static Reg Splat(int64_t v) {
+    return _mm_set1_epi16(short(v));
+  }
+  DB_TARGET_SSE42 static Reg Load(const void* p) {
     return _mm_loadu_si128(static_cast<const __m128i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi16(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi16(a, b); }
-  static uint32_t Mask(Reg m) {
-    return _pext_u32(static_cast<uint32_t>(_mm_movemask_epi8(m)), 0xAAAAu);
+  DB_TARGET_SSE42 static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi16(a, b); }
+  DB_TARGET_SSE42 static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi16(a, b); }
+  DB_TARGET_SSE42 static uint32_t Mask(Reg m) {
+    // One bit per 16-bit lane. Saturating pack turns each 0x0000/0xFFFF lane
+    // into a 0x00/0xFF byte; no PEXT, so the SSE flavor needs no BMI2.
+    return static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_packs_epi16(m, _mm_setzero_si128())));
   }
 };
 
@@ -230,13 +284,13 @@ template <>
 struct Sse<4> {
   static constexpr uint32_t kLanes = 4;
   using Reg = __m128i;
-  static Reg Splat(int64_t v) { return _mm_set1_epi32(int(v)); }
-  static Reg Load(const void* p) {
+  DB_TARGET_SSE42 static Reg Splat(int64_t v) { return _mm_set1_epi32(int(v)); }
+  DB_TARGET_SSE42 static Reg Load(const void* p) {
     return _mm_loadu_si128(static_cast<const __m128i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi32(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi32(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_SSE42 static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi32(a, b); }
+  DB_TARGET_SSE42 static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi32(a, b); }
+  DB_TARGET_SSE42 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
   }
 };
@@ -245,83 +299,105 @@ template <>
 struct Sse<8> {
   static constexpr uint32_t kLanes = 2;
   using Reg = __m128i;
-  static Reg Splat(int64_t v) { return _mm_set1_epi64x(v); }
-  static Reg Load(const void* p) {
+  DB_TARGET_SSE42 static Reg Splat(int64_t v) { return _mm_set1_epi64x(v); }
+  DB_TARGET_SSE42 static Reg Load(const void* p) {
     return _mm_loadu_si128(static_cast<const __m128i*>(p));
   }
-  static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi64(a, b); }
-  static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi64(a, b); }
-  static uint32_t Mask(Reg m) {
+  DB_TARGET_SSE42 static Reg Gt(Reg a, Reg b) { return _mm_cmpgt_epi64(a, b); }
+  DB_TARGET_SSE42 static Reg Eq(Reg a, Reg b) { return _mm_cmpeq_epi64(a, b); }
+  DB_TARGET_SSE42 static uint32_t Mask(Reg m) {
     return static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(m)));
   }
 };
 
 // Width-agnostic vector helpers selected by overload resolution.
-inline __m128i SimdXor(__m128i a, __m128i b) { return _mm_xor_si128(a, b); }
-inline __m256i SimdXor(__m256i a, __m256i b) { return _mm256_xor_si256(a, b); }
-inline __m128i SimdOr(__m128i a, __m128i b) { return _mm_or_si128(a, b); }
-inline __m256i SimdOr(__m256i a, __m256i b) { return _mm256_or_si256(a, b); }
+DB_TARGET_SSE42 inline __m128i SimdXor(__m128i a, __m128i b) {
+  return _mm_xor_si128(a, b);
+}
+DB_TARGET_AVX2 inline __m256i SimdXor(__m256i a, __m256i b) {
+  return _mm256_xor_si256(a, b);
+}
+DB_TARGET_SSE42 inline __m128i SimdOr(__m128i a, __m128i b) {
+  return _mm_or_si128(a, b);
+}
+DB_TARGET_AVX2 inline __m256i SimdOr(__m256i a, __m256i b) {
+  return _mm256_or_si256(a, b);
+}
 
-// Generic SIMD "find initial matches" loop over ops O (Avx2<W> or Sse<W>).
+// Generic SIMD "find initial matches" loops over ops O (Avx2<W> or Sse<W>).
 // Emit writes positions for one <=8 bit mask group.
-template <typename T, typename O, uint32_t* (*Emit)(uint32_t, uint32_t,
-                                                    uint32_t*)>
-uint32_t FindNeSimd(const T* data, uint32_t from, uint32_t to, T val,
-                    uint32_t* out) {
-  using Reg = typename O::Reg;
-  constexpr uint32_t kLanes = O::kLanes;
-  using S = std::make_signed_t<T>;
-  const Reg cv = O::Splat(int64_t(S(val)));
-  const uint32_t kFullMask =
-      kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);
+//
+// The loop bodies are defined once as a macro and stamped out per ISA family
+// below: a single shared template cannot carry the `target` attribute,
+// because the attribute would have to differ per instantiation (compiling
+// the SSE flavor with AVX2 enabled would let the compiler emit AVX
+// encodings that fault on SSE-only hosts, and vice versa loses inlining).
 
-  uint32_t* w = out;
-  uint32_t i = from;
-  for (; i + kLanes <= to; i += kLanes) {
-    Reg v = O::Load(data + i);
-    uint32_t mask = ~O::Mask(O::Eq(v, cv)) & kFullMask;
-    for (uint32_t g = 0; g < kLanes; g += 8) {
-      w = Emit((mask >> g) & 0xFF, i + g, w);
-    }
+#define DB_DEFINE_FIND_DRIVERS(SUFFIX, TARGET, OPS, EMIT)                      \
+  template <typename T>                                                        \
+  TARGET uint32_t FindNe##SUFFIX(const T* data, uint32_t from, uint32_t to,    \
+                                 T val, uint32_t* out) {                       \
+    using O = OPS<sizeof(T)>;                                                  \
+    using Reg = typename O::Reg;                                               \
+    constexpr uint32_t kLanes = O::kLanes;                                     \
+    using S = std::make_signed_t<T>;                                           \
+    const Reg cv = O::Splat(int64_t(S(val)));                                  \
+    const uint32_t kFullMask =                                                 \
+        kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);                     \
+                                                                               \
+    uint32_t* w = out;                                                         \
+    uint32_t i = from;                                                         \
+    for (; i + kLanes <= to; i += kLanes) {                                    \
+      Reg v = O::Load(data + i);                                               \
+      uint32_t mask = ~O::Mask(O::Eq(v, cv)) & kFullMask;                      \
+      for (uint32_t g = 0; g < kLanes; g += 8) {                               \
+        w = EMIT((mask >> g) & 0xFF, i + g, w);                                \
+      }                                                                        \
+    }                                                                          \
+    for (; i < to; ++i) {                                                      \
+      *w = i;                                                                  \
+      w += (data[i] != val);                                                   \
+    }                                                                          \
+    return static_cast<uint32_t>(w - out);                                     \
+  }                                                                            \
+                                                                               \
+  template <typename T>                                                        \
+  TARGET uint32_t FindBetween##SUFFIX(const T* data, uint32_t from,            \
+                                      uint32_t to, T lo, T hi,                 \
+                                      uint32_t* out) {                         \
+    using O = OPS<sizeof(T)>;                                                  \
+    using Reg = typename O::Reg;                                               \
+    constexpr uint32_t kLanes = O::kLanes;                                     \
+    constexpr T kFlip = SignFlip<T>();                                         \
+    using S = std::make_signed_t<T>;                                           \
+    const Reg flip = O::Splat(int64_t(S(kFlip)));                              \
+    const Reg lov = O::Splat(int64_t(S(T(lo ^ kFlip))));                       \
+    const Reg hiv = O::Splat(int64_t(S(T(hi ^ kFlip))));                       \
+    const uint32_t kFullMask =                                                 \
+        kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);                     \
+                                                                               \
+    uint32_t* w = out;                                                         \
+    uint32_t i = from;                                                         \
+    for (; i + kLanes <= to; i += kLanes) {                                    \
+      Reg v = O::Load(data + i);                                               \
+      v = SimdXor(v, flip);                                                    \
+      Reg bad = SimdOr(O::Gt(lov, v), O::Gt(v, hiv));                          \
+      uint32_t mask = ~O::Mask(bad) & kFullMask;                               \
+      for (uint32_t g = 0; g < kLanes; g += 8) {                               \
+        w = EMIT((mask >> g) & 0xFF, i + g, w);                                \
+      }                                                                        \
+    }                                                                          \
+    for (; i < to; ++i) {                                                      \
+      *w = i;                                                                  \
+      w += (data[i] >= lo) & (data[i] <= hi);                                  \
+    }                                                                          \
+    return static_cast<uint32_t>(w - out);                                     \
   }
-  for (; i < to; ++i) {
-    *w = i;
-    w += (data[i] != val);
-  }
-  return static_cast<uint32_t>(w - out);
-}
 
-template <typename T, typename O, uint32_t* (*Emit)(uint32_t, uint32_t,
-                                                    uint32_t*)>
-uint32_t FindBetweenSimd2(const T* data, uint32_t from, uint32_t to, T lo,
-                          T hi, uint32_t* out) {
-  using Reg = typename O::Reg;
-  constexpr uint32_t kLanes = O::kLanes;
-  constexpr T kFlip = SignFlip<T>();
-  using S = std::make_signed_t<T>;
-  const Reg flip = O::Splat(int64_t(S(kFlip)));
-  const Reg lov = O::Splat(int64_t(S(T(lo ^ kFlip))));
-  const Reg hiv = O::Splat(int64_t(S(T(hi ^ kFlip))));
-  const uint32_t kFullMask =
-      kLanes >= 32 ? 0xFFFFFFFFu : ((1u << kLanes) - 1);
+DB_DEFINE_FIND_DRIVERS(Avx2K, DB_TARGET_AVX2, Avx2, EmitAvx2)
+DB_DEFINE_FIND_DRIVERS(SseK, DB_TARGET_SSE42, Sse, EmitSse)
 
-  uint32_t* w = out;
-  uint32_t i = from;
-  for (; i + kLanes <= to; i += kLanes) {
-    Reg v = O::Load(data + i);
-    v = SimdXor(v, flip);
-    Reg bad = SimdOr(O::Gt(lov, v), O::Gt(v, hiv));
-    uint32_t mask = ~O::Mask(bad) & kFullMask;
-    for (uint32_t g = 0; g < kLanes; g += 8) {
-      w = Emit((mask >> g) & 0xFF, i + g, w);
-    }
-  }
-  for (; i < to; ++i) {
-    *w = i;
-    w += (data[i] >= lo) & (data[i] <= hi);
-  }
-  return static_cast<uint32_t>(w - out);
-}
+#undef DB_DEFINE_FIND_DRIVERS
 
 // ---------------------------------------------------------------------------
 // AVX2 "reduce matches" (Figure 7(b)): gather values at the surviving match
@@ -332,7 +408,7 @@ uint32_t FindBetweenSimd2(const T* data, uint32_t from, uint32_t to, T lo,
 // Gathers 8 elements of width W (1, 2 or 4 bytes) at byte granularity and
 // returns them zero-extended (W<4) in 8 32-bit lanes.
 template <int W>
-inline __m256i Gather32(const void* base, __m256i idx) {
+DB_TARGET_AVX2 inline __m256i Gather32(const void* base, __m256i idx) {
   if constexpr (W == 1) {
     __m256i v = _mm256_i32gather_epi32(static_cast<const int*>(base), idx, 1);
     return _mm256_and_si256(v, _mm256_set1_epi32(0xFF));
@@ -347,8 +423,10 @@ inline __m256i Gather32(const void* base, __m256i idx) {
 // T is uint8_t/uint16_t (zero-extended, compared unbias'd because values fit
 // in int32) or uint32_t/int32_t (compared with sign-flip bias as needed).
 template <typename T>
-uint32_t ReduceBetweenAvx2(const T* data, const uint32_t* positions,
-                           uint32_t n, T lo, T hi, uint32_t* out) {
+DB_TARGET_AVX2 uint32_t ReduceBetweenAvx2(const T* data,
+                                          const uint32_t* positions,
+                                          uint32_t n, T lo, T hi,
+                                          uint32_t* out) {
   static_assert(sizeof(T) <= 4);
   constexpr int W = sizeof(T);
   // Bias for full-range 32-bit values; narrow codes are zero-extended and
@@ -386,8 +464,8 @@ uint32_t ReduceBetweenAvx2(const T* data, const uint32_t* positions,
 }
 
 template <typename T>
-uint32_t ReduceNeAvx2(const T* data, const uint32_t* positions, uint32_t n,
-                      T val, uint32_t* out) {
+DB_TARGET_AVX2 uint32_t ReduceNeAvx2(const T* data, const uint32_t* positions,
+                                     uint32_t n, T val, uint32_t* out) {
   static_assert(sizeof(T) <= 4);
   constexpr int W = sizeof(T);
   const __m256i cv = _mm256_set1_epi32(int(uint32_t(val)));
@@ -420,22 +498,22 @@ uint32_t ReduceNeAvx2(const T* data, const uint32_t* positions, uint32_t n,
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Public dispatch.
+// Public dispatch. Requested ISAs above what the host supports are clamped
+// down, so an explicit Isa::kAvx2 is safe (it silently runs the best
+// available flavor instead of faulting).
 // ---------------------------------------------------------------------------
 
 template <typename T>
 uint32_t FindMatchesBetween(const T* data, uint32_t from, uint32_t to, T lo,
                             T hi, Isa isa, uint32_t* out) {
   if (lo > hi || from >= to) return 0;
-  switch (isa) {
+  switch (ClampIsa(isa)) {
     case Isa::kScalar:
       return FindBetweenScalar(data, from, to, lo, hi, out);
     case Isa::kSse:
-      return FindBetweenSimd2<T, Sse<sizeof(T)>, EmitSse>(data, from, to, lo,
-                                                          hi, out);
+      return FindBetweenSseK(data, from, to, lo, hi, out);
     case Isa::kAvx2:
-      return FindBetweenSimd2<T, Avx2<sizeof(T)>, EmitAvx2>(data, from, to,
-                                                            lo, hi, out);
+      return FindBetweenAvx2K(data, from, to, lo, hi, out);
   }
   return 0;
 }
@@ -444,13 +522,13 @@ template <typename T>
 uint32_t FindMatchesNe(const T* data, uint32_t from, uint32_t to, T v, Isa isa,
                        uint32_t* out) {
   if (from >= to) return 0;
-  switch (isa) {
+  switch (ClampIsa(isa)) {
     case Isa::kScalar:
       return FindNeScalar(data, from, to, v, out);
     case Isa::kSse:
-      return FindNeSimd<T, Sse<sizeof(T)>, EmitSse>(data, from, to, v, out);
+      return FindNeSseK(data, from, to, v, out);
     case Isa::kAvx2:
-      return FindNeSimd<T, Avx2<sizeof(T)>, EmitAvx2>(data, from, to, v, out);
+      return FindNeAvx2K(data, from, to, v, out);
   }
   return 0;
 }
@@ -463,7 +541,7 @@ uint32_t ReduceMatchesBetween(const T* data, const uint32_t* positions,
   // paper reports that 64-bit reduction does not benefit from SIMD
   // (Section 4.2), and Figure 9 compares scalar vs AVX2.
   if constexpr (sizeof(T) <= 4) {
-    if (isa == Isa::kAvx2) {
+    if (ClampIsa(isa) == Isa::kAvx2) {
       return ReduceBetweenAvx2(data, positions, n, lo, hi, out);
     }
   }
@@ -474,7 +552,7 @@ template <typename T>
 uint32_t ReduceMatchesNe(const T* data, const uint32_t* positions, uint32_t n,
                          T v, Isa isa, uint32_t* out) {
   if constexpr (sizeof(T) <= 4) {
-    if (isa == Isa::kAvx2) {
+    if (ClampIsa(isa) == Isa::kAvx2) {
       return ReduceNeAvx2(data, positions, n, v, out);
     }
   }

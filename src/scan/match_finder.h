@@ -10,9 +10,21 @@ namespace datablocks {
 /// all three are selectable at run time.
 enum class Isa : uint8_t { kScalar, kSse, kAvx2 };
 
-/// Best ISA available on this CPU (compile-time: the library is built with
-/// -march=native).
+/// Best ISA available on this CPU, detected at run time (util/cpu.h). The
+/// library itself is compiled for baseline x86-64; the SIMD kernels carry
+/// per-function `target` attributes and are only reached when the host
+/// supports them. `DATABLOCKS_FORCE_SCALAR=1` in the environment forces
+/// kScalar.
 Isa BestIsa();
+
+/// True if the host CPU can execute kernels of the given flavor (kAvx2 also
+/// requires BMI2). Always true for kScalar.
+bool IsaSupported(Isa isa);
+
+/// Downgrades `isa` to the best flavor the host supports (kAvx2 -> kSse ->
+/// kScalar). All public kernels clamp their `isa` argument with this, so an
+/// unsupported request runs the fallback instead of faulting.
+Isa ClampIsa(Isa isa);
 
 const char* IsaName(Isa isa);
 

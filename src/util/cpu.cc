@@ -1,0 +1,35 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace datablocks {
+namespace cpu {
+
+namespace {
+
+Features Detect() {
+  Features f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.bmi2 = __builtin_cpu_supports("bmi2");
+#endif
+  const char* force = std::getenv("DATABLOCKS_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0) {
+    f.sse42 = f.avx2 = f.bmi2 = false;
+    f.forced_scalar = true;
+  }
+  return f;
+}
+
+}  // namespace
+
+const Features& HostFeatures() {
+  static const Features features = Detect();
+  return features;
+}
+
+}  // namespace cpu
+}  // namespace datablocks

@@ -1,0 +1,40 @@
+#ifndef DATABLOCKS_UTIL_CPU_H_
+#define DATABLOCKS_UTIL_CPU_H_
+
+namespace datablocks {
+namespace cpu {
+
+/// Host ISA features relevant to the scan kernels, resolved once at first
+/// use. The library is compiled for baseline x86-64; every AVX2/BMI2/SSE4.2
+/// kernel is reached only through this layer (or through an `Isa` value
+/// clamped against it), so the binary runs on any x86-64 host.
+///
+/// Setting the environment variable `DATABLOCKS_FORCE_SCALAR` to a non-empty
+/// value other than "0" masks all SIMD features, forcing every kernel onto
+/// its scalar fallback — used by tests to compare the paths bit-for-bit and
+/// by operators to rule SIMD in or out when debugging.
+struct Features {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+  bool forced_scalar = false;  ///< DATABLOCKS_FORCE_SCALAR was set.
+};
+
+/// The latched feature snapshot (env override already applied to the
+/// ISA bits; `forced_scalar` records that it happened).
+const Features& HostFeatures();
+
+/// AVX2 kernels also use BMI2 (PEXT), so they require both.
+inline bool HasAvx2() {
+  const Features& f = HostFeatures();
+  return f.avx2 && f.bmi2;
+}
+
+inline bool HasSse42() { return HostFeatures().sse42; }
+
+inline bool ForcedScalar() { return HostFeatures().forced_scalar; }
+
+}  // namespace cpu
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_UTIL_CPU_H_

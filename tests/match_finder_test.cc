@@ -8,6 +8,7 @@
 
 #include "scan/match_finder.h"
 #include "util/aligned_buffer.h"
+#include "util/cpu.h"
 
 namespace datablocks {
 namespace {
@@ -243,9 +244,15 @@ TEST(MatchFinderDouble, ScalarKernels) {
   EXPECT_EQ(FindMatchesNeF64(data.data(), 0, 5, 3.25, out.data()), 3u);
 }
 
-TEST(MatchFinder, BestIsaIsSimd) {
-  // The library is compiled with -march=native on an AVX2 machine.
-  EXPECT_NE(BestIsa(), Isa::kScalar);
+TEST(MatchFinder, BestIsaIsSupported) {
+  // BestIsa is resolved at run time (util/cpu.h); the exact feature->flavor
+  // ladder is asserted by CpuFeatures.BestIsaConsistentWithFeatures in
+  // simd_dispatch_test.cc. Here we only require that whatever it returns is
+  // actually executable on this host.
+  EXPECT_TRUE(IsaSupported(BestIsa()));
+  if (cpu::ForcedScalar()) {
+    EXPECT_EQ(BestIsa(), Isa::kScalar);
+  }
 }
 
 // Selectivity sweep: verify match counts track the expected selectivity and
