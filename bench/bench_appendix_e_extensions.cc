@@ -21,6 +21,8 @@
 #include "util/date.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpch;
 
@@ -49,8 +51,9 @@ double Best(int reps, const std::function<void()>& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpchConfig cfg;
-  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.3;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.3);
   std::printf("generating TPC-H SF %.2f (frozen)...\n", cfg.scale_factor);
   auto db = MakeTpch(cfg);
   db->FreezeAll();

@@ -1,0 +1,45 @@
+#ifndef DATABLOCKS_BENCH_BENCH_COMMON_H_
+#define DATABLOCKS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+// Shared flag handling for the bench binaries. Every benchmark accepts
+// `--quick` (anywhere on the command line): workloads shrink to smoke-test
+// sizes so CI can launch each binary and catch bit-rot. Quick-mode numbers
+// are NOT meaningful reproductions of the paper's figures.
+//
+// BenchQuickMode strips `--quick` from argv so positional arguments keep
+// working (e.g. `bench_table2_tpch --quick 0.01 1`).
+inline bool BenchQuickMode(int* argc, char** argv) {
+  bool quick = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (quick) {
+    std::printf(
+        "[--quick] smoke-test sizes; timings are not paper-comparable\n");
+  }
+  return quick;
+}
+
+// Argv for google-benchmark binaries: in quick mode a tiny
+// --benchmark_min_time is spliced in so every registered benchmark still
+// runs, just briefly. Pass `args.size() - 1` (the trailing nullptr) as argc
+// to benchmark::Initialize.
+inline std::vector<char*> QuickBenchArgs(int argc, char** argv, bool quick) {
+  static char min_time[] = "--benchmark_min_time=0.005";
+  std::vector<char*> args(argv, argv + argc);
+  if (quick) args.insert(args.begin() + 1, min_time);
+  args.push_back(nullptr);
+  return args;
+}
+
+#endif  // DATABLOCKS_BENCH_BENCH_COMMON_H_

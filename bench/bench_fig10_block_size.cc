@@ -10,6 +10,8 @@
 #include "workloads/flights.h"
 #include "workloads/imdb.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 
 namespace {
@@ -47,7 +49,8 @@ double FlightsRatio(uint64_t rows, uint32_t records) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double sf = argc > 1 ? atof(argv[1]) : 0.05;
+  const bool quick = BenchQuickMode(&argc, argv);
+  double sf = argc > 1 ? atof(argv[1]) : (quick ? 0.005 : 0.05);
   uint64_t rows = uint64_t(1'000'000 * sf * 10);
 
   std::printf(

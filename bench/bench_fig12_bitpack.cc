@@ -21,6 +21,8 @@
 #include "datablock/data_block.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 
 namespace {
@@ -71,7 +73,8 @@ uint64_t BestCycles(int reps, const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchQuickMode(&argc, argv);  // one 2^16 block: already smoke-sized
   Setup s;
   std::vector<uint32_t> pos(kN + 8);
   std::vector<uint32_t> out_a(kN), out_b(kN), out_c(kN);

@@ -9,6 +9,8 @@
 #include "tpch/queries.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpch;
 
@@ -28,8 +30,9 @@ double GeoMeanSeconds(const TpchDatabase& db, ScanMode mode,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpchConfig cfg;
-  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.1;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.1);
   const bool full_sweep = argc > 2 && atoi(argv[2]) != 0;
 
   std::printf("generating TPC-H SF %.2f (hot + frozen)...\n",

@@ -12,6 +12,8 @@
 #include "util/date.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpch;
 
@@ -73,8 +75,9 @@ JoinResult RunJoin(const TpchDatabase& db, const JoinHashTable& ht,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpchConfig cfg;
-  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.5;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.5);
 
   std::printf("generating TPC-H SF %.2f...\n", cfg.scale_factor);
   auto db = MakeTpch(cfg);

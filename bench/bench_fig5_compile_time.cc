@@ -11,10 +11,14 @@
 #include "util/rng.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 
 int main(int argc, char** argv) {
-  const uint32_t max_combos = argc > 1 ? uint32_t(atoi(argv[1])) : 1024;
+  const bool quick = BenchQuickMode(&argc, argv);
+  const uint32_t max_combos =
+      argc > 1 ? uint32_t(atoi(argv[1])) : (quick ? 4u : 1024u);
   if (!JitCompiler::Available()) {
     std::printf("no system compiler available; Figure 5 requires one\n");
     return 0;

@@ -11,6 +11,8 @@
 #include "util/aligned_buffer.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 namespace datablocks {
 namespace {
 
@@ -109,7 +111,10 @@ void PrintSummary() {
 }  // namespace datablocks
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  const bool quick = BenchQuickMode(&argc, argv);
+  std::vector<char*> args = QuickBenchArgs(argc, argv, quick);
+  int argn = int(args.size()) - 1;
+  benchmark::Initialize(&argn, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   datablocks::PrintSummary();

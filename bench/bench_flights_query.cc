@@ -9,6 +9,8 @@
 #include "util/timer.h"
 #include "workloads/flights.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::workloads;
 
@@ -29,8 +31,10 @@ double Measure(const Table& t, ScanMode mode, size_t* result_size,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   FlightsConfig cfg;
-  cfg.num_rows = argc > 1 ? uint64_t(atoll(argv[1])) : 4'000'000;
+  cfg.num_rows =
+      argc > 1 ? uint64_t(atoll(argv[1])) : (quick ? 150'000 : 4'000'000);
 
   std::printf("generating %llu flights (1987-10 .. 2008-04)...\n",
               (unsigned long long)cfg.num_rows);

@@ -11,6 +11,8 @@
 #include "workloads/flights.h"
 #include "workloads/imdb.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 
 namespace {
@@ -73,7 +75,8 @@ void Report(const char* name, uint64_t uncompressed, Table* tables[],
 }  // namespace
 
 int main(int argc, char** argv) {
-  double sf = argc > 1 ? atof(argv[1]) : 0.2;
+  const bool quick = BenchQuickMode(&argc, argv);
+  double sf = argc > 1 ? atof(argv[1]) : (quick ? 0.01 : 0.2);
 
   std::printf("=== Table 1: database sizes (uncompressed vs Data Blocks vs "
               "sub-byte reference) ===\n");

@@ -17,6 +17,8 @@
 #include "tpch/queries.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpch;
 
@@ -41,9 +43,10 @@ double MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpchConfig cfg;
-  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.2;
-  const int reps = argc > 2 ? atoi(argv[2]) : 2;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.2);
+  const int reps = argc > 2 ? atoi(argv[2]) : (quick ? 1 : 2);
 
   std::printf("generating TPC-H SF %.2f (hot + frozen instances)...\n",
               cfg.scale_factor);

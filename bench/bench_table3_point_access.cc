@@ -14,6 +14,8 @@
 #include "tpch/tpch_db.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpch;
 
@@ -94,10 +96,11 @@ double IndexLookupsPerSecond(const Table& t, const PkIndex& idx,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpchConfig cfg;
-  cfg.scale_factor = argc > 1 ? atof(argv[1]) : 0.5;
-  const int idx_probes = 200000;
-  const int scan_probes = 200;
+  cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.5);
+  const int idx_probes = quick ? 5000 : 200000;
+  const int scan_probes = quick ? 5 : 200;
 
   std::printf("generating TPC-H SF %.2f customer relation...\n",
               cfg.scale_factor);

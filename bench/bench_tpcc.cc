@@ -10,6 +10,8 @@
 #include "tpcc/tpcc_db.h"
 #include "util/timer.h"
 
+#include "bench_common.h"
+
 using namespace datablocks;
 using namespace datablocks::tpcc;
 
@@ -39,9 +41,10 @@ double ReadOnlyTps(TpccDatabase& db, int txns, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = BenchQuickMode(&argc, argv);
   TpccConfig cfg;
-  cfg.num_warehouses = argc > 1 ? atoi(argv[1]) : 5;
-  const int txns = argc > 2 ? atoi(argv[2]) : 200000;
+  cfg.num_warehouses = argc > 1 ? atoi(argv[1]) : (quick ? 1 : 5);
+  const int txns = argc > 2 ? atoi(argv[2]) : (quick ? 2000 : 200000);
 
   std::printf("loading TPC-C with %d warehouses (x2 instances)...\n",
               cfg.num_warehouses);

@@ -337,6 +337,24 @@ Value DataBlock::GetValue(uint32_t col, uint32_t row) const {
   return Value::Null();
 }
 
+DataBlock DataBlock::FromBytes(const uint8_t* bytes, uint64_t size) {
+  DataBlock block = ForFill(size);
+  std::memcpy(block.buf_.data(), bytes, size);
+  block.ValidateFilled();
+  return block;
+}
+
+DataBlock DataBlock::ForFill(uint64_t size) {
+  DB_CHECK(size >= sizeof(BlockHeader));
+  DataBlock block;
+  block.buf_.Allocate(size);
+  return block;
+}
+
+void DataBlock::ValidateFilled() const {
+  DB_CHECK(header()->magic == kMagic && header()->total_bytes == buf_.size());
+}
+
 void DataBlock::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(buf_.data()),
            std::streamsize(SizeBytes()));

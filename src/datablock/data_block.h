@@ -181,8 +181,21 @@ class DataBlock {
 
   // -- Serialization (blocks are flat and pointer-free). -----------------
 
+  /// The entire block as one flat byte range (for archival/checksumming).
+  const uint8_t* raw_bytes() const { return buf_.data(); }
+
   void Serialize(std::ostream& os) const;
   static DataBlock Deserialize(std::istream& is);
+  /// Reconstructs a block from `size` bytes previously produced by
+  /// Serialize (or copied out via raw_bytes()).
+  static DataBlock FromBytes(const uint8_t* bytes, uint64_t size);
+
+  /// Direct-fill reload path (avoids an intermediate copy): allocates a
+  /// `size`-byte block buffer; the caller reads a serialized image into
+  /// fill_bytes() and then calls ValidateFilled().
+  static DataBlock ForFill(uint64_t size);
+  uint8_t* fill_bytes() { return buf_.data(); }
+  void ValidateFilled() const;
 
   /// Total PSMA bytes in this block (reporting).
   uint64_t PsmaBytes() const;

@@ -20,6 +20,11 @@ namespace datablocks {
 ///
 /// Returns the per-worker states for merging. SMA/PSMA pruning happens
 /// independently inside every worker's scanner.
+///
+/// Safe to run concurrently with the block lifecycle: each worker's
+/// TableScanner pins its claimed chunk (reloading it if evicted) for the
+/// duration of that morsel, so background freezing/eviction can proceed on
+/// all unclaimed chunks without invalidating in-flight scans.
 template <typename State, typename MakeState, typename Consume>
 std::vector<State> ParallelScan(const Table& table,
                                 std::vector<uint32_t> columns,

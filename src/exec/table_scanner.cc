@@ -249,7 +249,24 @@ TableScanner::TableScanner(const Table& table, std::vector<uint32_t> columns,
   positions_.resize(vector_size_ + 8);
 }
 
+TableScanner::~TableScanner() { ReleasePin(); }
+
+void TableScanner::PinCurrentChunk() {
+  if (pinned_chunk_ == chunk_idx_) return;
+  ReleasePin();
+  table_->PinChunk(chunk_idx_);
+  pinned_chunk_ = chunk_idx_;
+}
+
+void TableScanner::ReleasePin() {
+  if (pinned_chunk_ != SIZE_MAX) {
+    table_->UnpinChunk(pinned_chunk_);
+    pinned_chunk_ = SIZE_MAX;
+  }
+}
+
 void TableScanner::Reset() {
+  ReleasePin();
   chunk_idx_ = chunk_begin_;
   pos_ = 0;
   chunk_prepped_ = false;
@@ -296,10 +313,14 @@ bool TableScanner::Next(Batch* batch) {
   const size_t end = std::min<size_t>(chunk_limit_, table_->num_chunks());
   while (chunk_idx_ < end) {
     if (!chunk_prepped_) {
+      // Pin before looking at the chunk: reloads it if evicted and blocks
+      // freeze/evict until the scan moves on.
+      PinCurrentChunk();
       PrepareChunk();
       pos_ = range_begin_;
     }
     if (skip_chunk_ || pos_ >= range_end_) {
+      ReleasePin();
       ++chunk_idx_;
       chunk_prepped_ = false;
       continue;

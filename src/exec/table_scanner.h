@@ -48,9 +48,21 @@ class TableScanner {
                std::vector<Predicate> predicates, ScanMode mode,
                uint32_t vector_size = kDefaultVectorSize,
                Isa isa = BestIsa());
+  ~TableScanner();
+
+  // The scanner holds a chunk pin across Next() calls (see below); copying
+  // would double-release it.
+  TableScanner(const TableScanner&) = delete;
+  TableScanner& operator=(const TableScanner&) = delete;
 
   /// Produces the next non-empty batch of matching tuples. Returns false
   /// when the scan is exhausted.
+  ///
+  /// The chunk currently being produced stays pinned (Table::PinChunk)
+  /// between calls: evicted chunks are transparently reloaded when the scan
+  /// reaches them, and the lifecycle manager cannot evict a chunk out from
+  /// under an in-progress scan. The pin is dropped when the scan moves past
+  /// the chunk, is Reset, or the scanner is destroyed.
   bool Next(Batch* batch);
 
   /// Restarts the scan from the beginning.
@@ -68,6 +80,8 @@ class TableScanner {
   uint64_t chunks_skipped() const { return chunks_skipped_; }
 
  private:
+  void PinCurrentChunk();
+  void ReleasePin();
   void PrepareChunk();
   uint32_t ProduceHotWindow(const Chunk& chunk, uint32_t from, uint32_t to,
                             Batch* batch);
@@ -95,6 +109,7 @@ class TableScanner {
   size_t chunk_begin_ = 0;
   size_t chunk_limit_ = SIZE_MAX;
   size_t chunk_idx_ = 0;
+  size_t pinned_chunk_ = SIZE_MAX;
   uint32_t pos_ = 0;
   bool chunk_prepped_ = false;
   bool skip_chunk_ = false;

@@ -29,31 +29,31 @@ std::string DecodeExpr(uint32_t a, JitLayout l) {
   switch (l) {
     case JitLayout::kRaw32:
       std::snprintf(buf, sizeof(buf),
-                    "(int64_t)((const int32_t*)cols[%u].data)[row]", a);
+                    "(uint64_t)(int64_t)((const int32_t*)cols[%u].data)[row]", a);
       break;
     case JitLayout::kRaw64:
       std::snprintf(buf, sizeof(buf),
-                    "((const int64_t*)cols[%u].data)[row]", a);
+                    "(uint64_t)((const int64_t*)cols[%u].data)[row]", a);
       break;
     case JitLayout::kTrunc1:
       std::snprintf(buf, sizeof(buf),
-                    "cols[%u].min + ((const uint8_t*)cols[%u].data)[row]", a,
+                    "(uint64_t)cols[%u].min + ((const uint8_t*)cols[%u].data)[row]", a,
                     a);
       break;
     case JitLayout::kTrunc2:
       std::snprintf(buf, sizeof(buf),
-                    "cols[%u].min + ((const uint16_t*)cols[%u].data)[row]", a,
+                    "(uint64_t)cols[%u].min + ((const uint16_t*)cols[%u].data)[row]", a,
                     a);
       break;
     case JitLayout::kTrunc4:
       std::snprintf(buf, sizeof(buf),
-                    "cols[%u].min + ((const uint32_t*)cols[%u].data)[row]", a,
+                    "(uint64_t)cols[%u].min + ((const uint32_t*)cols[%u].data)[row]", a,
                     a);
       break;
     case JitLayout::kDict2:
       std::snprintf(
           buf, sizeof(buf),
-          "cols[%u].dict[((const uint16_t*)cols[%u].data)[row]]", a, a);
+          "(uint64_t)cols[%u].dict[((const uint16_t*)cols[%u].data)[row]]", a, a);
       break;
   }
   return buf;
@@ -74,7 +74,7 @@ std::string GenerateScanSource(const std::vector<LayoutCombo>& combos) {
       "uint32_t layout; };\n"
       "extern \"C\" int64_t jit_scan(const JitChunkDesc* chunks, uint32_t "
       "n) {\n"
-      "  int64_t sum = 0;\n"
+      "  uint64_t sum = 0;\n"
       "  for (uint32_t c = 0; c < n; ++c) {\n"
       "    const JitColumnDesc* cols = chunks[c].cols;\n"
       "    const uint32_t rows = chunks[c].rows;\n"
@@ -85,7 +85,7 @@ std::string GenerateScanSource(const std::vector<LayoutCombo>& combos) {
     src += buf;
     src += "      for (uint32_t row = 0; row != rows; ++row) {\n";
     for (uint32_t a = 0; a < num_attrs; ++a) {
-      std::snprintf(buf, sizeof(buf), "        int64_t a%u = ", a);
+      std::snprintf(buf, sizeof(buf), "        uint64_t a%u = ", a);
       src += buf;
       src += DecodeExpr(a, combos[k][a]);
       src += ";\n";
@@ -101,14 +101,16 @@ std::string GenerateScanSource(const std::vector<LayoutCombo>& combos) {
   src +=
       "    }\n"
       "  }\n"
-      "  return sum;\n"
+      "  return (int64_t)sum;\n"
       "}\n";
   return src;
 }
 
 int64_t InterpretScan(const std::vector<LayoutCombo>& combos,
                       const JitChunkDesc* chunks, uint32_t n) {
-  int64_t sum = 0;
+  // Unsigned accumulation: sums of random int64 test data wrap around, and
+  // the generated code (see GenerateScanSource) wraps the same way.
+  uint64_t sum = 0;
   for (uint32_t c = 0; c < n; ++c) {
     const LayoutCombo& combo = combos[chunks[c].layout];
     for (uint32_t row = 0; row < chunks[c].rows; ++row) {
@@ -116,28 +118,33 @@ int64_t InterpretScan(const std::vector<LayoutCombo>& combos,
         const JitColumnDesc& col = chunks[c].cols[a];
         switch (combo[a]) {
           case JitLayout::kRaw32:
-            sum += reinterpret_cast<const int32_t*>(col.data)[row];
+            sum += uint64_t(
+                int64_t(reinterpret_cast<const int32_t*>(col.data)[row]));
             break;
           case JitLayout::kRaw64:
-            sum += reinterpret_cast<const int64_t*>(col.data)[row];
+            sum += uint64_t(reinterpret_cast<const int64_t*>(col.data)[row]);
             break;
           case JitLayout::kTrunc1:
-            sum += col.min + reinterpret_cast<const uint8_t*>(col.data)[row];
+            sum += uint64_t(col.min) +
+                   reinterpret_cast<const uint8_t*>(col.data)[row];
             break;
           case JitLayout::kTrunc2:
-            sum += col.min + reinterpret_cast<const uint16_t*>(col.data)[row];
+            sum += uint64_t(col.min) +
+                   reinterpret_cast<const uint16_t*>(col.data)[row];
             break;
           case JitLayout::kTrunc4:
-            sum += col.min + reinterpret_cast<const uint32_t*>(col.data)[row];
+            sum += uint64_t(col.min) +
+                   reinterpret_cast<const uint32_t*>(col.data)[row];
             break;
           case JitLayout::kDict2:
-            sum += col.dict[reinterpret_cast<const uint16_t*>(col.data)[row]];
+            sum += uint64_t(
+                col.dict[reinterpret_cast<const uint16_t*>(col.data)[row]]);
             break;
         }
       }
     }
   }
-  return sum;
+  return int64_t(sum);
 }
 
 }  // namespace datablocks

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "util/timer.h"
 
@@ -58,8 +59,11 @@ bool JitCompiler::Available() {
   // such hosts.
   static const bool available = [] {
     if (CompilerPath() == nullptr) return false;
+    // Local error sink: a failing probe is the expected outcome on hosts
+    // without a usable toolchain and must not spam stderr.
+    std::string probe_error;
     auto mod = Compile("extern \"C\" int datablocks_jit_probe() { return 1; }",
-                       nullptr);
+                       &probe_error);
     return mod != nullptr &&
            mod->Symbol("datablocks_jit_probe") != nullptr;
   }();
@@ -80,19 +84,27 @@ std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
     std::ofstream out(src_path);
     out << source;
   }
-  // -O1 keeps the optimizing middle end in the loop (the cost Figure 5
-  // measures) without gcc's most expensive passes.
-  std::string cmd = std::string(cc) + " -std=c++17 -O1 -shared -fPIC -o " +
+  // -O2: the full optimizing pipeline HyPer pays for as well — Figure 5
+  // measures exactly this cost growing with the number of generated
+  // storage-layout code paths.
+  std::string cmd = std::string(cc) + " -std=c++17 -O2 -shared -fPIC -o " +
                     so_path + " " + src_path + " >" + log_path + " 2>&1";
   Timer timer;
   int rc = std::system(cmd.c_str());
   double secs = timer.ElapsedSeconds();
   std::remove(src_path.c_str());
   if (rc != 0) {
+    std::ifstream log(log_path);
+    std::string diag{std::istreambuf_iterator<char>(log),
+                     std::istreambuf_iterator<char>()};
+    if (diag.empty()) diag = "(no compiler output)";
     if (error != nullptr) {
-      std::ifstream log(log_path);
-      error->assign(std::istreambuf_iterator<char>(log),
-                    std::istreambuf_iterator<char>());
+      *error = "jit compile failed (" + cmd + "):\n" + diag;
+    } else {
+      // Never fail silently: callers that ignore `error` would otherwise
+      // just see a null module.
+      std::fprintf(stderr, "datablocks jit: compile failed (rc=%d): %.2000s\n",
+                   rc, diag.c_str());
     }
     std::remove(log_path.c_str());
     std::remove(so_path.c_str());
@@ -102,7 +114,13 @@ std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
 
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
-    if (error != nullptr) *error = dlerror();
+    const char* dlerr = dlerror();
+    if (error != nullptr) {
+      *error = dlerr != nullptr ? dlerr : "dlopen failed";
+    } else {
+      std::fprintf(stderr, "datablocks jit: dlopen failed: %s\n",
+                   dlerr != nullptr ? dlerr : "(no dlerror)");
+    }
     std::remove(so_path.c_str());
     return nullptr;
   }

@@ -1,0 +1,170 @@
+#include "lifecycle/lifecycle_manager.h"
+
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace datablocks {
+
+LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
+                                   LifecycleConfig config)
+    : table_(table),
+      cfg_(config),
+      archive_(BlockArchive::Create(archive_path)),
+      cache_(config.memory_budget_bytes) {
+  DB_CHECK(table_ != nullptr);
+  // The reload path: must not call back into Table — it only touches the
+  // manager's own state (mu_) and the archive. Residency bookkeeping needs
+  // no update here: the chunk's state transition (kEvicted -> kFrozen) is
+  // the single source of truth the cache probes.
+  table_->SetBlockFetcher([this](size_t chunk_idx) {
+    size_t block_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = archived_.find(chunk_idx);
+      DB_CHECK(it != archived_.end());  // evicted chunk must be archived
+      block_id = it->second;
+    }
+    return archive_.ReadBlock(block_id);
+  });
+}
+
+LifecycleManager::~LifecycleManager() {
+  Stop();
+  // Leave the table self-contained: reload every evicted block, then
+  // detach. Afterwards the table no longer depends on this manager or its
+  // archive file.
+  for (size_t c = 0; c < table_->num_chunks(); ++c) {
+    if (table_->is_evicted(c)) {
+      Table::PinGuard pin(*table_, c);
+    }
+  }
+  table_->SetBlockFetcher(nullptr);
+  archive_.Finish();
+}
+
+bool LifecycleManager::ArchiveChunk(size_t idx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (archived_.count(idx) != 0) return false;
+  }
+  Table::PinGuard pin(*table_, idx);
+  const DataBlock* block = table_->frozen_block(idx);
+  if (block == nullptr) return false;  // raced back to hot — skip
+  // The delete bitmap is deliberately NOT archived here: it stays mutable
+  // in table memory across eviction. Whole-table BlockArchive::Save is the
+  // path that persists bitmaps.
+  size_t id = archive_.AppendBlock(*block, uint32_t(idx));
+  std::lock_guard<std::mutex> lock(mu_);
+  archived_[idx] = id;
+  cache_.Register(idx, block->SizeBytes());
+  return true;
+}
+
+void LifecycleManager::EnforceBudget() {
+  // Residency is probed straight from the chunk states (this manager is
+  // the only evictor, and concurrent reloads can only *add* residency —
+  // an addition missed by this pass is picked up next tick).
+  auto resident = [&](size_t c) {
+    return table_->chunk_state(c) == ChunkState::kFrozen;
+  };
+  auto last_access = [&](size_t c) {
+    return uint64_t(table_->chunk_last_access(c));
+  };
+  std::unordered_set<size_t> skip;  // pinned victims to retry next tick
+  for (;;) {
+    size_t victim = SIZE_MAX;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cache_.ResidentBytes(resident) <= cache_.budget_bytes()) return;
+      victim = cache_.PickVictim(resident, last_access, skip);
+    }
+    if (victim == SIZE_MAX) return;  // everything left is pinned
+    if (!table_->EvictChunk(victim)) skip.insert(victim);
+  }
+}
+
+void LifecycleManager::Tick() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  table_->AdvanceAccessEpoch();
+  const size_t n = table_->num_chunks();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cold_epochs_.size() < n) cold_epochs_.resize(n, 0);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    ChunkState st = table_->chunk_state(i);
+    if (st == ChunkState::kHot) {
+      const uint32_t clock = table_->chunk_clock(i);
+      const bool candidate = table_->chunk_full(i) || cfg_.freeze_partial_tail;
+      uint32_t cold;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!candidate || clock > cfg_.cold_threshold)
+          cold_epochs_[i] = 0;
+        else
+          ++cold_epochs_[i];
+        cold = cold_epochs_[i];
+      }
+      if (candidate && cold >= cfg_.freeze_after_cold_epochs) {
+        if (table_->FreezeChunk(i, cfg_.sort_col, cfg_.build_psma)) {
+          freezes_.fetch_add(1, std::memory_order_relaxed);
+          ArchiveChunk(i);
+        }
+      }
+    } else if (st == ChunkState::kFrozen) {
+      // Adopt chunks frozen outside the policy (FreezeAll, explicit
+      // FreezeChunk): archiving them makes them evictable too.
+      if (ArchiveChunk(i)) adopted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    table_->DecayChunkClock(i, cfg_.decay_shift);
+  }
+
+  EnforceBudget();
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LifecycleManager::Start() {
+  if (bg_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = false;
+  }
+  bg_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(bg_mu_);
+    while (!bg_stop_) {
+      lock.unlock();
+      Tick();
+      lock.lock();
+      bg_cv_.wait_for(lock, cfg_.tick_interval, [this] { return bg_stop_; });
+    }
+  });
+}
+
+void LifecycleManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_.joinable()) bg_.join();
+}
+
+LifecycleStats LifecycleManager::stats() const {
+  LifecycleStats s;
+  s.epochs = epochs_.load(std::memory_order_relaxed);
+  s.freezes = freezes_.load(std::memory_order_relaxed);
+  s.adopted = adopted_.load(std::memory_order_relaxed);
+  s.evictions = table_->evictions();
+  s.reloads = table_->reloads();
+  s.archived_blocks = archive_.num_blocks();
+  s.archive_bytes = archive_.PayloadBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.resident_bytes = cache_.ResidentBytes([&](size_t c) {
+    return table_->chunk_state(c) == ChunkState::kFrozen;
+  });
+  return s;
+}
+
+}  // namespace datablocks

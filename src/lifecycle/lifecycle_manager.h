@@ -1,0 +1,134 @@
+#ifndef DATABLOCKS_LIFECYCLE_LIFECYCLE_MANAGER_H_
+#define DATABLOCKS_LIFECYCLE_LIFECYCLE_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lifecycle/block_cache.h"
+#include "storage/block_archive.h"
+#include "storage/table.h"
+
+namespace datablocks {
+
+/// Policy knobs of the block lifecycle (see README "Block lifecycle").
+struct LifecycleConfig {
+  // -- Freeze policy (hot -> frozen) --------------------------------------
+  /// A chunk whose per-epoch access clock is <= this counts as cold.
+  uint32_t cold_threshold = 0;
+  /// Consecutive cold epochs before a full hot chunk is frozen.
+  uint32_t freeze_after_cold_epochs = 2;
+  /// Clocks are decayed by `clock >>= decay_shift` every epoch.
+  uint32_t decay_shift = 1;
+  /// Sort criterion passed to FreezeChunk. Sorting invalidates RowIds, so
+  /// leave at -1 whenever indexes point into the table.
+  int sort_col = -1;
+  bool build_psma = true;
+  /// Also freeze a cooled-down partially-filled tail chunk. Off by default:
+  /// the tail is normally still receiving inserts.
+  bool freeze_partial_tail = false;
+
+  // -- Eviction policy (frozen -> evicted) --------------------------------
+  /// Budget for resident frozen-block bytes; the coldest blocks are evicted
+  /// to the archive until the residency fits. UINT64_MAX = never evict.
+  uint64_t memory_budget_bytes = UINT64_MAX;
+
+  // -- Background compaction thread ---------------------------------------
+  std::chrono::milliseconds tick_interval{50};
+};
+
+struct LifecycleStats {
+  uint64_t epochs = 0;           // completed ticks
+  uint64_t freezes = 0;          // chunks auto-frozen by the policy
+  uint64_t adopted = 0;          // manually-frozen chunks archived for eviction
+  uint64_t evictions = 0;        // blocks dropped from memory
+  uint64_t reloads = 0;          // blocks transparently reloaded
+  uint64_t archived_blocks = 0;  // blocks written to the archive
+  uint64_t archive_bytes = 0;    // archive payload size
+  uint64_t resident_bytes = 0;   // resident frozen-block bytes (cache view)
+};
+
+/// The block lifecycle subsystem: per-chunk temperature statistics drive
+/// automatic freezing of cooled-down hot chunks into Data Blocks, and a
+/// block cache under a memory budget evicts the least recently used frozen
+/// blocks to a BlockArchive — from which they are transparently reloaded
+/// (and pinned) when a scan or point access touches them again.
+///
+/// One manager owns the lifecycle of one Table:
+///
+///   hot --(cold for N epochs)--> frozen --(over budget, LRU)--> evicted
+///                                  ^                               |
+///                                  +---(scan/point access pin)-----+
+///
+/// Blocks are archived once, at freeze time (they are immutable; the
+/// mutable side delete-bitmap stays in memory), so eviction itself is just
+/// dropping the resident copy. Ticks may run from a caller thread (Tick())
+/// or from the built-in background thread (Start()/Stop()); both may be
+/// active concurrently with OLTP point accesses and OLAP scans on the
+/// table.
+///
+/// The manager must outlive all use of the table's evicted chunks; its
+/// destructor reloads every evicted block (restoring a fully resident
+/// table) and detaches from the table.
+class LifecycleManager {
+ public:
+  LifecycleManager(Table* table, std::string archive_path,
+                   LifecycleConfig config = {});
+  ~LifecycleManager();
+
+  LifecycleManager(const LifecycleManager&) = delete;
+  LifecycleManager& operator=(const LifecycleManager&) = delete;
+
+  /// One policy epoch: decay clocks, freeze cooled-down chunks (archiving
+  /// them), adopt manually-frozen chunks, enforce the memory budget.
+  /// Thread-safe; concurrent ticks are serialized.
+  void Tick();
+
+  /// Runs Tick every config.tick_interval on a background thread.
+  void Start();
+  void Stop();
+  bool running() const { return bg_.joinable(); }
+
+  LifecycleStats stats() const;
+  const LifecycleConfig& config() const { return cfg_; }
+  Table* table() const { return table_; }
+  const BlockArchive& archive() const { return archive_; }
+
+ private:
+  /// Archives chunk `idx`'s resident block if not archived yet; registers
+  /// it with the cache. Returns true if newly archived.
+  bool ArchiveChunk(size_t idx);
+  void EnforceBudget();
+
+  Table* table_;
+  LifecycleConfig cfg_;
+  BlockArchive archive_;
+
+  /// Guards cache_/archived_/cold_epochs_. Lock order: a table's lifecycle
+  /// mutex may be held when mu_ is taken (the reload fetcher), so Tick
+  /// never calls into Table while holding mu_.
+  mutable std::mutex mu_;
+  std::mutex tick_mu_;  // serializes concurrent Tick calls
+  BlockCache cache_;
+  std::unordered_map<size_t, size_t> archived_;  // chunk -> archive block id
+  std::vector<uint32_t> cold_epochs_;
+
+  std::atomic<uint64_t> epochs_{0};
+  std::atomic<uint64_t> freezes_{0};
+  std::atomic<uint64_t> adopted_{0};
+
+  std::thread bg_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+};
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_LIFECYCLE_LIFECYCLE_MANAGER_H_

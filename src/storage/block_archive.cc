@@ -1,41 +1,229 @@
 #include "storage/block_archive.h"
 
-#include <fstream>
+#include <atomic>
+#include <bit>
+#include <cstring>
 
 #include "util/macros.h"
 
 namespace datablocks {
 
-size_t BlockArchive::Save(const Table& table, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  DB_CHECK(out.good());
-  size_t written = 0;
-  for (size_t c = 0; c < table.num_chunks(); ++c) {
-    const DataBlock* block = table.frozen_block(c);
-    if (block == nullptr) continue;
-    block->Serialize(out);
-    ++written;
+namespace {
+
+/// FNV-1a-style mix, 8 bytes per multiply (with an extra fold so upper
+/// bits diffuse): blocks are megabytes and this runs on the reload hot
+/// path, so the byte-at-a-time variant would cost more CPU than the read.
+uint64_t Fnv1a64(const uint8_t* data, uint64_t n, uint64_t seed) {
+  uint64_t h = seed;
+  uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h ^= w;
+    h *= 0x100000001b3ull;
+    h ^= h >> 32;
   }
-  DB_CHECK(out.good());
-  return written;
+  for (; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+}  // namespace
+
+BlockArchive::~BlockArchive() {
+  if (writable_ && file_.is_open()) Finish();
+}
+
+BlockArchive BlockArchive::Create(const std::string& path) {
+  BlockArchive a;
+  a.path_ = path;
+  a.mu_ = std::make_unique<std::mutex>();
+  a.writable_ = true;
+  a.file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                         std::ios::trunc);
+  DB_CHECK(a.file_.good());
+  FileHeader hdr{kMagic, kVersion, 0, 0, 0, 0};
+  a.file_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  a.file_.flush();
+  DB_CHECK(a.file_.good());
+  a.end_offset_ = sizeof(FileHeader);
+  return a;
+}
+
+BlockArchive BlockArchive::Open(const std::string& path) {
+  BlockArchive a;
+  a.path_ = path;
+  a.mu_ = std::make_unique<std::mutex>();
+  a.writable_ = false;
+  a.file_.open(path, std::ios::binary | std::ios::in);
+  DB_CHECK(a.file_.good());
+  FileHeader hdr;
+  a.file_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  DB_CHECK(a.file_.good());
+  DB_CHECK(hdr.magic == kMagic);
+  DB_CHECK(hdr.version == kVersion);
+  DB_CHECK(hdr.index_offset != 0);  // unfinished/truncated archive
+  a.entries_.resize(hdr.block_count);
+  a.file_.seekg(std::streamoff(hdr.index_offset));
+  a.file_.read(reinterpret_cast<char*>(a.entries_.data()),
+               std::streamsize(hdr.block_count * sizeof(ArchiveEntry)));
+  DB_CHECK(a.file_.good());
+  a.end_offset_ = hdr.index_offset;
+  return a;
+}
+
+size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
+                                 const uint64_t* delete_bitmap) {
+  DB_CHECK(mu_ != nullptr && writable_);
+  std::lock_guard<std::mutex> lock(*mu_);
+  const uint64_t block_bytes = block.SizeBytes();
+  const uint64_t bitmap_words =
+      delete_bitmap != nullptr ? BitmapWords(block.num_rows()) : 0;
+
+  // Snapshot the bitmap: the caller's pointer is typically the table's live
+  // side bitmap, which concurrent deletes mutate through atomic_ref —
+  // checksum, written bytes and deleted_count must all come from one
+  // atomic-read snapshot.
+  std::vector<uint64_t> bitmap(bitmap_words);
+  uint32_t deleted_count = 0;
+  for (uint64_t w = 0; w < bitmap_words; ++w) {
+    bitmap[w] = std::atomic_ref<uint64_t>(
+                    const_cast<uint64_t&>(delete_bitmap[w]))
+                    .load(std::memory_order_relaxed);
+    deleted_count += uint32_t(std::popcount(bitmap[w]));
+  }
+
+  uint64_t checksum = Fnv1a64(block.raw_bytes(), block_bytes, kFnvBasis);
+  if (bitmap_words != 0) {
+    checksum = Fnv1a64(reinterpret_cast<const uint8_t*>(bitmap.data()),
+                       bitmap_words * 8, checksum);
+  }
+
+  file_.seekp(std::streamoff(end_offset_));
+  file_.write(reinterpret_cast<const char*>(block.raw_bytes()),
+              std::streamsize(block_bytes));
+  if (bitmap_words != 0) {
+    file_.write(reinterpret_cast<const char*>(bitmap.data()),
+                std::streamsize(bitmap_words * 8));
+  }
+  file_.flush();
+  DB_CHECK(file_.good());
+
+  ArchiveEntry e;
+  e.offset = end_offset_;
+  e.block_bytes = block_bytes;
+  e.bitmap_words = bitmap_words;
+  e.checksum = checksum;
+  e.chunk_index = chunk_index;
+  e.deleted_count = deleted_count;
+  entries_.push_back(e);
+  end_offset_ += block_bytes + bitmap_words * 8;
+  return entries_.size() - 1;
+}
+
+DataBlock BlockArchive::ReadBlock(size_t id,
+                                  std::vector<uint64_t>* delete_bitmap) const {
+  DB_CHECK(mu_ != nullptr);
+  ArchiveEntry e;
+  DataBlock block;
+  std::vector<uint64_t> bitmap;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    DB_CHECK(id < entries_.size());
+    e = entries_[id];
+    // Read straight into the block's own buffer — reloads are a hot path
+    // under eviction churn, an intermediate copy would double the cost.
+    block = DataBlock::ForFill(e.block_bytes);
+    bitmap.resize(e.bitmap_words);
+    file_.clear();
+    file_.seekg(std::streamoff(e.offset));
+    file_.read(reinterpret_cast<char*>(block.fill_bytes()),
+               std::streamsize(e.block_bytes));
+    if (e.bitmap_words != 0) {
+      file_.read(reinterpret_cast<char*>(bitmap.data()),
+                 std::streamsize(e.bitmap_words * 8));
+    }
+    DB_CHECK(file_.good());
+  }
+  uint64_t checksum = Fnv1a64(block.raw_bytes(), e.block_bytes, kFnvBasis);
+  if (e.bitmap_words != 0) {
+    checksum = Fnv1a64(reinterpret_cast<const uint8_t*>(bitmap.data()),
+                       e.bitmap_words * 8, checksum);
+  }
+  DB_CHECK(checksum == e.checksum);  // corrupted archive block
+  block.ValidateFilled();
+  if (delete_bitmap != nullptr) *delete_bitmap = std::move(bitmap);
+  return block;
+}
+
+uint64_t BlockArchive::PayloadBytes() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  uint64_t total = 0;
+  for (const ArchiveEntry& e : entries_)
+    total += e.block_bytes + e.bitmap_words * 8;
+  return total;
+}
+
+size_t BlockArchive::num_blocks() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return entries_.size();
+}
+
+void BlockArchive::Finish() {
+  DB_CHECK(mu_ != nullptr);
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (!writable_) return;
+  writable_ = false;
+  file_.seekp(std::streamoff(end_offset_));
+  file_.write(reinterpret_cast<const char*>(entries_.data()),
+              std::streamsize(entries_.size() * sizeof(ArchiveEntry)));
+  FileHeader hdr{kMagic, kVersion, uint32_t(entries_.size()), 0, end_offset_,
+                 0};
+  file_.seekp(0);
+  file_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  file_.flush();
+  DB_CHECK(file_.good());
+}
+
+size_t BlockArchive::Save(const Table& table, const std::string& path) {
+  BlockArchive archive = Create(path);
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    if (!table.is_frozen(c) || table.chunk_rows(c) == 0) continue;
+    // Pin: reloads the block if evicted and keeps it resident for the write.
+    Table::PinGuard pin(table, c);
+    const DataBlock* block = table.frozen_block(c);
+    // Our own pin can abort a freeze that was in flight when we sampled
+    // is_frozen — the chunk is simply hot again, and hot chunks are not
+    // archived.
+    if (block == nullptr) continue;
+    archive.AppendBlock(*block, uint32_t(c), table.delete_bitmap(c));
+  }
+  archive.Finish();
+  return archive.num_blocks();
 }
 
 std::vector<DataBlock> BlockArchive::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  DB_CHECK(in.good());
+  BlockArchive archive = Open(path);
   std::vector<DataBlock> blocks;
-  while (in.peek() != std::char_traits<char>::eof()) {
-    blocks.push_back(DataBlock::Deserialize(in));
-  }
+  blocks.reserve(archive.num_blocks());
+  for (size_t i = 0; i < archive.num_blocks(); ++i)
+    blocks.push_back(archive.ReadBlock(i));
   return blocks;
 }
 
 Table BlockArchive::Restore(const std::string& name, Schema schema,
                             const std::string& path,
                             uint32_t chunk_capacity) {
+  BlockArchive archive = Open(path);
   Table table(name, std::move(schema), chunk_capacity);
-  for (DataBlock& block : Load(path)) {
-    table.AppendFrozen(std::move(block));
+  for (size_t i = 0; i < archive.num_blocks(); ++i) {
+    std::vector<uint64_t> bitmap;
+    DataBlock block = archive.ReadBlock(i, &bitmap);
+    table.AppendFrozen(std::move(block), std::move(bitmap),
+                       archive.entry(i).deleted_count);
   }
   return table;
 }

@@ -5,47 +5,194 @@
 
 namespace datablocks {
 
+const char* ChunkStateName(ChunkState s) {
+  switch (s) {
+    case ChunkState::kHot: return "hot";
+    case ChunkState::kFreezing: return "freezing";
+    case ChunkState::kFrozen: return "frozen";
+    case ChunkState::kEvicted: return "evicted";
+    case ChunkState::kReloading: return "reloading";
+  }
+  return "?";
+}
+
 Table::Table(std::string name, Schema schema, uint32_t chunk_capacity)
     : name_(std::move(name)),
-      schema_(std::move(schema)),
+      schema_(std::make_unique<Schema>(std::move(schema))),
       chunk_capacity_(chunk_capacity) {
   DB_CHECK(chunk_capacity_ > 0 && chunk_capacity_ <= (1u << kRowIdxBits));
 }
 
-Chunk* Table::Tail() {
-  if (slots_.empty() || slots_.back().hot == nullptr ||
-      slots_.back().hot->full()) {
-    Slot slot;
-    slot.hot = std::make_unique<Chunk>(&schema_, chunk_capacity_);
-    slots_.push_back(std::move(slot));
+Table::Table(Table&& o) noexcept
+    : name_(std::move(o.name_)),
+      schema_(std::move(o.schema_)),
+      chunk_capacity_(o.chunk_capacity_),
+      num_rows_(o.num_rows_),
+      num_deleted_(o.num_deleted_.load(std::memory_order_relaxed)),
+      fetcher_(std::move(o.fetcher_)),
+      access_epoch_(o.access_epoch_.load(std::memory_order_relaxed)),
+      evictions_(o.evictions_.load(std::memory_order_relaxed)),
+      reloads_(o.reloads_.load(std::memory_order_relaxed)) {
+  for (size_t i = 0; i < kMaxSlotSegments; ++i) {
+    segments_[i].store(o.segments_[i].exchange(nullptr,
+                                               std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   }
-  return slots_.back().hot.get();
+  num_slots_.store(o.num_slots_.exchange(0, std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  o.num_rows_ = 0;
+  o.num_deleted_.store(0, std::memory_order_relaxed);
+}
+
+Table::~Table() {
+  for (size_t i = 0; i < kMaxSlotSegments; ++i) {
+    delete segments_[i].load(std::memory_order_relaxed);
+  }
+}
+
+Table::Slot& Table::NewSlot() {
+  size_t idx = num_slots_.load(std::memory_order_relaxed);
+  DB_CHECK(idx < kMaxSlotSegments * kSlotSegSize);
+  size_t seg = idx >> kSlotSegBits;
+  if (segments_[seg].load(std::memory_order_relaxed) == nullptr) {
+    segments_[seg].store(new SlotSegment(), std::memory_order_release);
+  }
+  return segments_[seg].load(std::memory_order_relaxed)
+      ->slots[idx & (kSlotSegSize - 1)];
 }
 
 RowId Table::Insert(std::span<const Value> row) {
-  Chunk* tail = Tail();
-  uint32_t r = tail->Append(row);
-  slots_.back().rows = tail->size();
-  ++num_rows_;
-  return MakeRowId(slots_.size() - 1, r);
+  for (;;) {
+    size_t n = num_slots_.load(std::memory_order_relaxed);
+    if (n != 0) {
+      Slot& s = slot(n - 1);
+      // Pin before touching the tail chunk so a lifecycle tick (e.g.
+      // freeze_partial_tail) cannot freeze/free it out from under the
+      // writer; same handshake as PinChunk. While pinned and kHot, s.hot
+      // is non-null and stable.
+      s.pins.fetch_add(1, std::memory_order_seq_cst);
+      if (s.state.load(std::memory_order_seq_cst) == ChunkState::kHot &&
+          !s.hot->full()) {
+        uint32_t r = s.hot->Append(row);
+        // Release: pairs with chunk_rows() acquire loads so the row
+        // bytes written by Append are visible with the new count.
+        s.rows.store(s.hot->size(), std::memory_order_release);
+        Touch(s);
+        s.pins.fetch_sub(1, std::memory_order_release);
+        ++num_rows_;
+        return MakeRowId(n - 1, r);
+      }
+      s.pins.fetch_sub(1, std::memory_order_release);
+    }
+    // No tail, tail full, or tail frozen under our feet: start a new
+    // chunk and retry.
+    Slot& fresh = NewSlot();
+    fresh.hot = std::make_unique<Chunk>(schema_.get(), chunk_capacity_);
+    PublishSlot();
+  }
+}
+
+bool Table::TryPinResident(size_t chunk_idx) const {
+  const Slot& s = slot(chunk_idx);
+  s.pins.fetch_add(1, std::memory_order_seq_cst);
+  ChunkState st = s.state.load(std::memory_order_seq_cst);
+  if (st == ChunkState::kHot || st == ChunkState::kFrozen) return true;
+  s.pins.fetch_sub(1, std::memory_order_release);
+  return false;
+}
+
+void Table::PinChunk(size_t chunk_idx) const {
+  const Slot& s = slot(chunk_idx);
+  s.last_access.store(access_epoch_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  // Dekker-style handshake with FreezeChunk/EvictChunk: we publish the pin
+  // first, then read the state; the state-changers publish the transient
+  // state first, then read the pin count. Sequential consistency guarantees
+  // at least one side observes the other.
+  s.pins.fetch_add(1, std::memory_order_seq_cst);
+  ChunkState st = s.state.load(std::memory_order_seq_cst);
+  if (st == ChunkState::kHot || st == ChunkState::kFrozen) return;
+
+  // Slow path: the chunk is evicted (reload it), mid-freeze (wait for the
+  // freezer to finish or abort), or being reloaded by another pin (wait
+  // for the install).
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  Slot& ms = const_cast<Slot&>(s);
+  for (;;) {
+    st = ms.state.load(std::memory_order_relaxed);
+    if (st == ChunkState::kReloading || st == ChunkState::kFreezing) {
+      lifecycle_cv_.wait(lock);
+      continue;
+    }
+    if (st != ChunkState::kEvicted) return;  // resolved while we waited
+    break;
+  }
+  // Park the chunk in kReloading and drop the mutex for the duration of
+  // the archive read: reloads of different chunks proceed in parallel, and
+  // unrelated lifecycle operations are not stalled behind disk I/O.
+  DB_CHECK(fetcher_ != nullptr);
+  BlockFetcher fetcher = fetcher_;
+  ms.state.store(ChunkState::kReloading, std::memory_order_seq_cst);
+  lock.unlock();
+  auto block = std::make_unique<DataBlock>(fetcher(chunk_idx));
+  DB_CHECK(block->num_rows() == ms.rows.load(std::memory_order_relaxed));
+  lock.lock();
+  ms.frozen = std::move(block);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  ms.state.store(ChunkState::kFrozen, std::memory_order_seq_cst);
+  lock.unlock();
+  lifecycle_cv_.notify_all();
+}
+
+void Table::UnpinChunk(size_t chunk_idx) const {
+  slot(chunk_idx).pins.fetch_sub(1, std::memory_order_release);
+}
+
+void Table::SetBlockFetcher(BlockFetcher fetcher) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  fetcher_ = std::move(fetcher);
 }
 
 void Table::Delete(RowId id) {
-  Slot& slot = slots_[RowIdChunk(id)];
+  Slot& slot = this->slot(RowIdChunk(id));
   uint32_t row = RowIdRow(id);
-  DB_CHECK(row < slot.rows);
-  if (slot.hot != nullptr) {
-    uint32_t before = slot.hot->num_deleted();
-    slot.hot->MarkDeleted(row);
-    num_deleted_ += slot.hot->num_deleted() - before;
-  } else {
-    if (slot.frozen_deleted.empty())
-      slot.frozen_deleted.assign(BitmapWords(slot.rows), 0);
-    if (!BitmapTest(slot.frozen_deleted.data(), row)) {
-      BitmapSet(slot.frozen_deleted.data(), row);
-      ++slot.frozen_deleted_count;
-      ++num_deleted_;
+  DB_CHECK(row < slot.rows.load(std::memory_order_acquire));
+  Touch(slot);
+  for (;;) {
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.state.load(std::memory_order_seq_cst) == ChunkState::kHot) {
+      uint32_t before = slot.hot->num_deleted();
+      slot.hot->MarkDeleted(row);
+      num_deleted_.fetch_add(slot.hot->num_deleted() - before,
+                             std::memory_order_relaxed);
+      slot.pins.fetch_sub(1, std::memory_order_release);
+      return;
     }
+    slot.pins.fetch_sub(1, std::memory_order_release);
+
+    // Frozen or evicted: flag the row in the side bitmap — no reload
+    // needed, the block itself stays immutable. An in-flight freeze
+    // rewrites the side bitmap at install time, so wait it out first.
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    ChunkState st = slot.state.load(std::memory_order_relaxed);
+    while (st == ChunkState::kFreezing) {
+      lifecycle_cv_.wait(lock);
+      st = slot.state.load(std::memory_order_relaxed);
+    }
+    if (st == ChunkState::kHot) continue;  // freeze aborted under our feet
+    DB_CHECK(!slot.frozen_deleted.empty());
+    uint64_t word = std::atomic_ref<uint64_t>(
+                        const_cast<uint64_t&>(slot.frozen_deleted[row >> 6]))
+                        .load(std::memory_order_relaxed);
+    if ((word & (uint64_t(1) << (row & 63))) == 0) {
+      // atomic_ref: scans and IsVisible read these words lock-free; the
+      // count's release/acquire pairing publishes the set bit.
+      std::atomic_ref<uint64_t>(slot.frozen_deleted[row >> 6])
+          .fetch_or(uint64_t(1) << (row & 63), std::memory_order_relaxed);
+      slot.frozen_deleted_count.fetch_add(1, std::memory_order_release);
+      num_deleted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
   }
 }
 
@@ -55,33 +202,71 @@ RowId Table::Update(RowId id, std::span<const Value> row) {
 }
 
 void Table::UpdateInPlace(RowId id, uint32_t col, const Value& v) {
-  Slot& slot = slots_[RowIdChunk(id)];
-  DB_CHECK(slot.hot != nullptr);  // frozen data is immutable
+  DB_CHECK(TryUpdateInPlace(id, col, v));  // frozen data is immutable
+}
+
+bool Table::TryUpdateInPlace(RowId id, uint32_t col, const Value& v) {
+  size_t chunk = RowIdChunk(id);
+  Slot& slot = this->slot(chunk);
+  Touch(slot);
+  PinGuard pin(*this, chunk);
+  if (slot.hot == nullptr) return false;
   slot.hot->SetValue(col, RowIdRow(id), v);
+  return true;
 }
 
 bool Table::IsVisible(RowId id) const {
-  const Slot& slot = slots_[RowIdChunk(id)];
+  const Slot& slot = this->slot(RowIdChunk(id));
   uint32_t row = RowIdRow(id);
-  if (row >= slot.rows) return false;
-  if (slot.hot != nullptr) return !slot.hot->IsDeleted(row);
-  return slot.frozen_deleted.empty() ||
-         !BitmapTest(slot.frozen_deleted.data(), row);
+  if (row >= slot.rows.load(std::memory_order_acquire)) return false;
+  for (;;) {
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    ChunkState st = slot.state.load(std::memory_order_seq_cst);
+    if (st == ChunkState::kHot) {
+      bool visible = !slot.hot->IsDeleted(row);
+      slot.pins.fetch_sub(1, std::memory_order_release);
+      return visible;
+    }
+    slot.pins.fetch_sub(1, std::memory_order_release);
+    if (st == ChunkState::kFreezing) {
+      // Wait for the freeze (which carries delete flags over) to settle.
+      std::unique_lock<std::mutex> lock(lifecycle_mu_);
+      lifecycle_cv_.wait(lock, [&] {
+        return slot.state.load(std::memory_order_relaxed) !=
+               ChunkState::kFreezing;
+      });
+      continue;
+    }
+    // Frozen/evicted: the side bitmap is preallocated at freeze time, so
+    // this read needs no lock.
+    if (slot.frozen_deleted_count.load(std::memory_order_acquire) == 0)
+      return true;
+    uint64_t word = std::atomic_ref<uint64_t>(
+                        const_cast<uint64_t&>(slot.frozen_deleted[row >> 6]))
+                        .load(std::memory_order_relaxed);
+    return (word & (uint64_t(1) << (row & 63))) == 0;
+  }
 }
 
 Value Table::GetValue(RowId id, uint32_t col) const {
-  const Slot& slot = slots_[RowIdChunk(id)];
+  size_t chunk = RowIdChunk(id);
+  const Slot& slot = this->slot(chunk);
   uint32_t row = RowIdRow(id);
-  if (slot.hot != nullptr) return slot.hot->GetValue(col, row);
-  return slot.frozen->GetValue(col, row);
+  Touch(slot);
+  PinGuard pin(*this, chunk);
+  if (slot.frozen != nullptr) return slot.frozen->GetValue(col, row);
+  return slot.hot->GetValue(col, row);
 }
 
 int64_t Table::GetInt(RowId id, uint32_t col) const {
-  const Slot& slot = slots_[RowIdChunk(id)];
+  size_t chunk = RowIdChunk(id);
+  const Slot& slot = this->slot(chunk);
   uint32_t row = RowIdRow(id);
+  Touch(slot);
+  PinGuard pin(*this, chunk);
   if (slot.frozen != nullptr) return slot.frozen->GetInt(col, row);
   const uint8_t* data = slot.hot->column_data(col);
-  switch (schema_.type(col)) {
+  switch (schema_->type(col)) {
     case TypeId::kInt32:
     case TypeId::kDate:
       return reinterpret_cast<const int32_t*>(data)[row];
@@ -93,36 +278,62 @@ int64_t Table::GetInt(RowId id, uint32_t col) const {
 }
 
 double Table::GetDouble(RowId id, uint32_t col) const {
-  const Slot& slot = slots_[RowIdChunk(id)];
+  size_t chunk = RowIdChunk(id);
+  const Slot& slot = this->slot(chunk);
   uint32_t row = RowIdRow(id);
+  Touch(slot);
+  PinGuard pin(*this, chunk);
   if (slot.frozen != nullptr) return slot.frozen->GetDouble(col, row);
   return reinterpret_cast<const double*>(slot.hot->column_data(col))[row];
 }
 
 std::string_view Table::GetStringView(RowId id, uint32_t col) const {
-  const Slot& slot = slots_[RowIdChunk(id)];
+  size_t chunk = RowIdChunk(id);
+  const Slot& slot = this->slot(chunk);
   uint32_t row = RowIdRow(id);
+  Touch(slot);
+  PinGuard pin(*this, chunk);
   if (slot.frozen != nullptr) return slot.frozen->GetStringView(col, row);
   return slot.hot->GetString(col, row);
 }
 
 const uint64_t* Table::delete_bitmap(size_t chunk_idx) const {
-  const Slot& slot = slots_[chunk_idx];
+  const Slot& slot = this->slot(chunk_idx);
   if (slot.hot != nullptr) return slot.hot->delete_bitmap();
-  return slot.frozen_deleted.empty() ? nullptr : slot.frozen_deleted.data();
+  return slot.frozen_deleted_count.load(std::memory_order_acquire) == 0
+             ? nullptr
+             : slot.frozen_deleted.data();
 }
 
 uint32_t Table::deleted_in_chunk(size_t chunk_idx) const {
-  const Slot& slot = slots_[chunk_idx];
+  const Slot& slot = this->slot(chunk_idx);
   if (slot.hot != nullptr) return slot.hot->num_deleted();
-  return slot.frozen_deleted_count;
+  return slot.frozen_deleted_count.load(std::memory_order_acquire);
 }
 
-void Table::FreezeChunk(size_t chunk_idx, int sort_col, bool build_psma) {
-  Slot& slot = slots_[chunk_idx];
-  DB_CHECK(slot.hot != nullptr);
+bool Table::FreezeChunk(size_t chunk_idx, int sort_col, bool build_psma) {
+  Slot& slot = this->slot(chunk_idx);
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  if (slot.state.load(std::memory_order_relaxed) != ChunkState::kHot)
+    return false;
   Chunk* chunk = slot.hot.get();
-  DB_CHECK(chunk->size() > 0);
+  if (chunk == nullptr || chunk->size() == 0) return false;
+
+  // Publish the transient state, then check for pinned readers (the other
+  // half of the PinChunk handshake). A pinned chunk is left hot; the policy
+  // engine simply retries on a later tick.
+  slot.state.store(ChunkState::kFreezing, std::memory_order_seq_cst);
+  if (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    slot.state.store(ChunkState::kHot, std::memory_order_seq_cst);
+    lock.unlock();
+    lifecycle_cv_.notify_all();
+    return false;
+  }
+  // Compress without holding the mutex: pins==0 guarantees no reader holds
+  // the chunk, new pins see kFreezing and wait on the condvar, and the
+  // writer starts a fresh tail instead of appending here — so the chunk is
+  // effectively private to this freezer while unlocked.
+  lock.unlock();
 
   std::vector<uint32_t> perm;
   const uint32_t* perm_ptr = nullptr;
@@ -130,7 +341,7 @@ void Table::FreezeChunk(size_t chunk_idx, int sort_col, bool build_psma) {
     DB_CHECK(chunk->num_deleted() == 0);  // sorting would scramble RowIds
     perm.resize(chunk->size());
     std::iota(perm.begin(), perm.end(), 0u);
-    const TypeId sort_type = schema_.type(uint32_t(sort_col));
+    const TypeId sort_type = schema_->type(uint32_t(sort_col));
     const uint8_t* data = chunk->column_data(uint32_t(sort_col));
     if (sort_type == TypeId::kString) {
       std::stable_sort(perm.begin(), perm.end(),
@@ -161,50 +372,105 @@ void Table::FreezeChunk(size_t chunk_idx, int sort_col, bool build_psma) {
   auto block = std::make_unique<DataBlock>(
       DataBlock::Build(*chunk, perm_ptr, build_psma));
 
-  // Carry deletion flags over (positions are preserved without sorting).
+  lock.lock();
+  // Side bitmap is preallocated for every frozen chunk so later deletes
+  // never reallocate it under concurrent readers. Deletion flags carry over
+  // (positions are preserved without sorting).
+  slot.frozen_deleted.assign(BitmapWords(chunk->size()), 0);
+  slot.frozen_deleted_count.store(0, std::memory_order_relaxed);
   if (chunk->num_deleted() > 0) {
-    slot.frozen_deleted.assign(BitmapWords(chunk->size()), 0);
     for (uint32_t r = 0; r < chunk->size(); ++r) {
       if (chunk->IsDeleted(r)) BitmapSet(slot.frozen_deleted.data(), r);
     }
-    slot.frozen_deleted_count = chunk->num_deleted();
+    slot.frozen_deleted_count.store(chunk->num_deleted(),
+                                    std::memory_order_release);
   }
-  slot.rows = chunk->size();
+  slot.rows.store(chunk->size(), std::memory_order_relaxed);
   slot.frozen = std::move(block);
   slot.hot.reset();
+  slot.state.store(ChunkState::kFrozen, std::memory_order_seq_cst);
+  lock.unlock();
+  lifecycle_cv_.notify_all();
+  return true;
+}
+
+bool Table::EvictChunk(size_t chunk_idx) {
+  Slot& slot = this->slot(chunk_idx);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (slot.state.load(std::memory_order_relaxed) != ChunkState::kFrozen)
+    return false;
+  // Without a fetcher the block could never come back.
+  if (fetcher_ == nullptr) return false;
+  slot.state.store(ChunkState::kEvicted, std::memory_order_seq_cst);
+  if (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    slot.state.store(ChunkState::kFrozen, std::memory_order_seq_cst);
+    return false;
+  }
+  slot.frozen.reset();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void Table::AppendFrozen(DataBlock block) {
-  DB_CHECK(block.num_columns() == schema_.num_columns());
-  for (uint32_t c = 0; c < schema_.num_columns(); ++c) {
-    DB_CHECK(block.type(c) == schema_.type(c));
+  AppendFrozen(std::move(block), {}, 0);
+}
+
+void Table::AppendFrozen(DataBlock block, std::vector<uint64_t> delete_bitmap,
+                         uint32_t deleted_count) {
+  DB_CHECK(block.num_columns() == schema_->num_columns());
+  for (uint32_t c = 0; c < schema_->num_columns(); ++c) {
+    DB_CHECK(block.type(c) == schema_->type(c));
   }
-  Slot slot;
-  slot.rows = block.num_rows();
+  Slot& slot = NewSlot();
+  const uint32_t rows = block.num_rows();
+  slot.rows.store(rows, std::memory_order_relaxed);
+  if (delete_bitmap.empty()) {
+    delete_bitmap.assign(BitmapWords(rows), 0);
+    DB_CHECK(deleted_count == 0);
+  } else {
+    DB_CHECK(delete_bitmap.size() >= BitmapWords(rows));
+  }
+  slot.frozen_deleted = std::move(delete_bitmap);
+  slot.frozen_deleted_count.store(deleted_count, std::memory_order_relaxed);
   slot.frozen = std::make_unique<DataBlock>(std::move(block));
-  num_rows_ += slot.rows;
-  slots_.push_back(std::move(slot));
+  slot.state.store(ChunkState::kFrozen, std::memory_order_relaxed);
+  num_rows_ += rows;
+  num_deleted_.fetch_add(deleted_count, std::memory_order_relaxed);
+  PublishSlot();
 }
 
 void Table::FreezeAll(int sort_col, bool build_psma) {
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].hot != nullptr && slots_[i].hot->size() > 0) {
-      FreezeChunk(i, sort_col, build_psma);
+  const size_t n = num_chunks();
+  for (size_t i = 0; i < n; ++i) {
+    bool candidate = false;
+    if (TryPinResident(i)) {
+      candidate = slot(i).hot != nullptr && slot(i).hot->size() > 0;
+      UnpinChunk(i);
     }
+    // FreezeChunk re-validates under the lifecycle mutex.
+    if (candidate) FreezeChunk(i, sort_col, build_psma);
   }
 }
 
 uint64_t Table::HotBytes() const {
   uint64_t total = 0;
-  for (const Slot& s : slots_)
-    if (s.hot != nullptr) total += s.hot->MemoryBytes();
+  const size_t n = num_chunks();
+  for (size_t i = 0; i < n; ++i) {
+    if (!TryPinResident(i)) continue;  // evicted/transient: no hot bytes
+    if (slot(i).hot != nullptr) total += slot(i).hot->MemoryBytes();
+    UnpinChunk(i);
+  }
   return total;
 }
 
 uint64_t Table::FrozenBytes() const {
   uint64_t total = 0;
-  for (const Slot& s : slots_)
-    if (s.frozen != nullptr) total += s.frozen->SizeBytes();
+  const size_t n = num_chunks();
+  for (size_t i = 0; i < n; ++i) {
+    if (!TryPinResident(i)) continue;  // evicted blocks contribute nothing
+    if (slot(i).frozen != nullptr) total += slot(i).frozen->SizeBytes();
+    UnpinChunk(i);
+  }
   return total;
 }
 

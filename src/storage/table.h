@@ -1,8 +1,13 @@
 #ifndef DATABLOCKS_STORAGE_TABLE_H_
 #define DATABLOCKS_STORAGE_TABLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <condition_variable>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,96 +34,311 @@ inline uint32_t RowIdRow(RowId id) {
   return uint32_t(id) & ((1u << kRowIdxBits) - 1);
 }
 
+/// Lifecycle state of one chunk slot (paper Figure 1, extended with archival
+/// eviction: "Data Blocks are also suitable for eviction to secondary
+/// storage").
+///
+///   kHot       uncompressed, mutable Chunk in memory
+///   kFreezing  transient: a freezer holds the lifecycle mutex and is
+///              compressing the chunk; readers fall back to the slow path
+///   kFrozen    immutable compressed DataBlock resident in memory
+///   kEvicted   the block lives only in the archive; the side delete bitmap
+///              and row count stay in memory, the payload is reloaded on
+///              demand through the block fetcher
+///   kReloading transient: a pinning reader is fetching the evicted block
+///              from the archive (without holding the lifecycle mutex, so
+///              reloads of different chunks run in parallel); other pins
+///              of this chunk wait on the lifecycle condvar
+enum class ChunkState : uint8_t {
+  kHot,
+  kFreezing,
+  kFrozen,
+  kEvicted,
+  kReloading,
+};
+
+const char* ChunkStateName(ChunkState s);
+
 /// A relation: a sequence of fixed-size chunks, each either hot
 /// (uncompressed, mutable) or frozen into an immutable compressed DataBlock
 /// (paper Figure 1). Updates to frozen rows are translated into a delete
 /// plus an insert into the hot tail (Section 3).
+///
+/// Concurrency contract: point accesses, scans (which pin chunks, see
+/// PinChunk), Delete on frozen rows, FreezeChunk, EvictChunk and the
+/// lifecycle background thread may run concurrently with each other and
+/// with a single inserting writer. Chunk slots live in a segmented
+/// directory with stable addresses — structural growth never reallocates
+/// existing slots, and num_chunks() is published only after the new slot
+/// is fully initialized — so slot readers never observe a torn directory.
+/// Multiple concurrent *writers* (Insert/Update from several threads) are
+/// still unsupported.
 class Table {
  public:
+  /// Reloads an evicted chunk's block from secondary storage. Installed by
+  /// the lifecycle manager; invoked without the table's lifecycle mutex
+  /// (the chunk is parked in kReloading instead), but it still must not
+  /// call back into this table.
+  using BlockFetcher = std::function<DataBlock(size_t chunk_idx)>;
+
   Table(std::string name, Schema schema,
         uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
+  ~Table();
+
+  // Movable (for factory-style construction, e.g. BlockArchive::Restore) —
+  // but only while no concurrent readers/lifecycle exist, and a moved table
+  // gets a fresh lifecycle mutex. A LifecycleManager binds to the table's
+  // address, so attach managers only after the table has its final home.
+  Table(Table&& o) noexcept;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const { return *schema_; }
   uint32_t chunk_capacity() const { return chunk_capacity_; }
 
   /// Appends a row to the hot tail. Returns its stable RowId.
   RowId Insert(std::span<const Value> row);
 
-  /// Marks a row deleted (works on hot and frozen rows; frozen records are
-  /// flagged in a side bitmap, the block itself stays immutable).
+  /// Marks a row deleted (works on hot, frozen and evicted rows; frozen
+  /// records are flagged in a side bitmap, the block itself stays
+  /// immutable — deleting from an evicted chunk does not reload it).
   void Delete(RowId id);
 
   /// Update = delete + insert (paper Section 3). Returns the new RowId.
   RowId Update(RowId id, std::span<const Value> row);
 
   /// In-place update of a single attribute; only legal on hot rows (frozen
-  /// data is immutable).
+  /// data is immutable — use Update for frozen rows).
   void UpdateInPlace(RowId id, uint32_t col, const Value& v);
+
+  /// Like UpdateInPlace, but returns false instead of aborting when the row
+  /// is frozen — the race-free building block for callers that fall back to
+  /// Update (delete + reinsert) when a chunk freezes underneath them.
+  bool TryUpdateInPlace(RowId id, uint32_t col, const Value& v);
 
   bool IsVisible(RowId id) const;
 
   /// Point access (hot or frozen; frozen values are decompressed from a
-  /// single position).
+  /// single position, evicted chunks are transparently reloaded). The
+  /// returned string_view points into the chunk/block and is only
+  /// guaranteed to stay valid while the chunk is resident — i.e. until the
+  /// lifecycle manager evicts it again.
   Value GetValue(RowId id, uint32_t col) const;
   int64_t GetInt(RowId id, uint32_t col) const;
   double GetDouble(RowId id, uint32_t col) const;
   std::string_view GetStringView(RowId id, uint32_t col) const;
 
   uint64_t num_rows() const { return num_rows_; }
-  uint64_t num_visible() const { return num_rows_ - num_deleted_; }
-  size_t num_chunks() const { return slots_.size(); }
+  uint64_t num_visible() const {
+    return num_rows_ - num_deleted_.load(std::memory_order_relaxed);
+  }
+  /// Published with release ordering after the slot is fully initialized,
+  /// so concurrent readers (lifecycle ticks, scans) may index any chunk
+  /// below this count.
+  size_t num_chunks() const {
+    return num_slots_.load(std::memory_order_acquire);
+  }
 
+  ChunkState chunk_state(size_t chunk_idx) const {
+    return slot(chunk_idx).state.load(std::memory_order_acquire);
+  }
   bool is_frozen(size_t chunk_idx) const {
-    return slots_[chunk_idx].frozen != nullptr;
+    return chunk_state(chunk_idx) != ChunkState::kHot;
+  }
+  bool is_evicted(size_t chunk_idx) const {
+    return chunk_state(chunk_idx) == ChunkState::kEvicted;
   }
   const Chunk* hot_chunk(size_t chunk_idx) const {
-    return slots_[chunk_idx].hot.get();
+    return slot(chunk_idx).hot.get();
   }
+  /// Resident frozen block, nullptr while hot or evicted. Readers that can
+  /// race with eviction must hold a pin (PinChunk) around the access.
   const DataBlock* frozen_block(size_t chunk_idx) const {
-    return slots_[chunk_idx].frozen.get();
+    return slot(chunk_idx).frozen.get();
   }
-  uint32_t chunk_rows(size_t chunk_idx) const { return slots_[chunk_idx].rows; }
+  uint32_t chunk_rows(size_t chunk_idx) const {
+    // Acquire pairs with Insert's release store: a reader that sees the
+    // new count also sees the appended row's column bytes.
+    return slot(chunk_idx).rows.load(std::memory_order_acquire);
+  }
+  bool chunk_full(size_t chunk_idx) const {
+    return chunk_rows(chunk_idx) == chunk_capacity_;
+  }
 
   /// Delete bitmap of a chunk (hot or frozen); nullptr if nothing deleted.
   const uint64_t* delete_bitmap(size_t chunk_idx) const;
   uint32_t deleted_in_chunk(size_t chunk_idx) const;
 
+  // -- Pinning (readers vs freeze/evict) ---------------------------------
+
+  /// Pins a chunk: while pinned it cannot be frozen or evicted, and an
+  /// evicted chunk is synchronously reloaded through the block fetcher, so
+  /// hot_chunk()/frozen_block() stay valid until UnpinChunk. Pins are
+  /// cheap (one atomic RMW) and may be taken from any thread.
+  void PinChunk(size_t chunk_idx) const;
+  void UnpinChunk(size_t chunk_idx) const;
+  uint32_t chunk_pins(size_t chunk_idx) const {
+    return slot(chunk_idx).pins.load(std::memory_order_acquire);
+  }
+
+  /// RAII pin over one chunk.
+  class PinGuard {
+   public:
+    PinGuard(const Table& table, size_t chunk_idx)
+        : table_(&table), idx_(chunk_idx) {
+      table_->PinChunk(idx_);
+    }
+    ~PinGuard() {
+      if (table_ != nullptr) table_->UnpinChunk(idx_);
+    }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+
+   private:
+    const Table* table_;
+    size_t idx_;
+  };
+
+  // -- Temperature (lifecycle statistics) --------------------------------
+
+  /// Access clock of a chunk: bumped by point reads/updates/deletes (not by
+  /// scans), decayed epochally by the lifecycle manager. The clock is the
+  /// freeze signal: a full chunk whose clock stays low is cold.
+  uint32_t chunk_clock(size_t chunk_idx) const {
+    return slot(chunk_idx).clock.load(std::memory_order_relaxed);
+  }
+  void DecayChunkClock(size_t chunk_idx, uint32_t shift) {
+    auto& clock = slot(chunk_idx).clock;
+    uint32_t v = clock.load(std::memory_order_relaxed);
+    clock.store(shift >= 32 ? 0 : v >> shift, std::memory_order_relaxed);
+  }
+
+  /// Epoch stamp of the last access (point access, delete or pin) to a
+  /// chunk — the recency signal the block cache uses for LRU eviction.
+  uint32_t chunk_last_access(size_t chunk_idx) const {
+    return slot(chunk_idx).last_access.load(std::memory_order_relaxed);
+  }
+  /// Advances the access epoch (called once per lifecycle tick).
+  void AdvanceAccessEpoch() {
+    access_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint32_t access_epoch() const {
+    return access_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // -- Lifecycle transitions ---------------------------------------------
+
   /// Freezes chunk `chunk_idx` into a DataBlock. `sort_col >= 0` reorders
   /// the block's rows by that column before compressing (Section 3.2:
   /// clustering improves PSMA precision); sorting invalidates RowIds into
   /// this chunk, so it must only be used before indexes are built.
-  void FreezeChunk(size_t chunk_idx, int sort_col = -1, bool build_psma = true);
+  /// Returns false (and leaves the chunk hot) if the chunk is not hot, is
+  /// empty, or is currently pinned by a reader.
+  bool FreezeChunk(size_t chunk_idx, int sort_col = -1, bool build_psma = true);
 
   /// Freezes all hot chunks (including a partially filled tail).
   void FreezeAll(int sort_col = -1, bool build_psma = true);
 
-  /// Appends an already-frozen block as a new chunk (e.g., reloaded from a
-  /// BlockArchive). The block's column types must match the schema.
-  void AppendFrozen(DataBlock block);
+  /// Drops a frozen chunk's resident block (frozen -> evicted). Requires an
+  /// installed block fetcher (the archived copy must exist — the caller,
+  /// normally the lifecycle manager, archives at freeze time). Returns
+  /// false if the chunk is not frozen or is pinned.
+  bool EvictChunk(size_t chunk_idx);
 
-  /// Memory accounting for the compression experiments.
+  /// Installs the reload callback used by PinChunk on evicted chunks.
+  void SetBlockFetcher(BlockFetcher fetcher);
+  bool has_block_fetcher() const { return fetcher_ != nullptr; }
+
+  /// Lifetime counters for lifecycle observability.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+
+  /// Appends an already-frozen block as a new chunk (e.g., reloaded from a
+  /// BlockArchive). The block's column types must match the schema. The
+  /// optional delete bitmap restores archived deletion flags.
+  void AppendFrozen(DataBlock block);
+  void AppendFrozen(DataBlock block, std::vector<uint64_t> delete_bitmap,
+                    uint32_t deleted_count);
+
+  /// Memory accounting for the compression experiments. FrozenBytes counts
+  /// only *resident* blocks; evicted chunks contribute nothing.
   uint64_t HotBytes() const;
   uint64_t FrozenBytes() const;
   uint64_t MemoryBytes() const { return HotBytes() + FrozenBytes(); }
 
  private:
   struct Slot {
-    std::unique_ptr<Chunk> hot;        // exactly one of hot/frozen is set
-    std::unique_ptr<DataBlock> frozen;
+    std::unique_ptr<Chunk> hot;        // set iff state is kHot/kFreezing
+    std::unique_ptr<DataBlock> frozen; // set iff state is kFrozen
     std::vector<uint64_t> frozen_deleted;  // side bitmap for frozen chunks
-    uint32_t frozen_deleted_count = 0;
-    uint32_t rows = 0;
+    // Written by the single writer / under the lifecycle mutex, but read
+    // lock-free from scans and lifecycle ticks, so both are atomic.
+    std::atomic<uint32_t> frozen_deleted_count{0};
+    std::atomic<uint32_t> rows{0};
+    std::atomic<ChunkState> state{ChunkState::kHot};
+    mutable std::atomic<uint32_t> pins{0};
+    mutable std::atomic<uint32_t> clock{0};
+    mutable std::atomic<uint32_t> last_access{0};
   };
 
-  Chunk* Tail();
+  // Slots live in a segmented directory: fixed-size heap segments hung off
+  // a fixed directory of atomic pointers. Appending never moves existing
+  // slots, so concurrent readers (scans, lifecycle ticks) can hold Slot
+  // references across structural growth by the writer.
+  static constexpr size_t kSlotSegBits = 8;
+  static constexpr size_t kSlotSegSize = size_t(1) << kSlotSegBits;  // slots
+  static constexpr size_t kMaxSlotSegments = size_t(1) << 12;
+  struct SlotSegment {
+    Slot slots[kSlotSegSize];
+  };
+
+  Slot& slot(size_t idx) const {
+    return segments_[idx >> kSlotSegBits].load(std::memory_order_acquire)
+        ->slots[idx & (kSlotSegSize - 1)];
+  }
+  /// Allocates the next slot; the caller initializes it and then calls
+  /// PublishSlot to make it visible to readers.
+  Slot& NewSlot();
+  void PublishSlot() {
+    num_slots_.store(num_slots_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  }
+
+  /// Pin that succeeds only if the chunk is resident (hot or frozen) —
+  /// unlike PinChunk it never reloads an evicted block. Used by the
+  /// accounting loops, which must not fault blocks in.
+  bool TryPinResident(size_t chunk_idx) const;
+  /// Bumps the temperature clock + recency stamp of a chunk (point access).
+  void Touch(const Slot& slot) const {
+    slot.clock.fetch_add(1, std::memory_order_relaxed);
+    slot.last_access.store(access_epoch_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  }
 
   std::string name_;
-  Schema schema_;
+  // Heap-allocated so its address is stable across Table moves: hot Chunks
+  // hold a raw pointer to the schema.
+  std::unique_ptr<Schema> schema_;
   uint32_t chunk_capacity_;
-  uint64_t num_rows_ = 0;
-  uint64_t num_deleted_ = 0;
-  std::vector<Slot> slots_;
+  uint64_t num_rows_ = 0;  // single inserting writer
+  // Deletes on frozen rows may come from any thread (hot-path deletes are
+  // writer-only but race with them), so the counter is atomic.
+  std::atomic<uint64_t> num_deleted_{0};
+  std::array<std::atomic<SlotSegment*>, kMaxSlotSegments> segments_{};
+  std::atomic<size_t> num_slots_{0};
+
+  /// Serializes lifecycle transitions (freeze/evict/reload install) and
+  /// the slow pin path; not held across the fetcher's archive I/O. Never
+  /// held while calling user code.
+  mutable std::mutex lifecycle_mu_;
+  mutable std::condition_variable lifecycle_cv_;  // reload completion
+  BlockFetcher fetcher_;
+  std::atomic<uint32_t> access_epoch_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> reloads_{0};
 };
 
 }  // namespace datablocks

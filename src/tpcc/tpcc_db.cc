@@ -300,6 +300,50 @@ void TpccDatabase::FreezeOldNewOrders() {
   }
 }
 
+RowId TpccDatabase::UpdateColumns(
+    Table& table, RowId id,
+    std::initializer_list<std::pair<uint32_t, Value>> changes) {
+  size_t applied = 0;
+  for (const auto& [col, v] : changes) {
+    if (!table.TryUpdateInPlace(id, col, v)) break;
+    ++applied;
+  }
+  if (applied == changes.size()) return id;
+  // The row's chunk is frozen: rewrite it into the hot tail. Values already
+  // applied in place are picked up by GetValue, the rest are overlaid.
+  std::vector<Value> row(table.schema().num_columns());
+  for (uint32_t c = 0; c < row.size(); ++c) row[c] = table.GetValue(id, c);
+  for (const auto& [col, v] : changes) row[col] = v;
+  return table.Update(id, row);
+}
+
+void TpccDatabase::EnableLifecycle(const LifecycleConfig& config,
+                                   const std::string& dir) {
+  DB_CHECK(lifecycle_.empty());
+  for (Table* t : {&history, &neworder, &order, &orderline}) {
+    lifecycle_.push_back(std::make_unique<LifecycleManager>(
+        t, dir + "/tpcc_" + t->name() + ".dbar", config));
+  }
+}
+
+void TpccDatabase::LifecycleTick() {
+  for (auto& m : lifecycle_) m->Tick();
+}
+
+void TpccDatabase::StartLifecycle() {
+  for (auto& m : lifecycle_) m->Start();
+}
+
+void TpccDatabase::StopLifecycle() {
+  for (auto& m : lifecycle_) m->Stop();
+}
+
+std::vector<LifecycleManager*> TpccDatabase::lifecycle_managers() {
+  std::vector<LifecycleManager*> out;
+  for (auto& m : lifecycle_) out.push_back(m.get());
+  return out;
+}
+
 void TpccDatabase::FreezeEverything() {
   item.FreezeAll();
   warehouse.FreezeAll();

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "lifecycle/lifecycle_manager.h"
 #include "storage/table.h"
 #include "util/rng.h"
 
@@ -91,6 +94,26 @@ class TpccDatabase {
   /// Freezes every table (read-only experiment in Section 5.3).
   void FreezeEverything();
 
+  // -- Block lifecycle -----------------------------------------------------
+  /// Attaches a LifecycleManager to each append-mostly table (history,
+  /// neworder, order, orderline): OLTP point accesses drive their
+  /// temperature, cooled-down chunks freeze automatically and frozen blocks
+  /// evict to per-table archives under `dir` when over the memory budget.
+  /// Tables receiving unconditional in-place updates (warehouse, district,
+  /// customer, stock) and the read-only item table stay unmanaged.
+  /// Transactions remain correct when managed rows freeze: updates fall
+  /// back to delete + reinsert (paper Section 3).
+  void EnableLifecycle(const LifecycleConfig& config, const std::string& dir);
+
+  /// Runs one policy epoch on every attached manager.
+  void LifecycleTick();
+
+  /// Starts/stops background compaction threads on all managers.
+  void StartLifecycle();
+  void StopLifecycle();
+
+  std::vector<LifecycleManager*> lifecycle_managers();
+
   /// Validates invariants (W_YTD = sum(D_YTD), order/orderline counts, ...).
   bool CheckConsistency(std::string* msg) const;
 
@@ -108,6 +131,13 @@ class TpccDatabase {
 
  private:
   friend class TpccTest;
+
+  /// Applies single-column updates in place when the row is hot; if the
+  /// chunk froze (e.g. under a lifecycle manager), rewrites the row into
+  /// the hot tail instead and returns the new RowId for index fixup.
+  static RowId UpdateColumns(
+      Table& table, RowId id,
+      std::initializer_list<std::pair<uint32_t, Value>> changes);
 
   // Composite-key encodings.
   int64_t DistKey(int w, int d) const { return int64_t(w) * 10 + d - 11; }
@@ -141,6 +171,8 @@ class TpccDatabase {
   std::unordered_map<int64_t, RowId> neworder_idx_;   // by OrderKey
   std::unordered_map<int64_t, std::deque<int32_t>> neworder_queue_;
   std::unordered_map<int64_t, int32_t> last_order_of_cust_;  // CustKey -> o_id
+
+  std::vector<std::unique_ptr<LifecycleManager>> lifecycle_;
 };
 
 }  // namespace datablocks::tpcc

@@ -205,12 +205,16 @@ int TpccDatabase::Delivery(Rng& rng) {
 
     RowId o_row = order_idx_.at(okey);
     int c = int(order.GetInt(o_row, col::order::c_id));
-    order.UpdateInPlace(o_row, col::order::carrier_id, Value::Int(carrier));
+    // Under a lifecycle manager the order's chunk may have frozen; the
+    // update then relocates the row, so refresh the index.
+    RowId o_new = UpdateColumns(order, o_row,
+                                {{col::order::carrier_id, Value::Int(carrier)}});
+    if (o_new != o_row) order_idx_[okey] = o_new;
 
     int64_t total = 0;
-    for (RowId ol : orderlines_idx_.at(okey)) {
-      orderline.UpdateInPlace(ol, col::orderline::delivery_d,
-                              Value::Int(kTxnDate));
+    for (RowId& ol : orderlines_idx_.at(okey)) {
+      ol = UpdateColumns(orderline, ol,
+                         {{col::orderline::delivery_d, Value::Int(kTxnDate)}});
       total += orderline.GetInt(ol, col::orderline::amount);
     }
     RowId c_row = customer_idx_.at(CustKey(w, d, c));

@@ -33,7 +33,11 @@ class Rng {
   /// Uniform integer in [lo, hi] (inclusive).
   int64_t Uniform(int64_t lo, int64_t hi) {
     if (lo >= hi) return lo;
-    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+    // Span computed in uint64 so [INT64_MIN, INT64_MAX]-style ranges don't
+    // overflow; a wrapped span of 0 means the full 64-bit range.
+    uint64_t span = uint64_t(hi) - uint64_t(lo) + 1;
+    uint64_t r = span == 0 ? Next() : Next() % span;
+    return int64_t(uint64_t(lo) + r);
   }
 
   /// Uniform double in [0, 1).
