@@ -1,8 +1,11 @@
 #ifndef DATABLOCKS_BENCH_BENCH_COMMON_H_
 #define DATABLOCKS_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 // Shared flag handling for the bench binaries. Every benchmark accepts
@@ -40,6 +43,112 @@ inline std::vector<char*> QuickBenchArgs(int argc, char** argv, bool quick) {
   if (quick) args.insert(args.begin() + 1, min_time);
   args.push_back(nullptr);
   return args;
+}
+
+// ---------------------------------------------------------------------------
+// --json <path>: machine-readable results for the CI perf-regression
+// harness. The curated benches (fig8, fig9, table2, table3) record one
+// entry per (name, config) measurement; tools/bench_compare.py diffs two
+// such files and flags >threshold regressions. Human-readable stdout output
+// is unchanged — the JSON file is written on top of it, at process exit.
+// ---------------------------------------------------------------------------
+
+struct BenchJsonEntry {
+  std::string name;       // what was measured, e.g. "tpch_q6"
+  std::string config;     // variant, e.g. "+PSMA" or "AVX2"
+  double median_ns_op;    // median nanoseconds per operation
+  double rows_per_s;      // throughput (rows, tuples or lookups per second)
+};
+
+struct BenchJsonState {
+  std::string path;
+  std::string bench;
+  bool quick = false;
+  std::vector<BenchJsonEntry> entries;
+};
+
+inline BenchJsonState& BenchJson() {
+  static BenchJsonState state;
+  return state;
+}
+
+inline void BenchJsonFlush() {
+  BenchJsonState& s = BenchJson();
+  if (s.path.empty()) return;
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", s.path.c_str());
+    std::exit(1);
+  }
+  auto escape = [](const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n  \"results\": [",
+               escape(s.bench).c_str(), s.quick ? "true" : "false");
+  for (size_t i = 0; i < s.entries.size(); ++i) {
+    const BenchJsonEntry& e = s.entries[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"config\": \"%s\", "
+                 "\"median_ns_op\": %.6g, \"rows_per_s\": %.6g}",
+                 i == 0 ? "" : ",", escape(e.name).c_str(),
+                 escape(e.config).c_str(), e.median_ns_op, e.rows_per_s);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("[--json] wrote %zu results to %s\n", s.entries.size(),
+              s.path.c_str());
+}
+
+/// Parses and strips `--json <path>` (or `--json=<path>`) from argv.
+/// Returns true when JSON output is enabled; the file is written at process
+/// exit. `quick` is recorded so the comparer can refuse to diff quick-mode
+/// numbers against full-mode numbers.
+inline bool BenchJsonMode(int* argc, char** argv, bool quick) {
+  BenchJsonState& s = BenchJson();
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < *argc) {
+      s.path = argv[++r];
+      continue;
+    }
+    if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      s.path = argv[r] + 7;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (s.path.empty()) return false;
+  const char* base = std::strrchr(argv[0], '/');
+  s.bench = base != nullptr ? base + 1 : argv[0];
+  s.quick = quick;
+  std::atexit(BenchJsonFlush);
+  return true;
+}
+
+inline void BenchJsonRecord(std::string name, std::string config,
+                            double median_ns_op, double rows_per_s) {
+  BenchJsonState& s = BenchJson();
+  if (s.path.empty()) return;
+  s.entries.push_back(BenchJsonEntry{std::move(name), std::move(config),
+                                     median_ns_op, rows_per_s});
+}
+
+/// Median of a sample vector (scrambles the input order).
+inline double BenchMedian(std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  double hi = samples[samples.size() / 2];
+  if (samples.size() % 2 == 1) return hi;
+  std::nth_element(samples.begin(),
+                   samples.begin() + samples.size() / 2 - 1, samples.end());
+  return (hi + samples[samples.size() / 2 - 1]) / 2.0;
 }
 
 #endif  // DATABLOCKS_BENCH_BENCH_COMMON_H_

@@ -69,27 +69,32 @@ BENCHMARK_TEMPLATE(BM_FindBetween, uint32_t)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK_TEMPLATE(BM_FindBetween, uint64_t)->Arg(0)->Arg(1)->Arg(2);
 
 template <typename T>
-double MeasureSeconds(Isa isa, Fixture<T>& fx) {
-  // Warm-up + best-of-5 timing.
-  double best = 1e30;
+double MeasureMedianSeconds(Isa isa, Fixture<T>& fx) {
+  // Warm-up rep included; the median of 5 is robust against one-off stalls.
+  std::vector<double> samples;
   for (int rep = 0; rep < 5; ++rep) {
     Timer t;
     uint32_t n = FindMatchesBetween<T>(fx.data.data(), 0, kN, fx.lo, fx.hi,
                                        isa, fx.out.data());
     benchmark::DoNotOptimize(n);
-    best = std::min(best, t.ElapsedSeconds());
+    samples.push_back(t.ElapsedSeconds());
   }
-  return best;
+  return BenchMedian(samples);
 }
 
 template <typename T>
 void PrintRow(const char* name) {
   Fixture<T> fx;
-  double scalar = MeasureSeconds<T>(Isa::kScalar, fx);
+  double scalar = MeasureMedianSeconds<T>(Isa::kScalar, fx);
+  BenchJsonRecord(std::string("fig8_between_") + name, IsaName(Isa::kScalar),
+                  scalar * 1e9 / kN, kN / scalar);
   std::printf("%-8s %10.2f", name, 1.0);
   for (Isa isa : {Isa::kSse, Isa::kAvx2}) {
     if (IsaSupported(isa)) {
-      std::printf(" %10.2f", scalar / MeasureSeconds<T>(isa, fx));
+      double secs = MeasureMedianSeconds<T>(isa, fx);
+      BenchJsonRecord(std::string("fig8_between_") + name, IsaName(isa),
+                      secs * 1e9 / kN, kN / secs);
+      std::printf(" %10.2f", scalar / secs);
     } else {
       std::printf(" %10s", "n/a");
     }
@@ -112,6 +117,7 @@ void PrintSummary() {
 
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
+  BenchJsonMode(&argc, argv, quick);
   std::vector<char*> args = QuickBenchArgs(argc, argv, quick);
   int argn = int(args.size()) - 1;
   benchmark::Initialize(&argn, args.data());

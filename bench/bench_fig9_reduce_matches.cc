@@ -97,15 +97,22 @@ void PrintSeries(const char* name) {
     for (int s : kSels) {
       Fixture<T> fx(s);
       uint64_t best = UINT64_MAX;
+      std::vector<double> secs;
       for (int rep = 0; rep < 20; ++rep) {
+        Timer t;
         uint64_t t0 = ReadTsc();
         uint32_t n = ReduceMatchesBetween<T>(fx.data.data(),
                                              fx.positions.data(), fx.n_pos,
                                              fx.lo, fx.hi, isa,
                                              fx.out.data());
         best = std::min(best, ReadTsc() - t0);
+        secs.push_back(t.ElapsedSeconds());
         benchmark::DoNotOptimize(n);
       }
+      double med = BenchMedian(secs);
+      BenchJsonRecord(std::string("fig9_reduce_") + name + "_sel" +
+                          std::to_string(s),
+                      IsaName(isa), med * 1e9 / kN, kN / med);
       std::printf("%8.2f", double(best) / kN);
     }
   }
@@ -127,6 +134,7 @@ void PrintSummary() {
 
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
+  BenchJsonMode(&argc, argv, quick);
   std::vector<char*> args = QuickBenchArgs(argc, argv, quick);
   int argn = int(args.size()) - 1;
   benchmark::Initialize(&argn, args.data());

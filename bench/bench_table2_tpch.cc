@@ -8,11 +8,16 @@
 //   +SARG/SMA   Data Block scan with SARG pushdown and SMA skipping
 //   +PSMA       +SARG/SMA with PSMA range narrowing
 //
-// Usage: bench_table2_tpch [scale_factor] [repetitions]
+// Usage: bench_table2_tpch [--queries 1,6] [scale_factor] [repetitions]
+//
+// --queries restricts the run to a comma-separated query subset (the CI
+// perf-regression job measures Q1/Q6 only).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "tpch/queries.h"
 #include "util/timer.h"
@@ -24,26 +29,71 @@ using namespace datablocks::tpch;
 
 namespace {
 
-double MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
-                      int reps) {
+struct Measurement {
+  double best;    // best-of-reps (the printed tables use this)
+  double median;  // median-of-reps (the JSON harness uses this)
+};
+
+Measurement MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
+                           int reps) {
+  std::vector<double> samples;
   double best = 1e30;
   for (int r = 0; r < reps; ++r) {
     Timer t;
     QueryResult result = RunQuery(q, db, ScanOptions{.mode = mode});
-    best = std::min(best, t.ElapsedSeconds());
+    samples.push_back(t.ElapsedSeconds());
+    best = std::min(best, samples.back());
     if (result.rows.empty() && q != 15 && q != 2) {
       // Only a handful of queries may legitimately return few rows; an
       // empty result elsewhere would make the timing meaningless.
       std::fprintf(stderr, "warning: Q%d returned no rows\n", q);
     }
   }
-  return best;
+  return {best, BenchMedian(samples)};
+}
+
+/// Strips `--queries a,b,...` / `--queries=a,b,...` from argv. Returns the
+/// selected queries, defaulting to all 22.
+std::vector<int> ParseQueries(int* argc, char** argv) {
+  std::vector<int> queries;
+  const char* list = nullptr;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--queries") == 0 && r + 1 < *argc) {
+      list = argv[++r];
+      continue;
+    }
+    if (std::strncmp(argv[r], "--queries=", 10) == 0) {
+      list = argv[r] + 10;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (list != nullptr) {
+    for (const char* p = list; *p != '\0';) {
+      char* end;
+      long q = std::strtol(p, &end, 10);
+      if (end == p || q < 1 || q > 22) {
+        std::fprintf(stderr, "bad --queries list: %s\n", list);
+        std::exit(1);
+      }
+      queries.push_back(int(q));
+      p = *end == ',' ? end + 1 : end;
+    }
+  }
+  if (queries.empty()) {
+    for (int q = 1; q <= 22; ++q) queries.push_back(q);
+  }
+  return queries;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
+  BenchJsonMode(&argc, argv, quick);
+  const std::vector<int> queries = ParseQueries(&argc, argv);
   TpchConfig cfg;
   cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.2);
   const int reps = argc > 2 ? atoi(argv[2]) : (quick ? 1 : 2);
@@ -76,14 +126,18 @@ int main(int argc, char** argv) {
               cfg.scale_factor);
   std::printf("      %10s %10s %10s | %10s %10s %10s %9s\n", "JIT", "VEC",
               "+SARG", "DB", "+SARG/SMA", "+PSMA", "PSMA/JIT");
+  const double lineitem_rows = double(hot->lineitem.num_rows());
   double sum[6] = {0};
   double logsum[6] = {0};
-  for (int q = 1; q <= 22; ++q) {
+  for (int q : queries) {
     double secs[6];
     for (int c = 0; c < 6; ++c) {
-      secs[c] = MeasureSeconds(q, *configs[c].db, configs[c].mode, reps);
+      Measurement m = MeasureSeconds(q, *configs[c].db, configs[c].mode, reps);
+      secs[c] = m.best;
       sum[c] += secs[c];
       logsum[c] += std::log(secs[c]);
+      BenchJsonRecord("tpch_q" + std::to_string(q), configs[c].name,
+                      m.median * 1e9, lineitem_rows / m.median);
     }
     std::printf("Q%-4d %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs %8.2fx\n",
                 q, secs[0], secs[1], secs[2], secs[3], secs[4], secs[5],
@@ -94,7 +148,7 @@ int main(int argc, char** argv) {
   std::printf("\n%-5s", "geo");
   double geo[6];
   for (int c = 0; c < 6; ++c) {
-    geo[c] = std::exp(logsum[c] / 22.0);
+    geo[c] = std::exp(logsum[c] / double(queries.size()));
     std::printf(" %9.3fs", geo[c]);
   }
   std::printf("\n\ngeometric-mean speedup over JIT scans:\n");

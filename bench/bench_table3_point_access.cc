@@ -97,6 +97,7 @@ double IndexLookupsPerSecond(const Table& t, const PkIndex& idx,
 
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
+  BenchJsonMode(&argc, argv, quick);
   TpchConfig cfg;
   cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.5);
   const int idx_probes = quick ? 5000 : 200000;
@@ -126,36 +127,41 @@ int main(int argc, char** argv) {
       cfg.scale_factor);
   std::printf("%-34s %14s %14s\n", "configuration", "ordered", "shuffled");
 
-  std::printf("%-34s %14.0f %14.0f\n", "uncompressed (JIT)    PK index",
-              IndexLookupsPerSecond(hot_ordered, idx_hot_ord, max_key,
-                                    idx_probes),
-              IndexLookupsPerSecond(*shuffled, idx_hot_shuf, max_key,
-                                    idx_probes));
-  std::printf("%-34s %14.0f %14.0f\n", "Data Blocks           PK index",
-              IndexLookupsPerSecond(frozen_ord, idx_frozen_ord, max_key,
-                                    idx_probes),
-              IndexLookupsPerSecond(*frozen_shuf, idx_frozen_shuf, max_key,
-                                    idx_probes));
-  std::printf("%-34s %14.0f %14.0f\n", "uncompressed (JIT)    no index",
-              ScanLookupsPerSecond(hot_ordered, ScanMode::kJit, max_key,
-                                   scan_probes),
-              ScanLookupsPerSecond(*shuffled, ScanMode::kJit, max_key,
-                                   scan_probes));
-  std::printf("%-34s %14.0f %14.0f\n", "uncompressed (VEC)    no index",
-              ScanLookupsPerSecond(hot_ordered, ScanMode::kVectorizedSarg,
-                                   max_key, scan_probes),
-              ScanLookupsPerSecond(*shuffled, ScanMode::kVectorizedSarg,
-                                   max_key, scan_probes));
-  std::printf("%-34s %14.0f %14.0f\n", "Data Blocks (SMA)     no index",
-              ScanLookupsPerSecond(frozen_ord, ScanMode::kDataBlocks,
-                                   max_key, scan_probes),
-              ScanLookupsPerSecond(*frozen_shuf, ScanMode::kDataBlocks,
-                                   max_key, scan_probes));
-  std::printf("%-34s %14.0f %14.0f\n", "Data Blocks +PSMA     no index",
-              ScanLookupsPerSecond(frozen_ord, ScanMode::kDataBlocksPsma,
-                                   max_key, scan_probes),
-              ScanLookupsPerSecond(*frozen_shuf, ScanMode::kDataBlocksPsma,
-                                   max_key, scan_probes));
+  auto report = [](const char* label, const char* json_name, double ordered,
+                   double shuffled) {
+    std::printf("%-34s %14.0f %14.0f\n", label, ordered, shuffled);
+    BenchJsonRecord(json_name, "ordered", 1e9 / ordered, ordered);
+    BenchJsonRecord(json_name, "shuffled", 1e9 / shuffled, shuffled);
+  };
+
+  report("uncompressed (JIT)    PK index", "table3_pk_index_hot",
+         IndexLookupsPerSecond(hot_ordered, idx_hot_ord, max_key, idx_probes),
+         IndexLookupsPerSecond(*shuffled, idx_hot_shuf, max_key, idx_probes));
+  report("Data Blocks           PK index", "table3_pk_index_frozen",
+         IndexLookupsPerSecond(frozen_ord, idx_frozen_ord, max_key,
+                               idx_probes),
+         IndexLookupsPerSecond(*frozen_shuf, idx_frozen_shuf, max_key,
+                               idx_probes));
+  report("uncompressed (JIT)    no index", "table3_scan_jit",
+         ScanLookupsPerSecond(hot_ordered, ScanMode::kJit, max_key,
+                              scan_probes),
+         ScanLookupsPerSecond(*shuffled, ScanMode::kJit, max_key,
+                              scan_probes));
+  report("uncompressed (VEC)    no index", "table3_scan_vec_sarg",
+         ScanLookupsPerSecond(hot_ordered, ScanMode::kVectorizedSarg, max_key,
+                              scan_probes),
+         ScanLookupsPerSecond(*shuffled, ScanMode::kVectorizedSarg, max_key,
+                              scan_probes));
+  report("Data Blocks (SMA)     no index", "table3_scan_sma",
+         ScanLookupsPerSecond(frozen_ord, ScanMode::kDataBlocks, max_key,
+                              scan_probes),
+         ScanLookupsPerSecond(*frozen_shuf, ScanMode::kDataBlocks, max_key,
+                              scan_probes));
+  report("Data Blocks +PSMA     no index", "table3_scan_psma",
+         ScanLookupsPerSecond(frozen_ord, ScanMode::kDataBlocksPsma, max_key,
+                              scan_probes),
+         ScanLookupsPerSecond(*frozen_shuf, ScanMode::kDataBlocksPsma,
+                              max_key, scan_probes));
   std::printf(
       "\n(Expected shape, per the paper: indexed lookups on Data Blocks run\n"
       " at a constant factor below uncompressed; index-less scans are\n"

@@ -1,0 +1,92 @@
+#ifndef DATABLOCKS_DATABLOCK_BLOCK_SUMMARY_H_
+#define DATABLOCKS_DATABLOCK_BLOCK_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datablock/data_block.h"
+#include "datablock/psma.h"
+#include "scan/predicate.h"
+
+namespace datablocks {
+
+/// Resident per-column metadata of one frozen block: everything SMA/PSMA
+/// pruning needs, nothing that requires the payload. Kept small on purpose —
+/// summaries stay in memory for *every* archived block, including evicted
+/// ones, so a selective scan can rule a block out without reloading it.
+struct ColumnSummary {
+  uint8_t type;         // TypeId
+  uint8_t compression;  // Compression
+  uint8_t flags;        // AttrMeta::kHasNulls / kAllNull
+  uint8_t reserved = 0;
+  uint32_t dict_count = 0;
+  int64_t min_val = 0;  // SMA min (int64, or double bit pattern)
+  int64_t max_val = 0;  // SMA max
+  std::string min_str, max_str;  // string SMA: first/last dictionary entry
+  /// Optional resident copy of the block's PSMA lookup table (empty if the
+  /// block has none or PSMA retention is disabled). Costs up to
+  /// 8 * 256 * sizeof(PsmaEntry) bytes per column; buys scan-range proofs
+  /// ("the probe range is empty") without touching the payload.
+  std::vector<PsmaEntry> psma;
+
+  bool has_nulls() const { return flags & AttrMeta::kHasNulls; }
+  bool all_null() const { return flags & AttrMeta::kAllNull; }
+};
+
+/// A compact, always-resident summary of one frozen Data Block (paper
+/// Section 3.2: SMAs and PSMAs exist so scans can skip blocks cheaply; the
+/// summary keeps that ability alive after the block itself is evicted to
+/// the archive). Extracted once at archive time, persisted in the archive
+/// v3 index, immutable afterwards.
+class BlockSummary {
+ public:
+  BlockSummary() = default;
+
+  /// Extracts the summary from a frozen block. `keep_psma` controls whether
+  /// PSMA lookup tables are copied into the summary (memory/pruning-power
+  /// trade-off); SMAs are always kept.
+  static BlockSummary Extract(const DataBlock& block, bool keep_psma = true);
+
+  uint32_t row_count() const { return row_count_; }
+  uint32_t num_columns() const { return uint32_t(cols_.size()); }
+  const ColumnSummary& col(uint32_t c) const { return cols_[c]; }
+
+  /// Approximate resident footprint (reporting).
+  uint64_t MemoryBytes() const;
+
+  // -- Serialization (archive v3 index blob) ------------------------------
+
+  void AppendTo(std::vector<uint8_t>* out) const;
+  /// Parses a summary previously produced by AppendTo. Aborts on a
+  /// malformed blob (the archive checksums its index implicitly via the
+  /// header/entry validation; this is a belt-and-braces bounds check).
+  static BlockSummary FromBytes(const uint8_t* data, uint64_t size);
+
+ private:
+  uint32_t row_count_ = 0;
+  std::vector<ColumnSummary> cols_;
+};
+
+/// Result of summary-only predicate translation. `skip == true` is a proof
+/// that the full per-block translation (PrepareBlockScan) would also rule
+/// the block out — so the scan may pass over the block without pinning,
+/// fetching or LRU-promoting it. `skip == false` means "cannot decide
+/// without the payload" (e.g. a dictionary equality probe needs the
+/// dictionary): the caller reloads the block and runs the precise path.
+struct SummaryScanPrep {
+  bool skip = false;
+};
+
+/// Summary-only SMA (and optionally PSMA) pruning: the evicted-block
+/// counterpart of PrepareBlockScan. Conservative by construction — it only
+/// ever skips on evidence that is identical to what the full translation
+/// would derive (SMA range misses, single-value misses, NULL-bitmap
+/// contradictions, empty PSMA probe ranges).
+SummaryScanPrep PrepareSummaryScan(const BlockSummary& summary,
+                                   const std::vector<Predicate>& preds,
+                                   bool use_psma);
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_DATABLOCK_BLOCK_SUMMARY_H_

@@ -272,6 +272,46 @@ void TableScanner::Reset() {
   chunk_prepped_ = false;
   skip_chunk_ = false;
   chunks_skipped_ = 0;
+  evicted_skips_ = 0;
+}
+
+bool TableScanner::TrySkipChunkUnpinned() {
+  const size_t c = chunk_idx_;
+  const uint32_t rows = table_->chunk_rows(c);
+  if (rows == 0) return false;  // PrepareChunk handles empty chunks cheaply
+  const ChunkState st = table_->chunk_state(c);
+  // Hot chunks are excluded: their delete counter is not synchronized for
+  // lock-free readers, and they are resident anyway — nothing to save.
+  if (st != ChunkState::kFrozen && st != ChunkState::kEvicted) return false;
+
+  // A fully-deleted chunk produces no tuples in any scan mode; skipping it
+  // here avoids the pin (and, if evicted, the archive reload).
+  if (table_->deleted_in_chunk(c) == rows) {
+    ++chunks_skipped_;
+    if (st == ChunkState::kEvicted) ++evicted_skips_;
+    return true;
+  }
+
+  // Summary-only SMA/PSMA pruning of evicted blocks: the point of keeping
+  // summaries resident. Only the SARG-pushdown modes prune on SMAs (the
+  // baseline modes deliberately scan everything), and the decision is
+  // conservative — a skip here is a skip PrepareBlockScan would also make,
+  // just without faulting the payload back in or touching the LRU. The
+  // chunk may be reloaded concurrently by another reader; that cannot
+  // invalidate the decision, which rests only on immutable block metadata.
+  if (st != ChunkState::kEvicted || predicates_.empty()) return false;
+  if (mode_ != ScanMode::kVectorizedSarg && mode_ != ScanMode::kDataBlocks &&
+      mode_ != ScanMode::kDataBlocksPsma) {
+    return false;
+  }
+  const BlockSummary* summary = table_->block_summary(c);
+  if (summary == nullptr) return false;  // not archived by a manager: pin
+  SummaryScanPrep prep = PrepareSummaryScan(
+      *summary, predicates_, mode_ == ScanMode::kDataBlocksPsma);
+  if (!prep.skip) return false;
+  ++chunks_skipped_;
+  ++evicted_skips_;
+  return true;
 }
 
 void TableScanner::PrepareChunk() {
@@ -313,10 +353,18 @@ bool TableScanner::Next(Batch* batch) {
   const size_t end = std::min<size_t>(chunk_limit_, table_->num_chunks());
   while (chunk_idx_ < end) {
     if (!chunk_prepped_) {
-      // Pin before looking at the chunk: reloads it if evicted and blocks
-      // freeze/evict until the scan moves on.
-      PinCurrentChunk();
-      PrepareChunk();
+      // First chance: rule the chunk out without pinning it at all — an
+      // SMA-skipped evicted block must never be fetched from the archive
+      // or promoted in the LRU.
+      if (TrySkipChunkUnpinned()) {
+        chunk_prepped_ = true;
+        skip_chunk_ = true;
+      } else {
+        // Pin before looking at the chunk: reloads it if evicted and blocks
+        // freeze/evict until the scan moves on.
+        PinCurrentChunk();
+        PrepareChunk();
+      }
       pos_ = range_begin_;
     }
     if (skip_chunk_ || pos_ >= range_end_) {

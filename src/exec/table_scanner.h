@@ -76,10 +76,21 @@ class TableScanner {
     Reset();
   }
 
-  /// Number of chunks skipped entirely (SMA pruning) so far.
+  /// Number of chunks skipped entirely so far (SMA/PSMA pruning, plus
+  /// fully-deleted chunks).
   uint64_t chunks_skipped() const { return chunks_skipped_; }
 
+  /// Subset of chunks_skipped(): evicted chunks ruled out purely from their
+  /// resident BlockSummary — without a pin, an archive read, or an LRU
+  /// promotion.
+  uint64_t evicted_chunks_skipped() const { return evicted_skips_; }
+
  private:
+  /// Pin-free skip decision for the chunk about to be prepared: rules out
+  /// fully-deleted chunks and (in SMA modes) evicted chunks whose resident
+  /// summary excludes every predicate. Returns true if the chunk can be
+  /// passed over without pinning it.
+  bool TrySkipChunkUnpinned();
   void PinCurrentChunk();
   void ReleasePin();
   void PrepareChunk();
@@ -116,6 +127,7 @@ class TableScanner {
   uint32_t range_begin_ = 0, range_end_ = 0;
   BlockScanPrep block_prep_;
   uint64_t chunks_skipped_ = 0;
+  uint64_t evicted_skips_ = 0;
 
   // Scratch buffers.
   std::vector<uint32_t> positions_;

@@ -32,6 +32,11 @@ class BlockCache {
     blocks_.emplace(chunk_idx, bytes);
   }
 
+  /// Removes a chunk from eviction management (archive compaction detaches
+  /// fully-deleted chunks; their resident block must not be evicted again
+  /// because the archived copy is about to be reclaimed).
+  void Unregister(size_t chunk_idx) { blocks_.erase(chunk_idx); }
+
   size_t num_blocks() const { return blocks_.size(); }
 
   /// Total bytes of blocks whose chunk is currently resident.

@@ -1,6 +1,8 @@
 #include "lifecycle/lifecycle_manager.h"
 
+#include <cstdio>
 #include <unordered_set>
+#include <utility>
 
 #include "util/macros.h"
 
@@ -10,22 +12,28 @@ LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
                                    LifecycleConfig config)
     : table_(table),
       cfg_(config),
-      archive_(BlockArchive::Create(archive_path)),
+      archive_path_(std::move(archive_path)),
+      archive_(std::make_shared<BlockArchive>(
+          BlockArchive::Create(archive_path_))),
       cache_(config.memory_budget_bytes) {
   DB_CHECK(table_ != nullptr);
   // The reload path: must not call back into Table — it only touches the
   // manager's own state (mu_) and the archive. Residency bookkeeping needs
   // no update here: the chunk's state transition (kEvicted -> kFrozen) is
-  // the single source of truth the cache probes.
+  // the single source of truth the cache probes. The archive reference is
+  // snapshotted under mu_ so a concurrent compaction swap cannot pull the
+  // file out from under an in-flight read.
   table_->SetBlockFetcher([this](size_t chunk_idx) {
+    std::shared_ptr<BlockArchive> archive;
     size_t block_id;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = archived_.find(chunk_idx);
       DB_CHECK(it != archived_.end());  // evicted chunk must be archived
       block_id = it->second;
+      archive = archive_;
     }
-    return archive_.ReadBlock(block_id);
+    return archive->ReadBlock(block_id);
   });
 }
 
@@ -40,7 +48,17 @@ LifecycleManager::~LifecycleManager() {
     }
   }
   table_->SetBlockFetcher(nullptr);
-  archive_.Finish();
+  ArchiveRef()->Finish();
+}
+
+std::shared_ptr<BlockArchive> LifecycleManager::ArchiveRef() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archive_;
+}
+
+bool LifecycleManager::FullyDeleted(size_t chunk_idx) const {
+  const uint32_t rows = table_->chunk_rows(chunk_idx);
+  return rows > 0 && table_->deleted_in_chunk(chunk_idx) == rows;
 }
 
 bool LifecycleManager::ArchiveChunk(size_t idx) {
@@ -48,13 +66,27 @@ bool LifecycleManager::ArchiveChunk(size_t idx) {
     std::lock_guard<std::mutex> lock(mu_);
     if (archived_.count(idx) != 0) return false;
   }
+  // Fully-deleted chunks are never archived: their payload can never be
+  // needed again (scans skip them, visibility checks only read the side
+  // bitmap), so archiving would create instant garbage.
+  if (FullyDeleted(idx)) return false;
   Table::PinGuard pin(*table_, idx);
   const DataBlock* block = table_->frozen_block(idx);
   if (block == nullptr) return false;  // raced back to hot — skip
+  // Extract and install the resident summary before the chunk can be
+  // evicted — scanners rely on "evicted implies summary present" to prune
+  // without pinning. A summary installed earlier (BlockArchive::Restore)
+  // is reused: summaries are install-once (see Table::SetBlockSummary).
+  if (table_->block_summary(idx) == nullptr) {
+    table_->SetBlockSummary(
+        idx, std::make_unique<BlockSummary>(
+                 BlockSummary::Extract(*block, cfg_.keep_summary_psma)));
+  }
   // The delete bitmap is deliberately NOT archived here: it stays mutable
   // in table memory across eviction. Whole-table BlockArchive::Save is the
   // path that persists bitmaps.
-  size_t id = archive_.AppendBlock(*block, uint32_t(idx));
+  size_t id = archive_->AppendBlock(*block, uint32_t(idx), nullptr,
+                                    table_->block_summary(idx));
   std::lock_guard<std::mutex> lock(mu_);
   archived_[idx] = id;
   cache_.Register(idx, block->SizeBytes());
@@ -82,6 +114,138 @@ void LifecycleManager::EnforceBudget() {
     if (victim == SIZE_MAX) return;  // everything left is pinned
     if (!table_->EvictChunk(victim)) skip.insert(victim);
   }
+}
+
+void LifecycleManager::DetachFullyDeletedLocked() {
+  // Snapshot outside mu_ (pinning may reload through the fetcher, which
+  // takes mu_).
+  std::vector<size_t> chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks.reserve(archived_.size());
+    for (const auto& [chunk, id] : archived_) chunks.push_back(chunk);
+  }
+  for (size_t chunk : chunks) {
+    if (!FullyDeleted(chunk)) continue;
+    // Reload-before-reclaim: once the chunk is detached from the archive
+    // directory its payload is gone for good, so it must be resident (a
+    // fully-deleted resident block is cheap — scans skip it without a pin,
+    // and it is never archived or evicted again).
+    Table::PinGuard pin(*table_, chunk);
+    std::lock_guard<std::mutex> lock(mu_);
+    archived_.erase(chunk);
+    cache_.Unregister(chunk);
+  }
+}
+
+namespace {
+
+struct GarbageTally {
+  uint64_t total_bytes = 0;
+  uint64_t dead_bytes = 0;
+  size_t dead_blocks = 0;
+};
+
+/// The one definition of archive garbage: payload bytes of entries that are
+/// not anyone's current block. Shared by the ratio accessor and the
+/// compaction trigger so the two can never disagree.
+GarbageTally TallyGarbage(const std::vector<ArchiveEntry>& entries,
+                          const std::vector<bool>& live) {
+  GarbageTally t;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t bytes =
+        entries[i].block_bytes + entries[i].bitmap_words * 8;
+    t.total_bytes += bytes;
+    if (live[i]) continue;
+    ++t.dead_blocks;
+    t.dead_bytes += bytes;
+  }
+  return t;
+}
+
+}  // namespace
+
+double LifecycleManager::GarbageRatio() const {
+  // Snapshot the catalog first: the background tick may be appending, and
+  // entry() is not safe against concurrent appends.
+  std::shared_ptr<BlockArchive> archive;
+  std::vector<bool> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    archive = archive_;
+    live.assign(archive_->num_blocks(), false);
+    for (const auto& [chunk, id] : archived_) live[id] = true;
+  }
+  std::vector<ArchiveEntry> entries = archive->EntriesSnapshot();
+  // Appends racing this snapshot may have grown the catalog past the live
+  // vector; brand-new entries are someone's current block.
+  live.resize(entries.size(), true);
+  GarbageTally t = TallyGarbage(entries, live);
+  if (t.total_bytes == 0) return 0.0;
+  return double(t.dead_bytes) / double(t.total_bytes);
+}
+
+size_t LifecycleManager::CompactLocked(bool force) {
+  DetachFullyDeletedLocked();
+
+  // Liveness: an archive block is live iff it is the current block of some
+  // managed chunk. Everything else — superseded re-appends, detached
+  // fully-deleted chunks — is garbage.
+  std::shared_ptr<BlockArchive> old;
+  std::vector<bool> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = archive_;
+    live.assign(old->num_blocks(), false);
+    for (const auto& [chunk, id] : archived_) {
+      DB_CHECK(id < live.size());
+      live[id] = true;
+    }
+  }
+  // The catalog is append-quiescent here (appends only run under tick_mu_,
+  // which the caller holds), so the snapshot is exact.
+  GarbageTally tally = TallyGarbage(old->EntriesSnapshot(), live);
+  if (tally.dead_blocks == 0) return 0;
+  if (!force && double(tally.dead_bytes) <
+                    cfg_.compact_garbage_ratio * double(tally.total_bytes)) {
+    return 0;
+  }
+
+  // Rewrite the live blocks into a fresh archive beside the current one.
+  // Appends are serialized by tick_mu_ (held by the caller), so the old
+  // archive is append-quiescent; concurrent *reloads* keep being served
+  // from it throughout. The stat snapshot is taken *before* the copy so
+  // compaction's own per-block reads don't inflate archive_reads.
+  const uint64_t old_reads = old->payload_reads();
+  const std::string tmp_path = archive_path_ + ".compact";
+  std::vector<size_t> id_map;
+  auto fresh = std::make_shared<BlockArchive>(
+      BlockArchive::Compact(*old, live, tmp_path, &id_map));
+
+  // Atomically repoint: the file takes the canonical path, then the
+  // chunk -> block-id directory swaps to the new ids under mu_. Reloads
+  // that already snapshotted the old archive keep their (still-open) file
+  // handle; new reloads see the new archive and new ids together.
+  DB_CHECK(std::rename(tmp_path.c_str(), archive_path_.c_str()) == 0);
+  fresh->NotifyRenamed(archive_path_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [chunk, id] : archived_) {
+      DB_CHECK(id_map[id] != SIZE_MAX);
+      id = id_map[id];
+    }
+    prior_archive_reads_.fetch_add(old_reads, std::memory_order_relaxed);
+    archive_ = std::move(fresh);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  reclaimed_blocks_.fetch_add(tally.dead_blocks, std::memory_order_relaxed);
+  reclaimed_bytes_.fetch_add(tally.dead_bytes, std::memory_order_relaxed);
+  return tally.dead_blocks;
+}
+
+size_t LifecycleManager::CompactArchive() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  return CompactLocked(/*force=*/true);
 }
 
 void LifecycleManager::Tick() {
@@ -122,6 +286,7 @@ void LifecycleManager::Tick() {
   }
 
   EnforceBudget();
+  if (cfg_.compact_garbage_ratio <= 1.0) CompactLocked(/*force=*/false);
   epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -158,9 +323,18 @@ LifecycleStats LifecycleManager::stats() const {
   s.adopted = adopted_.load(std::memory_order_relaxed);
   s.evictions = table_->evictions();
   s.reloads = table_->reloads();
-  s.archived_blocks = archive_.num_blocks();
-  s.archive_bytes = archive_.PayloadBytes();
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.reclaimed_blocks = reclaimed_blocks_.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  for (size_t c = 0; c < table_->num_chunks(); ++c) {
+    if (const BlockSummary* sum = table_->block_summary(c))
+      s.summary_bytes += sum->MemoryBytes();
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  s.archived_blocks = archive_->num_blocks();
+  s.archive_bytes = archive_->PayloadBytes();
+  s.archive_reads = archive_->payload_reads() +
+                    prior_archive_reads_.load(std::memory_order_relaxed);
   s.resident_bytes = cache_.ResidentBytes([&](size_t c) {
     return table_->chunk_state(c) == ChunkState::kFrozen;
   });

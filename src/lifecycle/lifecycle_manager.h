@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,6 +40,18 @@ struct LifecycleConfig {
   /// to the archive until the residency fits. UINT64_MAX = never evict.
   uint64_t memory_budget_bytes = UINT64_MAX;
 
+  // -- Resident block summaries -------------------------------------------
+  /// Keep each archived block's PSMA lookup tables in its resident
+  /// BlockSummary (more memory, tighter summary-only pruning of evicted
+  /// blocks). SMAs are always kept.
+  bool keep_summary_psma = true;
+
+  // -- Archive compaction/GC ----------------------------------------------
+  /// Rewrite the archive when at least this fraction of its payload bytes
+  /// is garbage (superseded or fully-deleted blocks). > 1.0 disables
+  /// automatic compaction; CompactArchive() still works explicitly.
+  double compact_garbage_ratio = 0.5;
+
   // -- Background compaction thread ---------------------------------------
   std::chrono::milliseconds tick_interval{50};
 };
@@ -52,6 +65,11 @@ struct LifecycleStats {
   uint64_t archived_blocks = 0;  // blocks written to the archive
   uint64_t archive_bytes = 0;    // archive payload size
   uint64_t resident_bytes = 0;   // resident frozen-block bytes (cache view)
+  uint64_t archive_reads = 0;    // payload reads served by the archive
+  uint64_t summary_bytes = 0;    // resident BlockSummary footprint
+  uint64_t compactions = 0;      // archive compaction passes that rewrote
+  uint64_t reclaimed_blocks = 0; // dead blocks dropped by compaction
+  uint64_t reclaimed_bytes = 0;  // payload bytes reclaimed by compaction
 };
 
 /// The block lifecycle subsystem: per-chunk temperature statistics drive
@@ -68,10 +86,19 @@ struct LifecycleStats {
 ///
 /// Blocks are archived once, at freeze time (they are immutable; the
 /// mutable side delete-bitmap stays in memory), so eviction itself is just
-/// dropping the resident copy. Ticks may run from a caller thread (Tick())
-/// or from the built-in background thread (Start()/Stop()); both may be
-/// active concurrently with OLTP point accesses and OLAP scans on the
-/// table.
+/// dropping the resident copy. At archive time the block's BlockSummary
+/// (SMA min/max, dictionary domain, optional PSMA) is extracted and
+/// installed in the table — it stays resident across eviction, so
+/// SMA-pruned scans skip evicted blocks without any archive read. Ticks
+/// may run from a caller thread (Tick()) or from the built-in background
+/// thread (Start()/Stop()); both may be active concurrently with OLTP
+/// point accesses and OLAP scans on the table.
+///
+/// The archive accumulates garbage as archived chunks become fully deleted;
+/// a compaction pass (automatic past config.compact_garbage_ratio, or
+/// explicit via CompactArchive) rewrites the live blocks into a fresh file
+/// and atomically repoints the chunk -> block-id directory at it. In-flight
+/// reloads keep reading the superseded archive object until they drain.
 ///
 /// The manager must outlive all use of the table's evicted chunks; its
 /// destructor reloads every evicted block (restoring a fully resident
@@ -86,7 +113,8 @@ class LifecycleManager {
   LifecycleManager& operator=(const LifecycleManager&) = delete;
 
   /// One policy epoch: decay clocks, freeze cooled-down chunks (archiving
-  /// them), adopt manually-frozen chunks, enforce the memory budget.
+  /// them), adopt manually-frozen chunks, enforce the memory budget, and
+  /// compact the archive if its garbage ratio crossed the threshold.
   /// Thread-safe; concurrent ticks are serialized.
   void Tick();
 
@@ -95,26 +123,51 @@ class LifecycleManager {
   void Stop();
   bool running() const { return bg_.joinable(); }
 
+  /// Explicit archive compaction/GC: reclaims superseded and fully-deleted
+  /// blocks regardless of the garbage-ratio threshold. Returns the number
+  /// of blocks reclaimed (0 if the archive had no garbage).
+  size_t CompactArchive();
+
+  /// Fraction of archive payload bytes that is garbage (dead blocks).
+  double GarbageRatio() const;
+
   LifecycleStats stats() const;
   const LifecycleConfig& config() const { return cfg_; }
   Table* table() const { return table_; }
-  const BlockArchive& archive() const { return archive_; }
+  /// Current archive. Returned by shared_ptr because a concurrent
+  /// compaction pass may swap in a rewritten archive at any time; holders
+  /// keep a consistent (possibly superseded) snapshot.
+  std::shared_ptr<const BlockArchive> archive() const { return ArchiveRef(); }
 
  private:
-  /// Archives chunk `idx`'s resident block if not archived yet; registers
-  /// it with the cache. Returns true if newly archived.
+  /// Archives chunk `idx`'s resident block if not archived yet; extracts
+  /// and installs its summary and registers it with the cache. Returns
+  /// true if newly archived.
   bool ArchiveChunk(size_t idx);
   void EnforceBudget();
+  /// Compaction pass; requires tick_mu_. `force` rewrites even below the
+  /// configured garbage threshold (as long as there is garbage at all).
+  size_t CompactLocked(bool force);
+  /// Detaches fully-deleted chunks from the archive directory (reloading
+  /// them first if evicted, so the table never needs their payload again).
+  /// Cost note: a detached chunk's block stays resident and is exempt from
+  /// the memory budget for the manager's lifetime — reclaiming archive
+  /// space trades RAM for disk until a tombstone chunk state can drop the
+  /// payload entirely (see ROADMAP).
+  void DetachFullyDeletedLocked();
+  bool FullyDeleted(size_t chunk_idx) const;
+  std::shared_ptr<BlockArchive> ArchiveRef() const;
 
   Table* table_;
   LifecycleConfig cfg_;
-  BlockArchive archive_;
+  std::string archive_path_;
 
-  /// Guards cache_/archived_/cold_epochs_. Lock order: a table's lifecycle
-  /// mutex may be held when mu_ is taken (the reload fetcher), so Tick
-  /// never calls into Table while holding mu_.
+  /// Guards archive_/cache_/archived_/cold_epochs_. Lock order: a table's
+  /// lifecycle mutex may be held when mu_ is taken (the reload fetcher), so
+  /// Tick never calls into Table while holding mu_.
   mutable std::mutex mu_;
-  std::mutex tick_mu_;  // serializes concurrent Tick calls
+  std::mutex tick_mu_;  // serializes Tick / CompactArchive
+  std::shared_ptr<BlockArchive> archive_;  // swapped atomically by compaction
   BlockCache cache_;
   std::unordered_map<size_t, size_t> archived_;  // chunk -> archive block id
   std::vector<uint32_t> cold_epochs_;
@@ -122,6 +175,10 @@ class LifecycleManager {
   std::atomic<uint64_t> epochs_{0};
   std::atomic<uint64_t> freezes_{0};
   std::atomic<uint64_t> adopted_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> reclaimed_blocks_{0};
+  std::atomic<uint64_t> reclaimed_bytes_{0};
+  std::atomic<uint64_t> prior_archive_reads_{0};  // reads on retired archives
 
   std::thread bg_;
   std::mutex bg_mu_;

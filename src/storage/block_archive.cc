@@ -42,6 +42,7 @@ BlockArchive BlockArchive::Create(const std::string& path) {
   a.path_ = path;
   a.mu_ = std::make_unique<std::mutex>();
   a.writable_ = true;
+  a.version_ = kVersion;
   a.file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
                          std::ios::trunc);
   DB_CHECK(a.file_.good());
@@ -64,19 +65,52 @@ BlockArchive BlockArchive::Open(const std::string& path) {
   a.file_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
   DB_CHECK(a.file_.good());
   DB_CHECK(hdr.magic == kMagic);
-  DB_CHECK(hdr.version == kVersion);
+  DB_CHECK(hdr.version >= kMinVersion && hdr.version <= kVersion);
   DB_CHECK(hdr.index_offset != 0);  // unfinished/truncated archive
+  a.version_ = hdr.version;
   a.entries_.resize(hdr.block_count);
+  a.summaries_.resize(hdr.block_count);
   a.file_.seekg(std::streamoff(hdr.index_offset));
-  a.file_.read(reinterpret_cast<char*>(a.entries_.data()),
-               std::streamsize(hdr.block_count * sizeof(ArchiveEntry)));
-  DB_CHECK(a.file_.good());
+  if (hdr.version == 2) {
+    // v2 records are a 40-byte prefix of ArchiveEntry; the v3 fields
+    // (row_count, summary location) stay zero — summary() returns null.
+    for (uint32_t i = 0; i < hdr.block_count; ++i) {
+      a.entries_[i] = ArchiveEntry{};
+      a.file_.read(reinterpret_cast<char*>(&a.entries_[i]),
+                   std::streamsize(kArchiveEntryV2Bytes));
+    }
+    DB_CHECK(a.file_.good());
+  } else {
+    a.file_.read(reinterpret_cast<char*>(a.entries_.data()),
+                 std::streamsize(hdr.block_count * sizeof(ArchiveEntry)));
+    uint64_t blob_bytes = 0;
+    a.file_.read(reinterpret_cast<char*>(&blob_bytes), sizeof(blob_bytes));
+    DB_CHECK(a.file_.good());
+    std::vector<uint8_t> blob(blob_bytes);
+    if (blob_bytes != 0) {
+      a.file_.read(reinterpret_cast<char*>(blob.data()),
+                   std::streamsize(blob_bytes));
+      DB_CHECK(a.file_.good());
+    }
+    for (uint32_t i = 0; i < hdr.block_count; ++i) {
+      const ArchiveEntry& e = a.entries_[i];
+      if (e.summary_bytes == 0) continue;
+      // Overflow-proof bounds check: a corrupt entry must not wrap the sum
+      // past blob_bytes and slip through.
+      DB_CHECK(e.summary_bytes <= blob_bytes &&
+               e.summary_offset <= blob_bytes - e.summary_bytes);
+      a.summaries_[i] = std::make_shared<const BlockSummary>(
+          BlockSummary::FromBytes(blob.data() + e.summary_offset,
+                                  e.summary_bytes));
+    }
+  }
   a.end_offset_ = hdr.index_offset;
   return a;
 }
 
 size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
-                                 const uint64_t* delete_bitmap) {
+                                 const uint64_t* delete_bitmap,
+                                 const BlockSummary* summary) {
   DB_CHECK(mu_ != nullptr && writable_);
   std::lock_guard<std::mutex> lock(*mu_);
   const uint64_t block_bytes = block.SizeBytes();
@@ -112,14 +146,18 @@ size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
   file_.flush();
   DB_CHECK(file_.good());
 
-  ArchiveEntry e;
+  ArchiveEntry e{};
   e.offset = end_offset_;
   e.block_bytes = block_bytes;
   e.bitmap_words = bitmap_words;
   e.checksum = checksum;
   e.chunk_index = chunk_index;
   e.deleted_count = deleted_count;
+  e.row_count = block.num_rows();
   entries_.push_back(e);
+  summaries_.push_back(
+      summary != nullptr ? std::make_shared<const BlockSummary>(*summary)
+                         : nullptr);
   end_offset_ += block_bytes + bitmap_words * 8;
   return entries_.size() - 1;
 }
@@ -134,6 +172,7 @@ DataBlock BlockArchive::ReadBlock(size_t id,
     std::lock_guard<std::mutex> lock(*mu_);
     DB_CHECK(id < entries_.size());
     e = entries_[id];
+    ++payload_reads_;
     // Read straight into the block's own buffer — reloads are a hot path
     // under eviction churn, an intermediate copy would double the cost.
     block = DataBlock::ForFill(e.block_bytes);
@@ -167,9 +206,19 @@ uint64_t BlockArchive::PayloadBytes() const {
   return total;
 }
 
+uint64_t BlockArchive::payload_reads() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return payload_reads_;
+}
+
 size_t BlockArchive::num_blocks() const {
   std::lock_guard<std::mutex> lock(*mu_);
   return entries_.size();
+}
+
+std::vector<ArchiveEntry> BlockArchive::EntriesSnapshot() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return entries_;
 }
 
 void BlockArchive::Finish() {
@@ -177,15 +226,54 @@ void BlockArchive::Finish() {
   std::lock_guard<std::mutex> lock(*mu_);
   if (!writable_) return;
   writable_ = false;
+  // Serialize the summaries into one blob and point the entries at it.
+  std::vector<uint8_t> blob;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (summaries_[i] == nullptr) {
+      entries_[i].summary_offset = 0;
+      entries_[i].summary_bytes = 0;
+      continue;
+    }
+    entries_[i].summary_offset = blob.size();
+    summaries_[i]->AppendTo(&blob);
+    entries_[i].summary_bytes = blob.size() - entries_[i].summary_offset;
+  }
+  const uint64_t blob_bytes = blob.size();
   file_.seekp(std::streamoff(end_offset_));
   file_.write(reinterpret_cast<const char*>(entries_.data()),
               std::streamsize(entries_.size() * sizeof(ArchiveEntry)));
+  file_.write(reinterpret_cast<const char*>(&blob_bytes), sizeof(blob_bytes));
+  if (blob_bytes != 0) {
+    file_.write(reinterpret_cast<const char*>(blob.data()),
+                std::streamsize(blob_bytes));
+  }
   FileHeader hdr{kMagic, kVersion, uint32_t(entries_.size()), 0, end_offset_,
                  0};
   file_.seekp(0);
   file_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
   file_.flush();
   DB_CHECK(file_.good());
+}
+
+BlockArchive BlockArchive::Compact(const BlockArchive& src,
+                                   const std::vector<bool>& live,
+                                   const std::string& path,
+                                   std::vector<size_t>* id_map) {
+  DB_CHECK(live.size() == src.num_blocks());
+  BlockArchive out = Create(path);
+  if (id_map != nullptr) id_map->assign(live.size(), SIZE_MAX);
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (!live[i]) continue;
+    // ReadBlock re-verifies the checksum, so corruption cannot silently
+    // propagate into the compacted file.
+    std::vector<uint64_t> bitmap;
+    DataBlock block = src.ReadBlock(i, &bitmap);
+    size_t id = out.AppendBlock(block, src.entry(i).chunk_index,
+                                bitmap.empty() ? nullptr : bitmap.data(),
+                                src.summary(i));
+    if (id_map != nullptr) (*id_map)[i] = id;
+  }
+  return out;
 }
 
 size_t BlockArchive::Save(const Table& table, const std::string& path) {
@@ -199,7 +287,9 @@ size_t BlockArchive::Save(const Table& table, const std::string& path) {
     // is_frozen — the chunk is simply hot again, and hot chunks are not
     // archived.
     if (block == nullptr) continue;
-    archive.AppendBlock(*block, uint32_t(c), table.delete_bitmap(c));
+    BlockSummary summary = BlockSummary::Extract(*block);
+    archive.AppendBlock(*block, uint32_t(c), table.delete_bitmap(c),
+                        &summary);
   }
   archive.Finish();
   return archive.num_blocks();
@@ -224,6 +314,12 @@ Table BlockArchive::Restore(const std::string& name, Schema schema,
     DataBlock block = archive.ReadBlock(i, &bitmap);
     table.AppendFrozen(std::move(block), std::move(bitmap),
                        archive.entry(i).deleted_count);
+    // Carry the archived summary over so the restored table prunes evicted
+    // blocks summary-only once a lifecycle manager adopts it.
+    if (const BlockSummary* s = archive.summary(i)) {
+      table.SetBlockSummary(table.num_chunks() - 1,
+                            std::make_unique<BlockSummary>(*s));
+    }
   }
   return table;
 }

@@ -8,13 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "datablock/block_summary.h"
 #include "storage/table.h"
 
 namespace datablocks {
 
-/// One archived block's catalog record (fixed-size, stored in the archive's
-/// index). The optional delete bitmap is laid out immediately after the
-/// block payload; `checksum` covers payload + bitmap.
+/// One archived block's catalog record. The optional delete bitmap is laid
+/// out immediately after the block payload; `checksum` covers payload +
+/// bitmap. The v3 fields locate the block's serialized BlockSummary inside
+/// the index summary blob — readable without touching any payload bytes.
+/// v2 archives carry only the first 40 bytes per record (no summaries).
 struct ArchiveEntry {
   uint64_t offset;        // file offset of the serialized block
   uint64_t block_bytes;   // length of the serialized block
@@ -22,19 +25,29 @@ struct ArchiveEntry {
   uint64_t checksum;      // FNV-1a 64 over block payload + bitmap
   uint32_t chunk_index;   // originating chunk slot (UINT32_MAX if n/a)
   uint32_t deleted_count; // set bits in the stored delete bitmap
+  // -- v3 additions (zero when reading a v2 archive) ----------------------
+  uint32_t row_count;       // tuples in the block
+  uint32_t reserved;
+  uint64_t summary_offset;  // offset into the index summary blob
+  uint64_t summary_bytes;   // 0 = no summary stored
 };
-static_assert(sizeof(ArchiveEntry) == 40);
+static_assert(sizeof(ArchiveEntry) == 64);
+/// On-disk record size of the v2 format (prefix of ArchiveEntry).
+inline constexpr uint64_t kArchiveEntryV2Bytes = 40;
 
 /// Eviction of frozen chunks to secondary storage (paper Section 3: "by
 /// maintaining a flat structure without pointers, Data Blocks are also
 /// suitable for eviction to secondary storage").
 ///
-/// Archive format v2 (replacing the v1 concat-only stream): a versioned
-/// file header, the serialized blocks (each optionally followed by its
-/// delete bitmap), and an ArchiveEntry index written by Finish(). The index
-/// enables per-block random access — the block cache reloads a single
-/// evicted block without touching the rest of the file — and the per-entry
-/// checksum catches torn or corrupted writes on reload.
+/// Archive format v3: a versioned file header, the serialized blocks (each
+/// optionally followed by its delete bitmap), and an index written by
+/// Finish() — the ArchiveEntry records followed by a blob of serialized
+/// BlockSummary records. The index enables per-block random access, the
+/// per-entry checksum catches torn or corrupted writes on reload, and the
+/// summary blob makes every block's SMA/PSMA metadata restorable *without
+/// payload reads* — an SMA-pruned scan never has to fault the block in.
+/// v2 archives (no summaries, 40-byte records) are still readable; v1 and
+/// unknown versions are rejected.
 ///
 /// An archive is either being written (Create + AppendBlock, index kept in
 /// memory, ReadBlock works on already-appended blocks) or opened read-only
@@ -42,7 +55,8 @@ static_assert(sizeof(ArchiveEntry) == 40);
 class BlockArchive {
  public:
   static constexpr uint32_t kMagic = 0x52414244;  // "DBAR"
-  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kVersion = 3;
+  static constexpr uint32_t kMinVersion = 2;  // oldest readable format
 
   BlockArchive() = default;
   ~BlockArchive();
@@ -53,41 +67,73 @@ class BlockArchive {
   static BlockArchive Create(const std::string& path);
 
   /// Opens a finished archive for random-access reads (validates header,
-  /// version and index).
+  /// version and index; v2 archives open with null summaries).
   static BlockArchive Open(const std::string& path);
 
   /// Appends one block (and its delete bitmap, if any); flushed to disk
   /// before returning. The bitmap is snapshotted once and the entry's
   /// deleted_count is derived from that snapshot's popcount, so the stored
   /// pair is always self-consistent even if the caller's live bitmap keeps
-  /// changing. Returns the block's id for ReadBlock.
+  /// changing. `summary`, if given, is copied and persisted in the v3
+  /// index. Returns the block's id for ReadBlock.
   size_t AppendBlock(const DataBlock& block,
                      uint32_t chunk_index = UINT32_MAX,
-                     const uint64_t* delete_bitmap = nullptr);
+                     const uint64_t* delete_bitmap = nullptr,
+                     const BlockSummary* summary = nullptr);
 
   /// Random-access, checksum-verified reload of one block. If `delete_bitmap`
   /// is non-null it receives the stored bitmap (empty if none was stored).
   DataBlock ReadBlock(size_t id,
                       std::vector<uint64_t>* delete_bitmap = nullptr) const;
 
+  /// Resident summary of block `id` (nullptr for v2 archives or blocks
+  /// appended without one). Never touches the payload.
+  const BlockSummary* summary(size_t id) const {
+    return summaries_[id].get();
+  }
+
   size_t num_blocks() const;  // thread-safe
   /// Entry metadata; only safe once appends are done (e.g. after Finish).
   const ArchiveEntry& entry(size_t id) const { return entries_[id]; }
+  /// Copy of the whole catalog; unlike entry(), safe against concurrent
+  /// appends (used by stats readers while the archive is still written).
+  std::vector<ArchiveEntry> EntriesSnapshot() const;
   const std::string& path() const { return path_; }
+  /// Records that the caller renamed the underlying file (compaction moves
+  /// the rewritten archive onto the canonical path); the open handle
+  /// follows the inode, only the reported path changes.
+  void NotifyRenamed(std::string path) { path_ = std::move(path); }
+  uint32_t version() const { return version_; }
 
   /// Total bytes of archived payload (blocks + bitmaps, without metadata).
   uint64_t PayloadBytes() const;
+
+  /// Payload reads served so far (ReadBlock calls). Summary accesses do not
+  /// count — that is the point: pruning evicted blocks must leave this at
+  /// zero, and the lifecycle tests pin it down.
+  uint64_t payload_reads() const;
 
   /// Writes the index + final header. Called automatically on destruction
   /// of a writable archive; appends are illegal afterwards.
   void Finish();
 
-  // -- Whole-table conveniences (v2 format) -------------------------------
+  /// Rewrites the live blocks of `src` into a fresh archive at `path`
+  /// (compaction/GC): block `i` is copied — payload, bitmap and summary —
+  /// iff `live[i]` is true, with checksums re-verified in transit.
+  /// `id_map`, if non-null, receives old-id -> new-id (SIZE_MAX for
+  /// reclaimed blocks). The result is still writable, so a lifecycle
+  /// manager can keep appending after swapping it in.
+  static BlockArchive Compact(const BlockArchive& src,
+                              const std::vector<bool>& live,
+                              const std::string& path,
+                              std::vector<size_t>* id_map = nullptr);
+
+  // -- Whole-table conveniences -------------------------------------------
 
   /// Writes every frozen chunk of `table` to `path` (in chunk order),
-  /// including per-chunk delete bitmaps. Evicted chunks are transparently
-  /// reloaded for the duration of the write. Returns the number of blocks
-  /// written.
+  /// including per-chunk delete bitmaps and summaries. Evicted chunks are
+  /// transparently reloaded for the duration of the write. Returns the
+  /// number of blocks written.
   static size_t Save(const Table& table, const std::string& path);
 
   /// Reads all blocks back from `path` (delete bitmaps are dropped; use
@@ -95,8 +141,8 @@ class BlockArchive {
   static std::vector<DataBlock> Load(const std::string& path);
 
   /// Rebuilds a table from an archive: the result contains the archived
-  /// blocks as frozen chunks — including their delete bitmaps — with
-  /// identical scan and point-access behaviour.
+  /// blocks as frozen chunks — including their delete bitmaps and (v3)
+  /// resident summaries — with identical scan and point-access behaviour.
   static Table Restore(const std::string& name, Schema schema,
                        const std::string& path,
                        uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
@@ -116,7 +162,12 @@ class BlockArchive {
   mutable std::fstream file_;
   mutable std::unique_ptr<std::mutex> mu_;
   std::vector<ArchiveEntry> entries_;
+  /// Parsed summaries, parallel to entries_ (null where absent). Kept in
+  /// memory on both the write and the read path so summary() never does IO.
+  std::vector<std::shared_ptr<const BlockSummary>> summaries_;
   uint64_t end_offset_ = 0;
+  mutable uint64_t payload_reads_ = 0;  // guarded by mu_
+  uint32_t version_ = kVersion;
   bool writable_ = false;
 };
 

@@ -305,6 +305,23 @@ const uint64_t* Table::delete_bitmap(size_t chunk_idx) const {
              : slot.frozen_deleted.data();
 }
 
+void Table::SetBlockSummary(size_t chunk_idx,
+                            std::unique_ptr<const BlockSummary> summary) {
+  Slot& slot = this->slot(chunk_idx);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  // The chunk must be frozen and resident: the summary describes the block,
+  // and installing it before any eviction is what lets summary readers rely
+  // on "evicted implies summary present".
+  DB_CHECK(slot.state.load(std::memory_order_relaxed) == ChunkState::kFrozen);
+  DB_CHECK(summary == nullptr ||
+           summary->row_count() == slot.rows.load(std::memory_order_relaxed));
+  const BlockSummary* old =
+      slot.summary.exchange(summary.release(), std::memory_order_release);
+  // Install-once: unpinned readers (summary pruning, stats) may hold the
+  // pointer without a lock, so replacement would be a use-after-free.
+  DB_CHECK(old == nullptr);
+}
+
 uint32_t Table::deleted_in_chunk(size_t chunk_idx) const {
   const Slot& slot = this->slot(chunk_idx);
   if (slot.hot != nullptr) return slot.hot->num_deleted();

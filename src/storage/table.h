@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "datablock/block_summary.h"
 #include "datablock/data_block.h"
 #include "storage/chunk.h"
 #include "storage/types.h"
@@ -170,6 +171,26 @@ class Table {
   const uint64_t* delete_bitmap(size_t chunk_idx) const;
   uint32_t deleted_in_chunk(size_t chunk_idx) const;
 
+  // -- Resident block summaries (SMA pruning without reload) --------------
+
+  /// Always-resident summary of a frozen chunk's block, surviving eviction
+  /// (nullptr until installed). Installed at archive time by the lifecycle
+  /// manager (or by BlockArchive::Restore) and immutable afterwards, so
+  /// scans may consult it without pinning the chunk — the acquire load
+  /// pairs with the installing release store. The lifecycle manager
+  /// installs it before the chunk can be evicted, so an evicted chunk it
+  /// manages always has one.
+  const BlockSummary* block_summary(size_t chunk_idx) const {
+    return slot(chunk_idx).summary.load(std::memory_order_acquire);
+  }
+
+  /// Installs a frozen chunk's summary (taking ownership). Only legal
+  /// while the chunk is frozen and resident (the caller typically holds a
+  /// pin), and only once per chunk — unpinned readers hold the pointer
+  /// without a lock, so replacement would be a use-after-free (enforced).
+  void SetBlockSummary(size_t chunk_idx,
+                       std::unique_ptr<const BlockSummary> summary);
+
   // -- Pinning (readers vs freeze/evict) ---------------------------------
 
   /// Pins a chunk: while pinned it cannot be frozen or evicted, and an
@@ -273,6 +294,13 @@ class Table {
   struct Slot {
     std::unique_ptr<Chunk> hot;        // set iff state is kHot/kFreezing
     std::unique_ptr<DataBlock> frozen; // set iff state is kFrozen
+    /// Resident summary (SMA/PSMA metadata) of the frozen block; installed
+    /// at archive time (release store), kept across eviction, freed by the
+    /// slot. Atomic so stats readers and unpinned scans can load it while
+    /// an install races.
+    std::atomic<const BlockSummary*> summary{nullptr};
+
+    ~Slot() { delete summary.load(std::memory_order_relaxed); }
     std::vector<uint64_t> frozen_deleted;  // side bitmap for frozen chunks
     // Written by the single writer / under the lifecycle mutex, but read
     // lock-free from scans and lifecycle ticks, so both are atomic.

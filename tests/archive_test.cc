@@ -1,13 +1,17 @@
-// BlockArchive v2 format: versioned indexed archives with per-block random
-// access, checksums, and delete-bitmap persistence — round trips of blocks
-// containing string dictionaries and delete bitmaps.
+// BlockArchive format: versioned indexed archives with per-block random
+// access, checksums, delete-bitmap persistence and (v3) resident block
+// summaries readable without payload IO — round trips of blocks containing
+// string dictionaries and delete bitmaps, compaction, and v2 compatibility.
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "storage/block_archive.h"
 #include "test_table_util.h"
@@ -89,6 +93,156 @@ TEST(BlockArchiveV2, RejectsUnfinishedOrForeignFiles) {
   }
   EXPECT_DEATH(BlockArchive::Open(path), "magic");
   std::remove(path.c_str());
+}
+
+TEST(BlockArchiveV3, SummariesRestorableWithoutPayloadReads) {
+  Table t = MakeTable(4096, 1024, /*delete_every=*/5);
+  const std::string path = "/tmp/datablocks_archive_v3_summary.dbar";
+  BlockArchive::Save(t, path);
+
+  BlockArchive archive = BlockArchive::Open(path);
+  EXPECT_EQ(archive.version(), 3u);
+  EXPECT_EQ(archive.payload_reads(), 0u);  // Open touches only the index
+  for (size_t i = 0; i < archive.num_blocks(); ++i) {
+    const BlockSummary* s = archive.summary(i);
+    ASSERT_NE(s, nullptr) << i;
+    EXPECT_EQ(s->row_count(), t.chunk_rows(i));
+    EXPECT_EQ(archive.entry(i).row_count, t.chunk_rows(i));
+    // SMA values survive: the id column stores the global insert index, so
+    // chunk i covers [i * 1024, i * 1024 + rows).
+    EXPECT_EQ(s->col(0).min_val, int64_t(i) * 1024);
+    EXPECT_EQ(s->col(0).max_val, int64_t(i) * 1024 + t.chunk_rows(i) - 1);
+    // String SMA: dictionary first/last entry, no payload needed.
+    EXPECT_FALSE(s->col(2).min_str.empty());
+    EXPECT_LE(s->col(2).min_str, s->col(2).max_str);
+  }
+  EXPECT_EQ(archive.payload_reads(), 0u);  // summaries alone cost no reads
+
+  // Summary-only pruning agrees with the payload: a predicate outside every
+  // SMA range skips, one inside chunk 1's range does not.
+  SummaryScanPrep out = PrepareSummaryScan(
+      *archive.summary(1), {Predicate::Gt(0, Value::Int(1 << 20))}, true);
+  EXPECT_TRUE(out.skip);
+  SummaryScanPrep in = PrepareSummaryScan(
+      *archive.summary(1), {Predicate::Eq(0, Value::Int(1030))}, true);
+  EXPECT_FALSE(in.skip);
+
+  // Restore installs the archived summaries on the rebuilt table.
+  Table restored = BlockArchive::Restore("t3", TestTableSchema(), path, 1024);
+  for (size_t c = 0; c < restored.num_chunks(); ++c)
+    EXPECT_NE(restored.block_summary(c), nullptr) << c;
+  EXPECT_TRUE(FullScan(t) == FullScan(restored));
+  std::remove(path.c_str());
+}
+
+TEST(BlockArchiveV3, CompactionDropsDeadBlocksAndPreservesLiveOnes) {
+  Table t = MakeTable(4096, 1024, /*delete_every=*/9);
+  const std::string path = "/tmp/datablocks_archive_v3_compact.dbar";
+  const std::string compacted_path = path + ".out";
+
+  // Build an archive with a superseded entry: chunk 0 appended twice (the
+  // later append supersedes the earlier one), everything else once.
+  {
+    BlockArchive archive = BlockArchive::Create(path);
+    archive.AppendBlock(*t.frozen_block(0), 0, t.delete_bitmap(0));
+    for (size_t c = 0; c < t.num_chunks(); ++c) {
+      BlockSummary s = BlockSummary::Extract(*t.frozen_block(c));
+      archive.AppendBlock(*t.frozen_block(c), uint32_t(c),
+                          t.delete_bitmap(c), &s);
+    }
+    archive.Finish();
+  }
+
+  BlockArchive src = BlockArchive::Open(path);
+  ASSERT_EQ(src.num_blocks(), t.num_chunks() + 1);
+  // Liveness: latest entry per chunk -> the duplicate first entry is dead.
+  std::vector<bool> live(src.num_blocks(), true);
+  live[0] = false;
+  std::vector<size_t> id_map;
+  const uint64_t bytes_before = src.PayloadBytes();
+  BlockArchive compacted =
+      BlockArchive::Compact(src, live, compacted_path, &id_map);
+  compacted.Finish();
+
+  EXPECT_EQ(compacted.num_blocks(), t.num_chunks());
+  EXPECT_LT(compacted.PayloadBytes(), bytes_before);
+  EXPECT_EQ(id_map[0], SIZE_MAX);
+  for (size_t i = 1; i < id_map.size(); ++i) EXPECT_EQ(id_map[i], i - 1);
+
+  // The rewritten archive round-trips: checksums verified on every read,
+  // summaries and bitmaps carried over.
+  BlockArchive reopened = BlockArchive::Open(compacted_path);
+  for (size_t i = 0; i < reopened.num_blocks(); ++i) {
+    std::vector<uint64_t> bitmap;
+    DataBlock block = reopened.ReadBlock(i, &bitmap);
+    EXPECT_EQ(block.num_rows(), t.chunk_rows(i));
+    EXPECT_EQ(reopened.entry(i).deleted_count, t.deleted_in_chunk(i));
+    ASSERT_NE(reopened.summary(i), nullptr);
+    EXPECT_EQ(reopened.summary(i)->row_count(), t.chunk_rows(i));
+  }
+  Table restored =
+      BlockArchive::Restore("tc", TestTableSchema(), compacted_path, 1024);
+  EXPECT_TRUE(FullScan(t) == FullScan(restored));
+
+  std::remove(path.c_str());
+  std::remove(compacted_path.c_str());
+}
+
+TEST(BlockArchiveV3, V2ArchivesStillReadableAndUnknownVersionsRejected) {
+  Table t = MakeTable(3000, 1024, /*delete_every=*/4);
+  const std::string v3_path = "/tmp/datablocks_archive_compat_v3.dbar";
+  const std::string v2_path = "/tmp/datablocks_archive_compat_v2.dbar";
+  BlockArchive::Save(t, v3_path);
+
+  // Craft a v2 file from the v3 archive: same payload region, version 2
+  // header, 40-byte index records (the v2 on-disk prefix of ArchiveEntry).
+  {
+    BlockArchive src = BlockArchive::Open(v3_path);
+    std::ifstream in(v3_path, std::ios::binary);
+    std::vector<char> file((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    struct V2Header {
+      uint32_t magic, version, block_count, flags;
+      uint64_t index_offset, reserved;
+    };
+    uint64_t index_offset;
+    std::memcpy(&index_offset, file.data() + 16, sizeof(index_offset));
+    V2Header hdr{BlockArchive::kMagic, 2, uint32_t(src.num_blocks()), 0,
+                 index_offset, 0};
+    std::ofstream out(v2_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    out.write(file.data() + sizeof(hdr),
+              std::streamsize(index_offset - sizeof(hdr)));
+    for (size_t i = 0; i < src.num_blocks(); ++i) {
+      out.write(reinterpret_cast<const char*>(&src.entry(i)),
+                std::streamsize(kArchiveEntryV2Bytes));
+    }
+  }
+
+  BlockArchive v2 = BlockArchive::Open(v2_path);
+  EXPECT_EQ(v2.version(), 2u);
+  ASSERT_EQ(v2.num_blocks(), t.num_chunks());
+  for (size_t i = 0; i < v2.num_blocks(); ++i) {
+    EXPECT_EQ(v2.summary(i), nullptr);  // v2 has no summaries
+    std::vector<uint64_t> bitmap;
+    DataBlock block = v2.ReadBlock(i, &bitmap);
+    EXPECT_EQ(block.num_rows(), t.chunk_rows(i));
+  }
+  Table restored =
+      BlockArchive::Restore("tv2", TestTableSchema(), v2_path, 1024);
+  EXPECT_TRUE(FullScan(t) == FullScan(restored));
+
+  // Unknown versions are rejected up front, not misparsed.
+  {
+    std::fstream f(v2_path, std::ios::binary | std::ios::in | std::ios::out);
+    uint32_t bad_version = 7;
+    f.seekp(4);
+    f.write(reinterpret_cast<const char*>(&bad_version), 4);
+  }
+  EXPECT_DEATH(BlockArchive::Open(v2_path), "version");
+
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
 }
 
 TEST(BlockArchiveV2, AppendAndReadInterleaved) {

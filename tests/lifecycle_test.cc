@@ -284,6 +284,260 @@ TEST(Lifecycle, TpccTablesSurviveFullLifecycleWithIdenticalScans) {
   }
 }
 
+// Tentpole acceptance: a scan whose predicate excludes every evicted
+// block's SMA range performs ZERO archive payload reads — the resident
+// BlockSummary answers the pruning question, and the blocks are neither
+// pinned, reloaded nor promoted in the LRU.
+TEST(Lifecycle, SummaryPruningSkipsEvictedBlocksWithoutArchiveReads) {
+  Table t = MakeTable(4096, 512);  // 8 full chunks, id == insert index
+  const std::string path = TempArchive("summary_prune");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = 0;  // evict every frozen block
+    LifecycleManager mgr(&t, path, cfg);
+    for (int e = 0; e < 4; ++e) mgr.Tick();
+    for (size_t c = 0; c < t.num_chunks(); ++c)
+      ASSERT_EQ(t.chunk_state(c), ChunkState::kEvicted) << c;
+    for (size_t c = 0; c < t.num_chunks(); ++c)
+      ASSERT_NE(t.block_summary(c), nullptr) << c;
+
+    const uint64_t reads_before = mgr.stats().archive_reads;
+    const uint64_t reloads_before = mgr.stats().reloads;
+
+    // ids are 0..4095; this predicate lies outside every block's SMA range.
+    for (ScanMode mode : {ScanMode::kDataBlocks, ScanMode::kDataBlocksPsma,
+                          ScanMode::kVectorizedSarg}) {
+      TableScanner scan(t, {0, 1}, {Predicate::Gt(0, Value::Int(100000))},
+                        mode);
+      Batch b;
+      uint64_t found = 0;
+      while (scan.Next(&b)) found += b.count;
+      EXPECT_EQ(found, 0u);
+      EXPECT_EQ(scan.chunks_skipped(), t.num_chunks());
+      EXPECT_EQ(scan.evicted_chunks_skipped(), t.num_chunks());
+    }
+    // No payload was fetched, nothing was reloaded, nothing was promoted.
+    EXPECT_EQ(mgr.stats().archive_reads, reads_before);
+    EXPECT_EQ(mgr.stats().reloads, reloads_before);
+    for (size_t c = 0; c < t.num_chunks(); ++c)
+      EXPECT_EQ(t.chunk_state(c), ChunkState::kEvicted) << c;
+
+    // A predicate inside exactly one block's range reloads exactly that
+    // block; the other seven stay summary-pruned and evicted.
+    TableScanner scan(t, {0, 1},
+                      {Predicate::Between(0, Value::Int(1024 + 10),
+                                          Value::Int(1024 + 19))},
+                      ScanMode::kDataBlocks);
+    Batch b;
+    uint64_t found = 0;
+    while (scan.Next(&b)) found += b.count;
+    EXPECT_EQ(found, 10u);
+    EXPECT_EQ(scan.chunks_skipped(), t.num_chunks() - 1);
+    EXPECT_EQ(scan.evicted_chunks_skipped(), t.num_chunks() - 1);
+    EXPECT_EQ(mgr.stats().archive_reads, reads_before + 1);
+    EXPECT_EQ(t.chunk_state(2), ChunkState::kFrozen);  // reloaded
+    for (size_t c : {size_t(0), size_t(1), size_t(3)})
+      EXPECT_EQ(t.chunk_state(c), ChunkState::kEvicted) << c;
+  }
+  std::remove(path.c_str());
+}
+
+// Summaries survive in SMA-only form when PSMA retention is disabled, and
+// summary pruning still never touches the archive.
+TEST(Lifecycle, SummaryPruningWorksWithoutResidentPsma) {
+  Table t = MakeTable(2048, 512);
+  const std::string path = TempArchive("summary_nopsma");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = 0;
+    cfg.keep_summary_psma = false;
+    LifecycleManager mgr(&t, path, cfg);
+    for (int e = 0; e < 4; ++e) mgr.Tick();
+    const uint64_t reads_before = mgr.stats().archive_reads;
+    TableScanner scan(t, {0}, {Predicate::Lt(0, Value::Int(-5))},
+                      ScanMode::kDataBlocksPsma);
+    Batch b;
+    while (scan.Next(&b)) {
+    }
+    EXPECT_EQ(scan.evicted_chunks_skipped(), t.num_chunks());
+    EXPECT_EQ(mgr.stats().archive_reads, reads_before);
+    EXPECT_GT(mgr.stats().summary_bytes, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+// A table rebuilt by BlockArchive::Restore already carries the archived
+// summaries; a manager adopting it must reuse them (summaries are
+// install-once) and still prune evicted blocks without archive reads.
+TEST(Lifecycle, RestoredTablesReuseArchivedSummaries) {
+  Table orig = MakeTestTable(2048, 512, /*delete_every=*/0, /*freeze=*/true);
+  const std::string save_path = TempArchive("restore_save");
+  BlockArchive::Save(orig, save_path);
+  Table t = BlockArchive::Restore("r", TestTableSchema(), save_path, 512);
+  for (size_t c = 0; c < t.num_chunks(); ++c)
+    ASSERT_NE(t.block_summary(c), nullptr) << c;
+
+  const std::string path = TempArchive("restore_adopt");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = 0;
+    LifecycleManager mgr(&t, path, cfg);
+    mgr.Tick();  // adopt + evict everything
+    EXPECT_EQ(mgr.stats().adopted, t.num_chunks());
+    const uint64_t reads = mgr.stats().archive_reads;
+    TableScanner scan(t, {0}, {Predicate::Gt(0, Value::Int(1 << 20))},
+                      ScanMode::kDataBlocks);
+    Batch b;
+    while (scan.Next(&b)) {
+    }
+    EXPECT_EQ(scan.evicted_chunks_skipped(), t.num_chunks());
+    EXPECT_EQ(mgr.stats().archive_reads, reads);
+  }
+  std::remove(save_path.c_str());
+  std::remove(path.c_str());
+}
+
+// Archive compaction/GC: fully-deleted chunks are detached (reloaded first,
+// so the table never needs their payload again) and their archive blocks
+// reclaimed; live evicted blocks survive the rewrite and stay readable.
+TEST(Lifecycle, CompactionReclaimsFullyDeletedBlocks) {
+  Table t = MakeTable(4096, 512);  // 8 full chunks
+  const std::string path = TempArchive("compact");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = 0;
+    cfg.compact_garbage_ratio = 2.0;  // only explicit compaction
+    LifecycleManager mgr(&t, path, cfg);
+    for (int e = 0; e < 4; ++e) mgr.Tick();
+    ASSERT_EQ(mgr.stats().archived_blocks, 8u);
+    const uint64_t bytes_before = mgr.stats().archive_bytes;
+
+    // Fully delete chunks 0..2 (deletes on evicted chunks do not reload).
+    for (size_t c = 0; c < 3; ++c)
+      for (uint32_t r = 0; r < t.chunk_rows(c); ++r)
+        t.Delete(MakeRowId(c, r));
+    EXPECT_NEAR(mgr.GarbageRatio(), 0.0, 1e-9);  // garbage counted lazily
+
+    EXPECT_EQ(mgr.CompactArchive(), 3u);
+    LifecycleStats s = mgr.stats();
+    EXPECT_EQ(s.compactions, 1u);
+    EXPECT_EQ(s.reclaimed_blocks, 3u);
+    EXPECT_GT(s.reclaimed_bytes, 0u);
+    EXPECT_LT(s.archive_bytes, bytes_before);
+    EXPECT_EQ(s.archived_blocks, 5u);
+    EXPECT_NEAR(mgr.GarbageRatio(), 0.0, 1e-9);
+
+    // Detached chunks are resident again; the rest are still evicted and
+    // reload correctly from the rewritten archive.
+    for (size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(t.chunk_state(c), ChunkState::kFrozen) << c;
+    ScanResult r = FullScan(t);
+    EXPECT_EQ(r.count, int64_t(4096 - 3 * 512));
+
+    // Fully-deleted chunks produce nothing and are skipped without a pin in
+    // every mode (they must never be re-archived either).
+    TableScanner scan(t, {0, 1, 2}, {}, ScanMode::kJit);
+    Batch b;
+    int64_t count = 0;
+    while (scan.Next(&b)) count += b.count;
+    EXPECT_EQ(count, r.count);
+    EXPECT_EQ(scan.chunks_skipped(), 3u);
+    mgr.Tick();
+    EXPECT_EQ(mgr.stats().archived_blocks, 5u);  // not re-adopted
+  }
+  std::remove(path.c_str());
+}
+
+// Automatic compaction: once the dead fraction of the archive crosses
+// config.compact_garbage_ratio, a Tick rewrites it without being asked.
+TEST(Lifecycle, CompactionTriggersOnGarbageRatio) {
+  Table t = MakeTable(4096, 512);
+  const std::string path = TempArchive("auto_compact");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = 0;
+    cfg.compact_garbage_ratio = 0.5;
+    LifecycleManager mgr(&t, path, cfg);
+    for (int e = 0; e < 4; ++e) mgr.Tick();
+    ASSERT_EQ(mgr.stats().archived_blocks, 8u);
+
+    // Fully delete 3 of 8 blocks: under the 0.5 threshold -> no rewrite.
+    for (size_t c = 0; c < 3; ++c)
+      for (uint32_t r = 0; r < t.chunk_rows(c); ++r)
+        t.Delete(MakeRowId(c, r));
+    mgr.Tick();
+    EXPECT_EQ(mgr.stats().compactions, 0u);
+
+    // Two more fully-deleted blocks push the ratio past 0.5.
+    for (size_t c = 3; c < 5; ++c)
+      for (uint32_t r = 0; r < t.chunk_rows(c); ++r)
+        t.Delete(MakeRowId(c, r));
+    mgr.Tick();
+    LifecycleStats s = mgr.stats();
+    EXPECT_EQ(s.compactions, 1u);
+    EXPECT_EQ(s.reclaimed_blocks, 5u);
+    EXPECT_EQ(s.archived_blocks, 3u);
+    EXPECT_TRUE(FullScan(t) ==
+                FullScan(t, ScanMode::kJit));  // archive still consistent
+  }
+  std::remove(path.c_str());
+}
+
+// Archive compaction racing scans, reloads and point accesses: the swap of
+// the archive object and the chunk -> block-id remap must never strand an
+// in-flight reload or change scan results. (This is the test the TSan CI
+// leg leans on for the compaction handshake.)
+TEST(Lifecycle, CompactionConcurrentWithScansIsConsistent) {
+  Table t = MakeTable(12288, 1024);  // 12 chunks
+  t.FreezeAll();
+  const std::string path = TempArchive("compact_stress");
+  {
+    LifecycleConfig cfg = QuickCooling();
+    cfg.memory_budget_bytes = (t.FrozenBytes() / 12) * 3;
+    cfg.tick_interval = std::chrono::milliseconds(1);
+    cfg.compact_garbage_ratio = 0.25;
+    LifecycleManager mgr(&t, path, cfg);
+    mgr.Tick();  // adopt every frozen chunk, evict down to ~3 resident
+    // Fully delete 5 of 12 chunks: ~42% of the archive becomes garbage, so
+    // the first background tick compacts while the workers are scanning.
+    for (size_t c = 0; c < 5; ++c)
+      for (uint32_t r = 0; r < t.chunk_rows(c); ++r)
+        t.Delete(MakeRowId(c, r));
+    ScanResult expect = FullScan(t);
+    mgr.Start();
+
+    std::atomic<bool> failed{false};
+    auto scan_worker = [&] {
+      for (int i = 0; i < 6; ++i) {
+        if (!(FullScan(t) == expect)) failed = true;
+      }
+    };
+    auto point_worker = [&] {
+      Rng rng(23);
+      for (int i = 0; i < 2000; ++i) {
+        uint64_t chunk = uint64_t(rng.Uniform(5, 11));
+        uint32_t row = uint32_t(rng.Uniform(0, 1023));
+        if (t.GetInt(MakeRowId(chunk, row), 0) !=
+            int64_t(chunk) * 1024 + row) {
+          failed = true;
+        }
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.emplace_back(scan_worker);
+    workers.emplace_back(scan_worker);
+    workers.emplace_back(point_worker);
+    for (auto& w : workers) w.join();
+    mgr.Stop();
+
+    EXPECT_FALSE(failed.load());
+    EXPECT_GE(mgr.stats().compactions, 1u);
+    EXPECT_EQ(mgr.stats().reclaimed_blocks, 5u);
+    EXPECT_TRUE(FullScan(t) == expect);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Lifecycle, ScansConcurrentWithEvictionReturnConsistentResults) {
   Table t = MakeTable(20480, 1024);  // 20 chunks
   t.FreezeAll();

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files (or directories of BENCH_*.json) and flag
+performance regressions.
+
+The bench binaries write one JSON file each when run with `--json <path>`
+(see bench/bench_common.h); every result is keyed by (bench, name, config)
+and carries a median ns/op. This tool pairs the results of a baseline run
+with a candidate run and fails (exit 1) when any pair regressed by more
+than the threshold — unless --warn-only is given, which is the right mode
+on noisy shared CI runners.
+
+Usage:
+  bench_compare.py BASELINE CANDIDATE [--threshold 25] [--warn-only]
+
+BASELINE and CANDIDATE are either single JSON files or directories, in
+which case every BENCH_*.json inside is loaded.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(path):
+    """Returns {(bench, name, config): result_dict}."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        if not files:
+            files = sorted(glob.glob(os.path.join(path, "*.json")))
+    else:
+        files = [path]
+    if not files:
+        sys.exit(f"error: no bench JSON files found under {path}")
+    results = {}
+    for f in files:
+        with open(f) as fp:
+            data = json.load(fp)
+        bench = data.get("bench", os.path.basename(f))
+        for r in data.get("results", []):
+            key = (bench, r["name"], r["config"])
+            if key in results:
+                print(f"warning: duplicate result {key} in {f}",
+                      file=sys.stderr)
+            results[key] = dict(r, quick=data.get("quick", False))
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline JSON file or directory")
+    ap.add_argument("candidate", help="candidate JSON file or directory")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="regression threshold in percent (default 25)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (shared runners)")
+    args = ap.parse_args()
+
+    base = load_results(args.baseline)
+    cand = load_results(args.candidate)
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for key, c in sorted(cand.items()):
+        b = base.get(key)
+        if b is None:
+            continue
+        if b.get("quick") != c.get("quick"):
+            print(f"warning: {key} mixes quick and full-mode numbers; "
+                  "skipping", file=sys.stderr)
+            continue
+        if b["median_ns_op"] <= 0:
+            continue
+        compared += 1
+        delta_pct = 100.0 * (c["median_ns_op"] - b["median_ns_op"]) \
+            / b["median_ns_op"]
+        line = (f"{key[0]} :: {key[1]} [{key[2]}] "
+                f"{b['median_ns_op']:.4g} -> {c['median_ns_op']:.4g} ns/op "
+                f"({delta_pct:+.1f}%)")
+        if delta_pct > args.threshold:
+            regressions.append(line)
+        elif delta_pct < -args.threshold:
+            improvements.append(line)
+
+    print(f"compared {compared} results "
+          f"(baseline {len(base)}, candidate {len(cand)}, "
+          f"threshold {args.threshold:.0f}%)")
+    for line in improvements:
+        print(f"  IMPROVED  {line}")
+    for line in regressions:
+        print(f"  REGRESSED {line}")
+    if not regressions:
+        print("no regressions past threshold")
+        return 0
+    if args.warn_only:
+        print(f"{len(regressions)} regression(s) past threshold "
+              "(warn-only mode, not failing)")
+        return 0
+    print(f"FAIL: {len(regressions)} regression(s) past threshold")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
