@@ -64,6 +64,7 @@ struct BenchJsonState {
   std::string path;
   std::string bench;
   bool quick = false;
+  unsigned threads = 1;  // recorded by BenchThreadsFlag
   std::vector<BenchJsonEntry> entries;
 };
 
@@ -88,8 +89,11 @@ inline void BenchJsonFlush() {
     }
     return out;
   };
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n  \"results\": [",
-               escape(s.bench).c_str(), s.quick ? "true" : "false");
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n"
+               "  \"threads\": %u,\n  \"results\": [",
+               escape(s.bench).c_str(), s.quick ? "true" : "false",
+               s.threads);
   for (size_t i = 0; i < s.entries.size(); ++i) {
     const BenchJsonEntry& e = s.entries[i];
     std::fprintf(f,
@@ -137,6 +141,45 @@ inline void BenchJsonRecord(std::string name, std::string config,
   if (s.path.empty()) return;
   s.entries.push_back(BenchJsonEntry{std::move(name), std::move(config),
                                      median_ns_op, rows_per_s});
+}
+
+/// Parses and strips `--threads N` (or `--threads=N`) from argv — the
+/// shared knob of every bench that can run its pipelines through the
+/// scheduler's worker pool. Returns the requested thread count (default 1:
+/// the sequential reference path; 0 = all hardware threads) and records it
+/// for the `--json` output so the perf harness never diffs runs of
+/// different parallelism.
+inline unsigned BenchThreadsFlag(int* argc, char** argv) {
+  unsigned threads = 1;
+  const char* value = nullptr;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--threads") == 0) {
+      if (r + 1 >= *argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        std::exit(1);
+      }
+      value = argv[++r];
+      continue;
+    }
+    if (std::strncmp(argv[r], "--threads=", 10) == 0) {
+      value = argv[r] + 10;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (value != nullptr) {
+    char* end;
+    long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "bad --threads value: %s\n", value);
+      std::exit(1);
+    }
+    threads = unsigned(n);
+  }
+  BenchJson().threads = threads;
+  return threads;
 }
 
 /// Median of a sample vector (scrambles the input order).

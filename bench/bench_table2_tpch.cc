@@ -8,10 +8,14 @@
 //   +SARG/SMA   Data Block scan with SARG pushdown and SMA skipping
 //   +PSMA       +SARG/SMA with PSMA range narrowing
 //
-// Usage: bench_table2_tpch [--queries 1,6] [scale_factor] [repetitions]
+// Usage: bench_table2_tpch [--queries 1,6] [--threads N] [scale_factor]
+//        [repetitions]
 //
 // --queries restricts the run to a comma-separated query subset (the CI
-// perf-regression job measures Q1/Q6 only).
+// perf-regression job measures Q1/Q6 only). --threads N runs every query's
+// fact-table pipelines through the shared scheduler worker pool with N
+// parallelism slots (default 1 = the sequential reference path, 0 = all
+// hardware threads); the thread count is recorded in the --json output.
 
 #include <cmath>
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "tpch/queries.h"
+#include "util/cpu.h"
 #include "util/timer.h"
 
 #include "bench_common.h"
@@ -35,12 +40,13 @@ struct Measurement {
 };
 
 Measurement MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
-                           int reps) {
+                           int reps, unsigned threads) {
   std::vector<double> samples;
   double best = 1e30;
   for (int r = 0; r < reps; ++r) {
     Timer t;
-    QueryResult result = RunQuery(q, db, ScanOptions{.mode = mode});
+    QueryResult result = RunQuery(
+        q, db, ScanOptions{.mode = mode, .ctx = {.threads = threads}});
     samples.push_back(t.ElapsedSeconds());
     best = std::min(best, samples.back());
     if (result.rows.empty() && q != 15 && q != 2) {
@@ -93,6 +99,7 @@ std::vector<int> ParseQueries(int* argc, char** argv) {
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
   BenchJsonMode(&argc, argv, quick);
+  const unsigned threads = BenchThreadsFlag(&argc, argv);
   const std::vector<int> queries = ParseQueries(&argc, argv);
   TpchConfig cfg;
   cfg.scale_factor = argc > 1 ? atof(argv[1]) : (quick ? 0.02 : 0.2);
@@ -122,8 +129,11 @@ int main(int argc, char** argv) {
       {"+PSMA", frozen.get(), ScanMode::kDataBlocksPsma},
   };
 
-  std::printf("=== Table 2 / Table 4: TPC-H SF %.2f, seconds per query ===\n",
-              cfg.scale_factor);
+  std::printf(
+      "=== Table 2 / Table 4: TPC-H SF %.2f, %u thread%s, seconds per query "
+      "===\n",
+      cfg.scale_factor, threads == 0 ? cpu::HardwareThreads() : threads,
+      (threads == 0 ? cpu::HardwareThreads() : threads) == 1 ? "" : "s");
   std::printf("      %10s %10s %10s | %10s %10s %10s %9s\n", "JIT", "VEC",
               "+SARG", "DB", "+SARG/SMA", "+PSMA", "PSMA/JIT");
   const double lineitem_rows = double(hot->lineitem.num_rows());
@@ -132,7 +142,8 @@ int main(int argc, char** argv) {
   for (int q : queries) {
     double secs[6];
     for (int c = 0; c < 6; ++c) {
-      Measurement m = MeasureSeconds(q, *configs[c].db, configs[c].mode, reps);
+      Measurement m =
+          MeasureSeconds(q, *configs[c].db, configs[c].mode, reps, threads);
       secs[c] = m.best;
       sum[c] += secs[c];
       logsum[c] += std::log(secs[c]);

@@ -1,25 +1,27 @@
 #ifndef DATABLOCKS_EXEC_PARALLEL_SCAN_H_
 #define DATABLOCKS_EXEC_PARALLEL_SCAN_H_
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "exec/table_scanner.h"
 
 namespace datablocks {
 
 /// Morsel-driven parallel scan (Leis et al. [20], which HyPer uses for the
-/// paper's 64-thread measurements): workers atomically claim chunks as
-/// morsels, each runs its own TableScanner over the claimed chunk, and the
-/// caller merges the per-worker states.
+/// paper's 64-thread measurements), now a thin wrapper over the shared
+/// worker pool: parallelism slots run as Scheduler tasks (the caller is
+/// slot 0), each claims chunks as morsels from a MorselDispatcher, runs its
+/// own TableScanner over the claimed chunk, and the caller merges the
+/// per-slot states.
 ///
-/// `make_state`  : () -> State                   (one per worker)
+/// `make_state`  : () -> State                   (one per slot)
 /// `consume`     : (State&, const Batch&) -> void (per produced vector)
 ///
-/// Returns the per-worker states for merging. SMA/PSMA pruning happens
-/// independently inside every worker's scanner.
+/// Returns the per-slot states for merging. SMA/PSMA pruning happens
+/// independently inside every worker's scanner. `num_threads == 0` means
+/// "all hardware threads" (the pool's worker count when one is given);
+/// `scheduler == nullptr` uses the process-wide Scheduler::Default().
 ///
 /// Safe to run concurrently with the block lifecycle: each worker's
 /// TableScanner pins its claimed chunk (reloading it if evicted) for the
@@ -33,36 +35,25 @@ std::vector<State> ParallelScan(const Table& table,
                                 MakeState make_state, Consume consume,
                                 uint32_t vector_size =
                                     TableScanner::kDefaultVectorSize,
-                                Isa isa = BestIsa()) {
-  // hardware_concurrency() is allowed to return 0 when the host cannot be
-  // queried; clamp so at least one worker always runs.
-  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
-  num_threads = std::max(1u, num_threads);
+                                Isa isa = BestIsa(),
+                                Scheduler* scheduler = nullptr) {
+  num_threads = EffectiveThreads(num_threads, scheduler);
 
   std::vector<State> states;
   states.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) states.push_back(make_state());
 
-  std::atomic<size_t> next_chunk{0};
-  const size_t num_chunks = table.num_chunks();
-
-  auto worker = [&](unsigned tid) {
+  MorselDispatcher morsels(table.num_chunks());
+  auto worker = [&](unsigned slot) {
     TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
     Batch batch;
-    for (;;) {
-      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= num_chunks) break;
-      scanner.RestrictChunks(chunk, chunk + 1);
-      while (scanner.Next(&batch)) consume(states[tid], batch);
+    size_t begin, end;
+    while (morsels.Next(&begin, &end)) {
+      scanner.RestrictChunks(begin, end);
+      while (scanner.Next(&batch)) consume(states[slot], batch);
     }
   };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads - 1);
-  for (unsigned t = 1; t < num_threads; ++t)
-    threads.emplace_back(worker, t);
-  worker(0);
-  for (auto& t : threads) t.join();
+  RunOnSlots(num_threads, worker, scheduler);
   return states;
 }
 

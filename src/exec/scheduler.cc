@@ -1,0 +1,210 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace datablocks {
+
+namespace {
+
+/// Best-effort: pin the calling thread to one CPU. Failure is ignored —
+/// pinning is an optimization, never a correctness requirement.
+void PinSelfTo(unsigned cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+Scheduler::Scheduler() : Scheduler(Options{}) {}
+
+Scheduler::Scheduler(Options opts) {
+  const unsigned n = EffectiveThreads(opts.num_workers);
+  const cpu::Topology& topo = cpu::HostTopology();
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    auto worker = std::make_unique<Worker>();
+    if (opts.pin_workers && !topo.cpus.empty()) {
+      const size_t slot = w % topo.cpus.size();
+      worker->cpu = int(topo.cpus[slot]);
+      worker->node = topo.node_of[slot];
+    }
+    workers_.push_back(std::move(worker));
+  }
+  // Threads start only after every Worker slot exists: workers steal from
+  // siblings by index and must never observe a growing vector.
+  for (unsigned w = 0; w < n; ++w) {
+    workers_[w]->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+Scheduler& Scheduler::Default() {
+  static Scheduler scheduler;
+  return scheduler;
+}
+
+void Scheduler::Submit(std::function<void()> fn) {
+  const unsigned target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % num_workers();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->queue.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++pending_;
+  }
+  sleep_cv_.notify_one();
+}
+
+bool Scheduler::TryRunOne(unsigned self) {
+  std::function<void()> task;
+  // Own queue first (front: submission order), then sweep the siblings.
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+    }
+  }
+  if (!task) {
+    const unsigned n = num_workers();
+    for (unsigned i = 1; i < n && !task; ++i) {
+      Worker& victim = *workers_[(self + i) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.queue.empty()) {
+        // Steal from the back: the victim keeps draining its own front.
+        task = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    --pending_;
+  }
+  task();
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Scheduler::WorkerLoop(unsigned self) {
+  if (workers_[self]->cpu >= 0) PinSelfTo(unsigned(workers_[self]->cpu));
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_) return;
+  }
+}
+
+uint64_t Scheduler::AddPeriodic(std::chrono::milliseconds interval,
+                                std::function<void()> fn) {
+  DB_CHECK(interval.count() > 0);
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  const uint64_t id = next_periodic_id_++;
+  Periodic p;
+  p.interval = interval;
+  p.fn = std::move(fn);
+  p.next_fire = std::chrono::steady_clock::now() + interval;
+  periodics_.emplace(id, std::move(p));
+  if (!timer_.joinable()) timer_ = std::thread([this] { TimerLoop(); });
+  timer_cv_.notify_all();
+  return id;
+}
+
+void Scheduler::RemovePeriodic(uint64_t id) {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  auto it = periodics_.find(id);
+  if (it == periodics_.end()) return;
+  it->second.removed = true;
+  if (!it->second.in_flight) {
+    periodics_.erase(it);
+    return;
+  }
+  // An execution is running on some worker; FirePeriodic erases the entry
+  // when it finishes. After this wait the task can never run again.
+  timer_cv_.wait(lock, [&] { return periodics_.count(id) == 0; });
+}
+
+void Scheduler::FirePeriodic(uint64_t id) {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    auto it = periodics_.find(id);
+    if (it == periodics_.end() || it->second.removed ||
+        it->second.in_flight) {
+      return;
+    }
+    it->second.in_flight = true;
+    fn = it->second.fn;
+  }
+  fn();
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    auto it = periodics_.find(id);
+    DB_CHECK(it != periodics_.end());
+    it->second.in_flight = false;
+    if (it->second.removed) periodics_.erase(it);
+  }
+  timer_cv_.notify_all();
+}
+
+void Scheduler::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!timer_stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto wake = now + std::chrono::hours(24);
+    for (auto& [id, p] : periodics_) {
+      if (p.removed) continue;
+      if (p.next_fire <= now) {
+        // Fixed-delay rescheduling from *now*: a task slower than its
+        // interval fires again one interval after the tardy deadline, it
+        // does not burst to catch up (and FirePeriodic skips overlapping
+        // executions anyway).
+        p.next_fire = now + p.interval;
+        if (!p.in_flight) {
+          Submit([this, id = id] { FirePeriodic(id); });
+        }
+      }
+      wake = std::min(wake, p.next_fire);
+    }
+    // Plain wait_until (no predicate): any registry change notifies, and
+    // the loop recomputes the earliest deadline from scratch — a predicate
+    // wait would sleep through a newly added earlier task.
+    timer_cv_.wait_until(lock, wake);
+  }
+}
+
+}  // namespace datablocks

@@ -282,7 +282,12 @@ bool TableScanner::TrySkipChunkUnpinned() {
   const ChunkState st = table_->chunk_state(c);
   // Hot chunks are excluded: their delete counter is not synchronized for
   // lock-free readers, and they are resident anyway — nothing to save.
-  if (st != ChunkState::kFrozen && st != ChunkState::kEvicted) return false;
+  // Tombstones qualify: they are fully deleted by construction and their
+  // payload is gone for good, so the bitmap check below always skips them.
+  if (st != ChunkState::kFrozen && st != ChunkState::kEvicted &&
+      st != ChunkState::kTombstone) {
+    return false;
+  }
 
   // A fully-deleted chunk produces no tuples in any scan mode; skipping it
   // here avoids the pin (and, if evicted, the archive reload).
@@ -321,6 +326,14 @@ void TableScanner::PrepareChunk() {
   range_end_ = table_->chunk_rows(chunk_idx_);
   if (range_end_ == 0) {
     skip_chunk_ = true;
+    return;
+  }
+  // A chunk can tombstone between the unpinned skip probe and the pin (its
+  // last row deleted in that window). Once pinned the state is stable —
+  // tombstone is terminal — and there is no payload to produce from.
+  if (table_->chunk_state(chunk_idx_) == ChunkState::kTombstone) {
+    skip_chunk_ = true;
+    ++chunks_skipped_;
     return;
   }
   const DataBlock* block = table_->frozen_block(chunk_idx_);

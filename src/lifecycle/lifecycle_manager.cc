@@ -1,9 +1,11 @@
 #include "lifecycle/lifecycle_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_set>
 #include <utility>
 
+#include "exec/scheduler.h"
 #include "util/macros.h"
 
 namespace datablocks {
@@ -117,8 +119,8 @@ void LifecycleManager::EnforceBudget() {
 }
 
 void LifecycleManager::DetachFullyDeletedLocked() {
-  // Snapshot outside mu_ (pinning may reload through the fetcher, which
-  // takes mu_).
+  // Snapshot outside mu_ (TombstoneChunk takes the table's lifecycle
+  // mutex, which must never nest inside mu_).
   std::vector<size_t> chunks;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -127,11 +129,13 @@ void LifecycleManager::DetachFullyDeletedLocked() {
   }
   for (size_t chunk : chunks) {
     if (!FullyDeleted(chunk)) continue;
-    // Reload-before-reclaim: once the chunk is detached from the archive
-    // directory its payload is gone for good, so it must be resident (a
-    // fully-deleted resident block is cheap — scans skip it without a pin,
-    // and it is never archived or evicted again).
-    Table::PinGuard pin(*table_, chunk);
+    // Tombstone-before-reclaim: the transition drops the resident payload
+    // (if any) and guarantees no reload will ever be attempted, so the
+    // archive copy can be detached without reading it back first. A
+    // transiently pinned chunk fails the transition and is retried on the
+    // next pass — it must then stay attached, or an in-flight reload could
+    // look up a block id we already dropped.
+    if (!table_->TombstoneChunk(chunk)) continue;
     std::lock_guard<std::mutex> lock(mu_);
     archived_.erase(chunk);
     cache_.Unregister(chunk);
@@ -278,6 +282,20 @@ void LifecycleManager::Tick() {
         }
       }
     } else if (st == ChunkState::kFrozen) {
+      // A fully-deleted frozen chunk that was never archived (ArchiveChunk
+      // refuses them) has no reason to stay resident either: drop the
+      // payload right away instead of adopting it. (mu_ is released before
+      // TombstoneChunk — Tick never calls into Table while holding mu_.)
+      bool unarchived;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        unarchived = archived_.count(i) == 0;
+      }
+      if (unarchived && FullyDeleted(i) && table_->TombstoneChunk(i)) {
+        continue;
+      }
+    }
+    if (st == ChunkState::kFrozen) {
       // Adopt chunks frozen outside the policy (FreezeAll, explicit
       // FreezeChunk): archiving them makes them evictable too.
       if (ArchiveChunk(i)) adopted_.fetch_add(1, std::memory_order_relaxed);
@@ -291,7 +309,20 @@ void LifecycleManager::Tick() {
 }
 
 void LifecycleManager::Start() {
-  if (bg_.joinable()) return;
+  if (running()) return;
+  if (cfg_.scheduler != nullptr) {
+    // Scheduler-backed ticking: freeze/eviction/compaction work runs as a
+    // periodic task on the shared worker pool — no dedicated thread per
+    // managed table. Concurrent ticks are impossible (the scheduler skips
+    // a firing while the previous one executes) and would be harmless
+    // anyway (tick_mu_). A zero tick_interval (busy-tick, legal on the
+    // dedicated-thread path) is clamped: the periodic timer needs a
+    // positive period.
+    periodic_id_ = cfg_.scheduler->AddPeriodic(
+        std::max(cfg_.tick_interval, std::chrono::milliseconds(1)),
+        [this] { Tick(); });
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(bg_mu_);
     bg_stop_ = false;
@@ -308,6 +339,12 @@ void LifecycleManager::Start() {
 }
 
 void LifecycleManager::Stop() {
+  if (periodic_id_ != 0) {
+    // Blocks until any in-flight tick finished; afterwards no tick can
+    // ever run again, so destruction is safe.
+    cfg_.scheduler->RemovePeriodic(periodic_id_);
+    periodic_id_ = 0;
+  }
   {
     std::lock_guard<std::mutex> lock(bg_mu_);
     bg_stop_ = true;
@@ -326,6 +363,7 @@ LifecycleStats LifecycleManager::stats() const {
   s.compactions = compactions_.load(std::memory_order_relaxed);
   s.reclaimed_blocks = reclaimed_blocks_.load(std::memory_order_relaxed);
   s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  s.tombstoned = table_->tombstones();
   for (size_t c = 0; c < table_->num_chunks(); ++c) {
     if (const BlockSummary* sum = table_->block_summary(c))
       s.summary_bytes += sum->MemoryBytes();

@@ -18,6 +18,8 @@
 
 namespace datablocks {
 
+class Scheduler;
+
 /// Policy knobs of the block lifecycle (see README "Block lifecycle").
 struct LifecycleConfig {
   // -- Freeze policy (hot -> frozen) --------------------------------------
@@ -52,8 +54,13 @@ struct LifecycleConfig {
   /// automatic compaction; CompactArchive() still works explicitly.
   double compact_garbage_ratio = 0.5;
 
-  // -- Background compaction thread ---------------------------------------
+  // -- Background ticks -----------------------------------------------------
   std::chrono::milliseconds tick_interval{50};
+  /// When set, Start() registers a periodic task on this worker pool
+  /// instead of spawning a dedicated background thread: ticks run on the
+  /// shared scheduler workers, so N managed tables cost zero extra threads.
+  /// The scheduler must outlive the manager (or at least its Stop()).
+  Scheduler* scheduler = nullptr;
 };
 
 struct LifecycleStats {
@@ -70,6 +77,7 @@ struct LifecycleStats {
   uint64_t compactions = 0;      // archive compaction passes that rewrote
   uint64_t reclaimed_blocks = 0; // dead blocks dropped by compaction
   uint64_t reclaimed_bytes = 0;  // payload bytes reclaimed by compaction
+  uint64_t tombstoned = 0;       // fully-deleted chunks whose payload dropped
 };
 
 /// The block lifecycle subsystem: per-chunk temperature statistics drive
@@ -90,9 +98,10 @@ struct LifecycleStats {
 /// (SMA min/max, dictionary domain, optional PSMA) is extracted and
 /// installed in the table — it stays resident across eviction, so
 /// SMA-pruned scans skip evicted blocks without any archive read. Ticks
-/// may run from a caller thread (Tick()) or from the built-in background
-/// thread (Start()/Stop()); both may be active concurrently with OLTP
-/// point accesses and OLAP scans on the table.
+/// may run from a caller thread (Tick()), from the built-in background
+/// thread (Start()/Stop()), or — with config.scheduler set — as a periodic
+/// task on the shared worker pool; all of these may be active concurrently
+/// with OLTP point accesses and OLAP scans on the table.
 ///
 /// The archive accumulates garbage as archived chunks become fully deleted;
 /// a compaction pass (automatic past config.compact_garbage_ratio, or
@@ -118,10 +127,13 @@ class LifecycleManager {
   /// Thread-safe; concurrent ticks are serialized.
   void Tick();
 
-  /// Runs Tick every config.tick_interval on a background thread.
+  /// Runs Tick every config.tick_interval in the background: on a
+  /// dedicated thread by default, or as a periodic task of
+  /// config.scheduler when one is set (ticks then execute on the shared
+  /// pool workers).
   void Start();
   void Stop();
-  bool running() const { return bg_.joinable(); }
+  bool running() const { return bg_.joinable() || periodic_id_ != 0; }
 
   /// Explicit archive compaction/GC: reclaims superseded and fully-deleted
   /// blocks regardless of the garbage-ratio threshold. Returns the number
@@ -148,12 +160,11 @@ class LifecycleManager {
   /// Compaction pass; requires tick_mu_. `force` rewrites even below the
   /// configured garbage threshold (as long as there is garbage at all).
   size_t CompactLocked(bool force);
-  /// Detaches fully-deleted chunks from the archive directory (reloading
-  /// them first if evicted, so the table never needs their payload again).
-  /// Cost note: a detached chunk's block stays resident and is exempt from
-  /// the memory budget for the manager's lifetime — reclaiming archive
-  /// space trades RAM for disk until a tombstone chunk state can drop the
-  /// payload entirely (see ROADMAP).
+  /// Detaches fully-deleted chunks from the archive directory by
+  /// tombstoning them (Table::TombstoneChunk): the in-memory payload is
+  /// dropped along with the archive copy — no reload, no residual RAM
+  /// cost. Chunks that are transiently pinned stay attached and are
+  /// retried on the next pass.
   void DetachFullyDeletedLocked();
   bool FullyDeleted(size_t chunk_idx) const;
   std::shared_ptr<BlockArchive> ArchiveRef() const;
@@ -184,6 +195,7 @@ class LifecycleManager {
   std::mutex bg_mu_;
   std::condition_variable bg_cv_;
   bool bg_stop_ = false;
+  uint64_t periodic_id_ = 0;  // nonzero while ticking via cfg_.scheduler
 };
 
 }  // namespace datablocks

@@ -12,6 +12,7 @@ const char* ChunkStateName(ChunkState s) {
     case ChunkState::kFrozen: return "frozen";
     case ChunkState::kEvicted: return "evicted";
     case ChunkState::kReloading: return "reloading";
+    case ChunkState::kTombstone: return "tombstone";
   }
   return "?";
 }
@@ -124,7 +125,9 @@ void Table::PinChunk(size_t chunk_idx) const {
       lifecycle_cv_.wait(lock);
       continue;
     }
-    if (st != ChunkState::kEvicted) return;  // resolved while we waited
+    // Resolved while we waited — or a terminal tombstone, which is "pinned"
+    // trivially: there is no payload to protect and never will be.
+    if (st != ChunkState::kEvicted) return;
     break;
   }
   // Park the chunk in kReloading and drop the mutex for the duration of
@@ -425,6 +428,30 @@ bool Table::EvictChunk(size_t chunk_idx) {
   }
   slot.frozen.reset();
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Table::TombstoneChunk(size_t chunk_idx) {
+  Slot& slot = this->slot(chunk_idx);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const ChunkState st = slot.state.load(std::memory_order_relaxed);
+  if (st != ChunkState::kFrozen && st != ChunkState::kEvicted) return false;
+  const uint32_t rows = slot.rows.load(std::memory_order_relaxed);
+  if (rows == 0 ||
+      slot.frozen_deleted_count.load(std::memory_order_acquire) != rows) {
+    return false;  // not fully deleted: the payload is still live data
+  }
+  // Same handshake as EvictChunk: publish the new state, then check pins.
+  // A racing pinner that reads kTombstone blocks on the lifecycle mutex and
+  // re-reads the (possibly restored) state there, so the transient publish
+  // can never strand it.
+  slot.state.store(ChunkState::kTombstone, std::memory_order_seq_cst);
+  if (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    slot.state.store(st, std::memory_order_seq_cst);
+    return false;
+  }
+  slot.frozen.reset();
+  tombstones_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

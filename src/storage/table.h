@@ -50,12 +50,18 @@ inline uint32_t RowIdRow(RowId id) {
 ///              from the archive (without holding the lifecycle mutex, so
 ///              reloads of different chunks run in parallel); other pins
 ///              of this chunk wait on the lifecycle condvar
+///   kTombstone terminal: every row of the chunk was deleted and its
+///              payload (resident block and archive copy alike) has been
+///              dropped for good. Only the side delete bitmap and row
+///              count remain; scans skip the chunk pin-free in every mode
+///              and visibility checks answer from the bitmap.
 enum class ChunkState : uint8_t {
   kHot,
   kFreezing,
   kFrozen,
   kEvicted,
   kReloading,
+  kTombstone,
 };
 
 const char* ChunkStateName(ChunkState s);
@@ -267,6 +273,15 @@ class Table {
   /// false if the chunk is not frozen or is pinned.
   bool EvictChunk(size_t chunk_idx);
 
+  /// Drops the payload of a *fully deleted* frozen or evicted chunk
+  /// (-> tombstone, a terminal state): the resident block (if any) is
+  /// freed, no reload will ever be attempted, and the caller may reclaim
+  /// the archive copy. The side delete bitmap and row count stay, so
+  /// IsVisible and scans keep answering correctly (all rows deleted).
+  /// Returns false if the chunk is not fully deleted, not frozen/evicted,
+  /// or pinned — callers (the lifecycle compactor) retry on a later pass.
+  bool TombstoneChunk(size_t chunk_idx);
+
   /// Installs the reload callback used by PinChunk on evicted chunks.
   void SetBlockFetcher(BlockFetcher fetcher);
   bool has_block_fetcher() const { return fetcher_ != nullptr; }
@@ -276,6 +291,9 @@ class Table {
     return evictions_.load(std::memory_order_relaxed);
   }
   uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+  uint64_t tombstones() const {
+    return tombstones_.load(std::memory_order_relaxed);
+  }
 
   /// Appends an already-frozen block as a new chunk (e.g., reloaded from a
   /// BlockArchive). The block's column types must match the schema. The
@@ -367,6 +385,7 @@ class Table {
   std::atomic<uint32_t> access_epoch_{0};
   mutable std::atomic<uint64_t> evictions_{0};
   mutable std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> tombstones_{0};
 };
 
 }  // namespace datablocks

@@ -3,12 +3,27 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/parallel_scan.h"
 #include "exec/table_scanner.h"
 #include "tpch/tpch_db.h"
 
 namespace datablocks::tpch {
+
+/// Execution knobs of one query run. `threads == 1` is the sequential
+/// reference path; anything else sends every fact-table scan+aggregate
+/// pipeline through the shared worker pool with one state per parallelism
+/// slot and a deterministic merge (results are identical to the sequential
+/// path by construction — every accumulation is exact and merged in slot
+/// order). `threads == 0` means "all hardware threads".
+struct QueryContext {
+  unsigned threads = 1;
+  /// Worker pool for the parallel pipelines; nullptr = the process-wide
+  /// Scheduler::Default().
+  Scheduler* scheduler = nullptr;
+};
 
 /// Scan configuration under which a query runs; every paper configuration
 /// (Table 2 / Table 4 columns) is one ScanOptions value.
@@ -16,6 +31,7 @@ struct ScanOptions {
   ScanMode mode = ScanMode::kDataBlocksPsma;
   uint32_t vector_size = TableScanner::kDefaultVectorSize;
   Isa isa = BestIsa();
+  QueryContext ctx{};
 
   TableScanner Scan(const Table& table, std::vector<uint32_t> cols,
                     std::vector<Predicate> preds = {}) const {
@@ -76,6 +92,85 @@ template <typename Fn>
 void ScanLoop(TableScanner scanner, Fn fn) {
   Batch batch;
   while (scanner.Next(&batch)) fn(batch);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pipeline helpers. Every query pipeline is written once against
+// these: with ctx.threads == 1 they run the plain sequential ScanLoop; with
+// more threads the scan fans out over the scheduler's morsel dispatcher
+// with a State per parallelism slot, and `merge` folds the states in slot
+// order. Determinism contract: consume bodies only perform exact
+// accumulations (integer sums/counts, container inserts), so the merged
+// result equals the sequential result no matter which worker claimed which
+// morsel.
+// ---------------------------------------------------------------------------
+
+/// Scan+aggregate with per-worker states and a merge step.
+/// `make_state`: () -> State; `consume`: (State&, const Batch&);
+/// `merge`: (State& dst, State& src) folds src into dst.
+template <typename State, typename MakeState, typename Consume,
+          typename Merge>
+State ParAgg(const Table& table, const ScanOptions& opt,
+             std::vector<uint32_t> cols, std::vector<Predicate> preds,
+             MakeState make_state, Consume consume, Merge merge) {
+  if (opt.ctx.threads == 1) {
+    State state = make_state();
+    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+             [&](const Batch& b) { consume(state, b); });
+    return state;
+  }
+  std::vector<State> states = ParallelScan<State>(
+      table, std::move(cols), std::move(preds), opt.mode, opt.ctx.threads,
+      make_state, consume, opt.vector_size, opt.isa, opt.ctx.scheduler);
+  State merged = std::move(states[0]);
+  for (size_t i = 1; i < states.size(); ++i) merge(merged, states[i]);
+  return merged;
+}
+
+/// Parallel scan into shared sinks, for consumers whose writes are
+/// per-element disjoint (dense per-order/per-customer vectors where each
+/// element is written by exactly one row — a data-race-free pattern) or
+/// that only read. `consume`: (const Batch&).
+template <typename Consume>
+void ParScan(const Table& table, const ScanOptions& opt,
+             std::vector<uint32_t> cols, std::vector<Predicate> preds,
+             Consume consume) {
+  ParAgg<char>(
+      table, opt, std::move(cols), std::move(preds), [] { return char{0}; },
+      [&consume](char&, const Batch& b) { consume(b); },
+      [](char&, const char&) {});
+}
+
+// Slot-order merges for the common per-worker state shapes.
+
+/// dst[k] += v for maps whose mapped type supports +=.
+template <typename Map>
+void MergeAdd(Map& dst, const Map& src) {
+  for (const auto& [k, v] : src) dst[k] += v;
+}
+
+/// Insert-if-absent (keys are unique per row, so collisions across workers
+/// can only carry identical values).
+template <typename Map>
+void MergeInsert(Map& dst, Map& src) {
+  dst.merge(src);
+}
+
+template <typename Set>
+void MergeUnion(Set& dst, const Set& src) {
+  dst.insert(src.begin(), src.end());
+}
+
+/// Element-wise += over equally sized vectors/arrays.
+template <typename Seq>
+void MergeSeqAdd(Seq& dst, const Seq& src) {
+  for (size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+}
+
+template <typename T>
+void MergeConcat(std::vector<T>& dst, std::vector<T>& src) {
+  dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+             std::make_move_iterator(src.end()));
 }
 
 inline std::string Money(int64_t cents) {

@@ -1,6 +1,9 @@
-// TPC-H queries 12-16.
+// TPC-H queries 12-16. Fact-table pipelines run through the parallel
+// helpers of queries.h (per-worker states, slot-order merges); see the
+// note in queries_1_6.cc.
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,66 +27,83 @@ namespace sup = col::supplier;
 QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
 
-  // orderkey -> is high priority (1-URGENT / 2-HIGH).
+  // orderkey -> is high priority (1-URGENT / 2-HIGH); dense, one writer
+  // per element.
   std::vector<uint8_t> high(size_t(db.NumOrders()), 0);
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::orderpriority}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               std::string_view p = b.cols[1].str[i];
-               high[size_t(OrderIdx(b.cols[0].i64[i]))] =
-                   (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0;
-             }
-           });
+  ParScan(db.orders, opt, {ord::orderkey, ord::orderpriority}, {},
+          [&high](const Batch& b) {
+            for (uint32_t i = 0; i < b.count; ++i) {
+              std::string_view p = b.cols[1].str[i];
+              high[size_t(OrderIdx(b.cols[0].i64[i]))] =
+                  (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0;
+            }
+          });
 
-  // mode -> (high count, low count).
-  std::map<std::string, std::pair<int64_t, int64_t>> counts;
-  counts["MAIL"];
-  counts["SHIP"];
-  ScanLoop(
-      opt.Scan(db.lineitem,
-               {li::orderkey, li::shipdate, li::commitdate, li::receiptdate,
-                li::shipmode},
-               {Predicate::Between(li::receiptdate, Value::Int(lo),
-                                   Value::Int(hi - 1))}),
-      [&](const Batch& b) {
+  // (MAIL, SHIP) x (high count, low count).
+  struct ModeCounts {
+    std::array<std::pair<int64_t, int64_t>, 2> counts{};  // 0=MAIL, 1=SHIP
+  };
+  ModeCounts counts = ParAgg<ModeCounts>(
+      db.lineitem, opt,
+      {li::orderkey, li::shipdate, li::commitdate, li::receiptdate,
+       li::shipmode},
+      {Predicate::Between(li::receiptdate, Value::Int(lo),
+                          Value::Int(hi - 1))},
+      [] { return ModeCounts{}; },
+      [&high](ModeCounts& mc, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           std::string_view mode = b.cols[4].str[i];
           if (mode != "MAIL" && mode != "SHIP") continue;
           if (b.cols[2].i32[i] >= b.cols[3].i32[i]) continue;  // commit<recpt
           if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;  // ship<commit
-          auto& c = counts[std::string(mode)];
+          auto& c = mc.counts[mode == "MAIL" ? 0 : 1];
           if (high[size_t(OrderIdx(b.cols[0].i64[i]))])
             ++c.first;
           else
             ++c.second;
         }
+      },
+      [](ModeCounts& dst, const ModeCounts& src) {
+        for (size_t m = 0; m < 2; ++m) {
+          dst.counts[m].first += src.counts[m].first;
+          dst.counts[m].second += src.counts[m].second;
+        }
       });
 
   QueryResult result;
-  for (auto& [mode, c] : counts)
-    result.rows.push_back(mode + "|" + std::to_string(c.first) + "|" +
-                          std::to_string(c.second));
+  static const char* kModes[2] = {"MAIL", "SHIP"};  // output in mode order
+  for (size_t m = 0; m < 2; ++m)
+    result.rows.push_back(std::string(kModes[m]) + "|" +
+                          std::to_string(counts.counts[m].first) + "|" +
+                          std::to_string(counts.counts[m].second));
   return result;
 }
 
 // --- Q13: customer distribution ------------------------------------------------
 
 QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
-  std::vector<int32_t> order_count(size_t(db.NumCustomers()) + 1, 0);
-  ScanLoop(opt.Scan(db.orders, {ord::custkey, ord::comment}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (LikeMatch(b.cols[1].str[i], "%special%requests%")) continue;
-               ++order_count[size_t(b.cols[0].i32[i])];
-             }
-           });
+  using CountVec = std::vector<int32_t>;
+  CountVec order_count = ParAgg<CountVec>(
+      db.orders, opt, {ord::custkey, ord::comment}, {},
+      [&db] { return CountVec(size_t(db.NumCustomers()) + 1, 0); },
+      [](CountVec& v, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (LikeMatch(b.cols[1].str[i], "%special%requests%")) continue;
+          ++v[size_t(b.cols[0].i32[i])];
+        }
+      },
+      MergeSeqAdd<CountVec>);
 
   // c_count -> number of customers (left join keeps 0-order customers).
-  std::unordered_map<int32_t, int64_t> dist;
-  ScanLoop(opt.Scan(db.customer, {cust::custkey}), [&](const Batch& b) {
-    for (uint32_t i = 0; i < b.count; ++i)
-      ++dist[order_count[size_t(b.cols[0].i32[i])]];
-  });
+  using DistMap = std::unordered_map<int32_t, int64_t>;
+  DistMap dist = ParAgg<DistMap>(
+      db.customer, opt, {cust::custkey}, {},
+      [] { return DistMap{}; },
+      [&order_count](DistMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          ++m[order_count[size_t(b.cols[0].i32[i])]];
+      },
+      MergeAdd<DistMap>);
 
   struct OutRow {
     int32_t c_count;
@@ -107,30 +127,43 @@ QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q14(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1995, 9, 1), hi = MakeDate(1995, 10, 1);
 
-  std::unordered_set<int32_t> promo_parts;
-  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::type}), [&](const Batch& b) {
-    for (uint32_t i = 0; i < b.count; ++i)
-      if (LikeMatch(b.cols[1].str[i], "PROMO%"))
-        promo_parts.insert(b.cols[0].i32[i]);
-  });
+  using KeySet = std::unordered_set<int32_t>;
+  KeySet promo_parts = ParAgg<KeySet>(
+      db.part, opt, {prt::partkey, prt::type}, {},
+      [] { return KeySet{}; },
+      [](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (LikeMatch(b.cols[1].str[i], "PROMO%"))
+            s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
-  int64_t promo = 0, total = 0;
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::partkey, li::extendedprice, li::discount},
-                    {Predicate::Between(li::shipdate, Value::Int(lo),
-                                        Value::Int(hi - 1))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int64_t v = b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
-               total += v;
-               if (promo_parts.count(b.cols[0].i32[i])) promo += v;
-             }
-           });
+  struct Revenue {
+    int64_t promo = 0;
+    int64_t total = 0;
+  };
+  Revenue rev = ParAgg<Revenue>(
+      db.lineitem, opt, {li::partkey, li::extendedprice, li::discount},
+      {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1))},
+      [] { return Revenue{}; },
+      [&promo_parts](Revenue& r, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int64_t v = b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+          r.total += v;
+          if (promo_parts.count(b.cols[0].i32[i])) r.promo += v;
+        }
+      },
+      [](Revenue& dst, const Revenue& src) {
+        dst.promo += src.promo;
+        dst.total += src.total;
+      });
 
   QueryResult result;
   char row[64];
   std::snprintf(row, sizeof(row), "%.4f",
-                total == 0 ? 0.0 : 100.0 * double(promo) / double(total));
+                rev.total == 0
+                    ? 0.0
+                    : 100.0 * double(rev.promo) / double(rev.total));
   result.rows.push_back(row);
   return result;
 }
@@ -140,16 +173,17 @@ QueryResult Q14(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q15(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1996, 1, 1), hi = MakeDate(1996, 4, 1);
 
-  std::vector<int64_t> revenue(size_t(db.NumSuppliers()) + 1, 0);
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::suppkey, li::extendedprice, li::discount},
-                    {Predicate::Between(li::shipdate, Value::Int(lo),
-                                        Value::Int(hi - 1))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               revenue[size_t(b.cols[0].i32[i])] +=
-                   b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
-           });
+  using RevVec = std::vector<int64_t>;
+  RevVec revenue = ParAgg<RevVec>(
+      db.lineitem, opt, {li::suppkey, li::extendedprice, li::discount},
+      {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1))},
+      [&db] { return RevVec(size_t(db.NumSuppliers()) + 1, 0); },
+      [](RevVec& v, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          v[size_t(b.cols[0].i32[i])] +=
+              b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+      },
+      MergeSeqAdd<RevVec>);
 
   int64_t max_rev = 0;
   for (int64_t r : revenue) max_rev = std::max(max_rev, r);
@@ -181,22 +215,23 @@ QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt) {
     std::string brand, type;
     int32_t size;
   };
-  std::unordered_map<int32_t, PartInfo> parts;
-  ScanLoop(
-      opt.Scan(db.part, {prt::partkey, prt::brand, prt::type, prt::size},
-               {Predicate::Ne(prt::brand, Value::Str("Brand#45"))}),
-      [&](const Batch& b) {
+  using PartMap = std::unordered_map<int32_t, PartInfo>;
+  PartMap parts = ParAgg<PartMap>(
+      db.part, opt, {prt::partkey, prt::brand, prt::type, prt::size},
+      {Predicate::Ne(prt::brand, Value::Str("Brand#45"))},
+      [] { return PartMap{}; },
+      [](PartMap& m, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           if (LikeMatch(b.cols[2].str[i], "MEDIUM POLISHED%")) continue;
           int32_t size = b.cols[3].i32[i];
           bool size_ok = false;
           for (int s : kSizes) size_ok |= (size == s);
           if (!size_ok) continue;
-          parts[b.cols[0].i32[i]] =
-              PartInfo{std::string(b.cols[1].str[i]),
-                       std::string(b.cols[2].str[i]), size};
+          m[b.cols[0].i32[i]] = PartInfo{std::string(b.cols[1].str[i]),
+                                         std::string(b.cols[2].str[i]), size};
         }
-      });
+      },
+      MergeInsert<PartMap>);
 
   std::unordered_set<int32_t> excluded_supp;
   ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::comment}),
@@ -206,18 +241,24 @@ QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt) {
                  excluded_supp.insert(b.cols[0].i32[i]);
            });
 
-  std::map<std::string, std::unordered_set<int32_t>> group_supps;
-  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               auto pit = parts.find(b.cols[0].i32[i]);
-               if (pit == parts.end()) continue;
-               if (excluded_supp.count(b.cols[1].i32[i])) continue;
-               std::string key = pit->second.brand + "|" + pit->second.type +
-                                 "|" + std::to_string(pit->second.size);
-               group_supps[key].insert(b.cols[1].i32[i]);
-             }
-           });
+  using GroupMap = std::map<std::string, std::unordered_set<int32_t>>;
+  GroupMap group_supps = ParAgg<GroupMap>(
+      db.partsupp, opt, {ps::partkey, ps::suppkey}, {},
+      [] { return GroupMap{}; },
+      [&parts, &excluded_supp](GroupMap& g, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto pit = parts.find(b.cols[0].i32[i]);
+          if (pit == parts.end()) continue;
+          if (excluded_supp.count(b.cols[1].i32[i])) continue;
+          std::string key = pit->second.brand + "|" + pit->second.type + "|" +
+                            std::to_string(pit->second.size);
+          g[key].insert(b.cols[1].i32[i]);
+        }
+      },
+      [](GroupMap& dst, const GroupMap& src) {
+        for (const auto& [key, supps] : src)
+          dst[key].insert(supps.begin(), supps.end());
+      });
 
   struct OutRow {
     std::string key;

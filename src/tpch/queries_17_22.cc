@@ -1,4 +1,7 @@
-// TPC-H queries 17-22.
+// TPC-H queries 17-22. Fact-table pipelines run through the parallel
+// helpers of queries.h (per-worker states, slot-order merges); see the
+// note in queries_1_6.cc. Q21's per-order supplier structure uses an
+// order-independent encoding so the parallel merge is exact.
 
 #include <algorithm>
 #include <map>
@@ -23,44 +26,54 @@ namespace nat = col::nation;
 // --- Q17: small-quantity-order revenue ---------------------------------------
 
 QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
-  std::unordered_set<int32_t> parts;
-  ScanLoop(opt.Scan(db.part, {prt::partkey},
-                    {Predicate::Eq(prt::brand, Value::Str("Brand#23")),
-                     Predicate::Eq(prt::container, Value::Str("MED BOX"))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               parts.insert(b.cols[0].i32[i]);
-           });
+  using KeySet = std::unordered_set<int32_t>;
+  KeySet parts = ParAgg<KeySet>(
+      db.part, opt, {prt::partkey},
+      {Predicate::Eq(prt::brand, Value::Str("Brand#23")),
+       Predicate::Eq(prt::container, Value::Str("MED BOX"))},
+      [] { return KeySet{}; },
+      [](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
   struct QtyAgg {
     int64_t sum = 0;
     int64_t count = 0;
   };
-  std::unordered_map<int32_t, QtyAgg> qty_agg;
-  ScanLoop(opt.Scan(db.lineitem, {li::partkey, li::quantity}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t pk = b.cols[0].i32[i];
-               if (!parts.count(pk)) continue;
-               QtyAgg& a = qty_agg[pk];
-               a.sum += b.cols[1].i32[i];
-               ++a.count;
-             }
-           });
+  using QtyMap = std::unordered_map<int32_t, QtyAgg>;
+  QtyMap qty_agg = ParAgg<QtyMap>(
+      db.lineitem, opt, {li::partkey, li::quantity}, {},
+      [] { return QtyMap{}; },
+      [&parts](QtyMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t pk = b.cols[0].i32[i];
+          if (!parts.count(pk)) continue;
+          QtyAgg& a = m[pk];
+          a.sum += b.cols[1].i32[i];
+          ++a.count;
+        }
+      },
+      [](QtyMap& dst, const QtyMap& src) {
+        for (const auto& [pk, a] : src) {
+          dst[pk].sum += a.sum;
+          dst[pk].count += a.count;
+        }
+      });
 
-  int64_t total = 0;  // cents
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::partkey, li::quantity, li::extendedprice}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t pk = b.cols[0].i32[i];
-               auto it = qty_agg.find(pk);
-               if (it == qty_agg.end()) continue;
-               double avg = double(it->second.sum) / double(it->second.count);
-               if (double(b.cols[1].i32[i]) < 0.2 * avg)
-                 total += b.cols[2].i64[i];
-             }
-           });
+  int64_t total = ParAgg<int64_t>(  // cents
+      db.lineitem, opt, {li::partkey, li::quantity, li::extendedprice}, {},
+      [] { return int64_t{0}; },
+      [&qty_agg](int64_t& t, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t pk = b.cols[0].i32[i];
+          auto it = qty_agg.find(pk);
+          if (it == qty_agg.end()) continue;
+          double avg = double(it->second.sum) / double(it->second.count);
+          if (double(b.cols[1].i32[i]) < 0.2 * avg) t += b.cols[2].i64[i];
+        }
+      },
+      [](int64_t& dst, const int64_t& src) { dst += src; });
 
   QueryResult result;
   result.rows.push_back(F2(double(total) / 100.0 / 7.0));
@@ -70,13 +83,16 @@ QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
 // --- Q18: large volume customers -----------------------------------------------
 
 QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt) {
-  std::vector<uint16_t> order_qty(size_t(db.NumOrders()), 0);
-  ScanLoop(opt.Scan(db.lineitem, {li::orderkey, li::quantity}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               order_qty[size_t(OrderIdx(b.cols[0].i64[i]))] +=
-                   uint16_t(b.cols[1].i32[i]);
-           });
+  using QtyVec = std::vector<uint16_t>;
+  QtyVec order_qty = ParAgg<QtyVec>(
+      db.lineitem, opt, {li::orderkey, li::quantity}, {},
+      [&db] { return QtyVec(size_t(db.NumOrders()), 0); },
+      [](QtyVec& v, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          v[size_t(OrderIdx(b.cols[0].i64[i]))] +=
+              uint16_t(b.cols[1].i32[i]);
+      },
+      MergeSeqAdd<QtyVec>);
 
   struct OutRow {
     std::string c_name;
@@ -86,28 +102,34 @@ QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt) {
     int64_t totalprice;
     int32_t qty;
   };
-  std::vector<OutRow> out;
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey, ord::orderdate,
-                                ord::totalprice}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int64_t ok = b.cols[0].i64[i];
-               uint16_t q = order_qty[size_t(OrderIdx(ok))];
-               if (q <= 300) continue;
-               out.push_back({"", b.cols[1].i32[i], ok, b.cols[2].i32[i],
-                              b.cols[3].i64[i], q});
-             }
-           });
+  using OutVec = std::vector<OutRow>;
+  OutVec out = ParAgg<OutVec>(
+      db.orders, opt,
+      {ord::orderkey, ord::custkey, ord::orderdate, ord::totalprice}, {},
+      [] { return OutVec{}; },
+      [&order_qty](OutVec& rows, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int64_t ok = b.cols[0].i64[i];
+          uint16_t q = order_qty[size_t(OrderIdx(ok))];
+          if (q <= 300) continue;
+          rows.push_back({"", b.cols[1].i32[i], ok, b.cols[2].i32[i],
+                          b.cols[3].i64[i], q});
+        }
+      },
+      MergeConcat<OutRow>);
 
-  std::unordered_map<int32_t, std::string> cust_name;
   std::unordered_set<int32_t> wanted;
   for (const OutRow& r : out) wanted.insert(r.custkey);
-  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::name}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               if (wanted.count(b.cols[0].i32[i]))
-                 cust_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
-           });
+  using NameMap = std::unordered_map<int32_t, std::string>;
+  NameMap cust_name = ParAgg<NameMap>(
+      db.customer, opt, {cust::custkey, cust::name}, {},
+      [] { return NameMap{}; },
+      [&wanted](NameMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (wanted.count(b.cols[0].i32[i]))
+            m[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+      },
+      MergeInsert<NameMap>);
   for (OutRow& r : out) r.c_name = cust_name[r.custkey];
 
   std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
@@ -134,17 +156,18 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
     std::string brand, container;
     int32_t size;
   };
-  std::unordered_map<int32_t, PartInfo> parts;
-  ScanLoop(opt.Scan(db.part,
-                    {prt::partkey, prt::brand, prt::container, prt::size},
-                    {Predicate::Between(prt::size, Value::Int(1),
-                                        Value::Int(15))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               parts[b.cols[0].i32[i]] =
-                   PartInfo{std::string(b.cols[1].str[i]),
-                            std::string(b.cols[2].str[i]), b.cols[3].i32[i]};
-           });
+  using PartMap = std::unordered_map<int32_t, PartInfo>;
+  PartMap parts = ParAgg<PartMap>(
+      db.part, opt, {prt::partkey, prt::brand, prt::container, prt::size},
+      {Predicate::Between(prt::size, Value::Int(1), Value::Int(15))},
+      [] { return PartMap{}; },
+      [](PartMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          m[b.cols[0].i32[i]] =
+              PartInfo{std::string(b.cols[1].str[i]),
+                       std::string(b.cols[2].str[i]), b.cols[3].i32[i]};
+      },
+      MergeInsert<PartMap>);
 
   auto in = [](const std::string& v, std::initializer_list<const char*> set) {
     for (const char* s : set)
@@ -152,13 +175,13 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
     return false;
   };
 
-  int64_t revenue = 0;
-  ScanLoop(
-      opt.Scan(db.lineitem,
-               {li::partkey, li::quantity, li::extendedprice, li::discount,
-                li::shipmode, li::shipinstruct},
-               {Predicate::Le(li::quantity, Value::Int(40))}),
-      [&](const Batch& b) {
+  int64_t revenue = ParAgg<int64_t>(
+      db.lineitem, opt,
+      {li::partkey, li::quantity, li::extendedprice, li::discount,
+       li::shipmode, li::shipinstruct},
+      {Predicate::Le(li::quantity, Value::Int(40))},
+      [] { return int64_t{0}; },
+      [&parts, &in](int64_t& rev, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           if (b.cols[5].str[i] != "DELIVER IN PERSON") continue;
           std::string_view mode = b.cols[4].str[i];
@@ -180,9 +203,10 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
                             {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}) &&
                          qty >= 20 && qty <= 30 && p.size <= 15;
           if (clause1 || clause2 || clause3)
-            revenue += b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
+            rev += b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
         }
-      });
+      },
+      [](int64_t& dst, const int64_t& src) { dst += src; });
 
   QueryResult result;
   result.rows.push_back(F2(double(revenue) / 1e4));
@@ -194,40 +218,47 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
 
-  std::unordered_set<int32_t> forest_parts;
-  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::name}), [&](const Batch& b) {
-    for (uint32_t i = 0; i < b.count; ++i)
-      if (LikeMatch(b.cols[1].str[i], "forest%"))
-        forest_parts.insert(b.cols[0].i32[i]);
-  });
+  using KeySet = std::unordered_set<int32_t>;
+  KeySet forest_parts = ParAgg<KeySet>(
+      db.part, opt, {prt::partkey, prt::name}, {},
+      [] { return KeySet{}; },
+      [](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (LikeMatch(b.cols[1].str[i], "forest%"))
+            s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
   const int64_t supp_span = db.NumSuppliers() + 1;
-  std::unordered_map<int64_t, int64_t> shipped_qty;  // (pk,sk) -> qty
-  ScanLoop(opt.Scan(db.lineitem, {li::partkey, li::suppkey, li::quantity},
-                    {Predicate::Between(li::shipdate, Value::Int(lo),
-                                        Value::Int(hi - 1))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t pk = b.cols[0].i32[i];
-               if (!forest_parts.count(pk)) continue;
-               shipped_qty[int64_t(pk) * supp_span + b.cols[1].i32[i]] +=
-                   b.cols[2].i32[i];
-             }
-           });
+  using QtyMap = std::unordered_map<int64_t, int64_t>;  // (pk,sk) -> qty
+  QtyMap shipped_qty = ParAgg<QtyMap>(
+      db.lineitem, opt, {li::partkey, li::suppkey, li::quantity},
+      {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1))},
+      [] { return QtyMap{}; },
+      [&forest_parts, supp_span](QtyMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t pk = b.cols[0].i32[i];
+          if (!forest_parts.count(pk)) continue;
+          m[int64_t(pk) * supp_span + b.cols[1].i32[i]] += b.cols[2].i32[i];
+        }
+      },
+      MergeAdd<QtyMap>);
 
-  std::unordered_set<int32_t> candidate_supp;
-  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::availqty}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t pk = b.cols[0].i32[i];
-               if (!forest_parts.count(pk)) continue;
-               auto it = shipped_qty.find(int64_t(pk) * supp_span +
-                                          b.cols[1].i32[i]);
-               int64_t q = it == shipped_qty.end() ? 0 : it->second;
-               if (double(b.cols[2].i32[i]) > 0.5 * double(q) && q > 0)
-                 candidate_supp.insert(b.cols[1].i32[i]);
-             }
-           });
+  KeySet candidate_supp = ParAgg<KeySet>(
+      db.partsupp, opt, {ps::partkey, ps::suppkey, ps::availqty}, {},
+      [] { return KeySet{}; },
+      [&](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t pk = b.cols[0].i32[i];
+          if (!forest_parts.count(pk)) continue;
+          auto it =
+              shipped_qty.find(int64_t(pk) * supp_span + b.cols[1].i32[i]);
+          int64_t q = it == shipped_qty.end() ? 0 : it->second;
+          if (double(b.cols[2].i32[i]) > 0.5 * double(q) && q > 0)
+            s.insert(b.cols[1].i32[i]);
+        }
+      },
+      MergeUnion<KeySet>);
 
   int32_t canada = -1;
   ScanLoop(opt.Scan(db.nation, {nat::nationkey},
@@ -252,39 +283,58 @@ QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
   const int64_t num_orders = db.NumOrders();
 
-  // Per-order supplier structure, computed in one lineitem pass:
-  //  first_supp / multi_supp: did >1 distinct supplier contribute?
-  //  late_first / late_multi: distinct suppliers with receipt > commit.
-  std::vector<int32_t> first_supp(size_t(num_orders), -1);
-  std::vector<int32_t> late_first(size_t(num_orders), -1);
-  std::vector<uint8_t> multi_supp(size_t(num_orders), 0);
-  std::vector<uint8_t> late_multi(size_t(num_orders), 0);
-  ScanLoop(opt.Scan(db.lineitem, {li::orderkey, li::suppkey, li::commitdate,
-                                  li::receiptdate}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               size_t o = size_t(OrderIdx(b.cols[0].i64[i]));
-               int32_t sk = b.cols[1].i32[i];
-               if (first_supp[o] == -1)
-                 first_supp[o] = sk;
-               else if (first_supp[o] != sk)
-                 multi_supp[o] = 1;
-               if (b.cols[3].i32[i] > b.cols[2].i32[i]) {
-                 if (late_first[o] == -1)
-                   late_first[o] = sk;
-                 else if (late_first[o] != sk)
-                   late_multi[o] = 1;
-               }
-             }
-           });
+  // Per-order supplier structure in an order-independent encoding (-1 =
+  // none seen, -2 = more than one distinct supplier, otherwise the single
+  // supplier): the combine rule is associative and commutative, so the
+  // parallel merge gives exactly the sequential answer regardless of which
+  // worker saw which lineitem first.
+  auto combine = [](int32_t& slot, int32_t sk) {
+    if (slot == -1)
+      slot = sk;
+    else if (slot != sk)
+      slot = -2;
+  };
+  struct OrderSupp {
+    std::vector<int32_t> supp;  // any supplier of the order
+    std::vector<int32_t> late;  // suppliers with receipt > commit
+  };
+  OrderSupp per_order = ParAgg<OrderSupp>(
+      db.lineitem, opt,
+      {li::orderkey, li::suppkey, li::commitdate, li::receiptdate}, {},
+      [num_orders] {
+        return OrderSupp{std::vector<int32_t>(size_t(num_orders), -1),
+                         std::vector<int32_t>(size_t(num_orders), -1)};
+      },
+      [&combine](OrderSupp& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          size_t o = size_t(OrderIdx(b.cols[0].i64[i]));
+          int32_t sk = b.cols[1].i32[i];
+          combine(s.supp[o], sk);
+          if (b.cols[3].i32[i] > b.cols[2].i32[i]) combine(s.late[o], sk);
+        }
+      },
+      [](OrderSupp& dst, const OrderSupp& src) {
+        auto fold = [](int32_t& a, int32_t b) {
+          if (b == -1) return;
+          if (a == -1)
+            a = b;
+          else if (a != b || b == -2)
+            a = -2;
+        };
+        for (size_t o = 0; o < dst.supp.size(); ++o) {
+          fold(dst.supp[o], src.supp[o]);
+          fold(dst.late[o], src.late[o]);
+        }
+      });
 
+  // Dense per-order status flag, one writer per element.
   std::vector<uint8_t> status_f(size_t(num_orders), 0);
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey},
-                    {Predicate::Eq(ord::orderstatus, Value::Int('F'))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               status_f[size_t(OrderIdx(b.cols[0].i64[i]))] = 1;
-           });
+  ParScan(db.orders, opt, {ord::orderkey},
+          {Predicate::Eq(ord::orderstatus, Value::Int('F'))},
+          [&status_f](const Batch& b) {
+            for (uint32_t i = 0; i < b.count; ++i)
+              status_f[size_t(OrderIdx(b.cols[0].i64[i]))] = 1;
+          });
 
   int32_t saudi = -1;
   ScanLoop(opt.Scan(db.nation, {nat::nationkey},
@@ -298,16 +348,15 @@ QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
                saudi_supp[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
            });
 
-  // numwait per saudi supplier: orders with status F where this supplier was
-  // the only late one and other suppliers participated.
+  // numwait per saudi supplier: orders with status F where this supplier
+  // was the only late one and other suppliers participated.
   std::unordered_map<int32_t, int64_t> numwait;
   for (size_t o = 0; o < size_t(num_orders); ++o) {
-    if (!status_f[o] || late_first[o] == -1 || late_multi[o] ||
-        !multi_supp[o])
+    if (!status_f[o] || per_order.late[o] < 0 || per_order.supp[o] != -2)
       continue;
-    auto it = saudi_supp.find(late_first[o]);
+    auto it = saudi_supp.find(per_order.late[o]);
     if (it == saudi_supp.end()) continue;
-    ++numwait[late_first[o]];
+    ++numwait[per_order.late[o]];
   }
 
   struct OutRow {
@@ -333,47 +382,73 @@ QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt) {
   auto code_of = [](std::string_view phone) {
     return std::string(phone.substr(0, 2));
   };
-  auto code_ok = [&](std::string_view phone) {
+  auto code_ok = [](std::string_view phone) {
     for (const char* c : kCodes)
       if (phone.substr(0, 2) == c) return true;
     return false;
   };
 
   // Average positive balance of customers in the country codes.
-  int64_t sum = 0, count = 0;
-  ScanLoop(opt.Scan(db.customer, {cust::phone, cust::acctbal},
-                    {Predicate::Gt(cust::acctbal, Value::Int(0))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!code_ok(b.cols[0].str[i])) continue;
-               sum += b.cols[1].i64[i];
-               ++count;
-             }
-           });
-  const double avg = count == 0 ? 0.0 : double(sum) / double(count);
+  struct BalAgg {
+    int64_t sum = 0;
+    int64_t count = 0;
+  };
+  BalAgg bal = ParAgg<BalAgg>(
+      db.customer, opt, {cust::phone, cust::acctbal},
+      {Predicate::Gt(cust::acctbal, Value::Int(0))},
+      [] { return BalAgg{}; },
+      [&code_ok](BalAgg& a, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!code_ok(b.cols[0].str[i])) continue;
+          a.sum += b.cols[1].i64[i];
+          ++a.count;
+        }
+      },
+      [](BalAgg& dst, const BalAgg& src) {
+        dst.sum += src.sum;
+        dst.count += src.count;
+      });
+  const double avg =
+      bal.count == 0 ? 0.0 : double(bal.sum) / double(bal.count);
 
-  std::vector<uint8_t> has_order(size_t(db.NumCustomers()) + 1, 0);
-  ScanLoop(opt.Scan(db.orders, {ord::custkey}), [&](const Batch& b) {
-    for (uint32_t i = 0; i < b.count; ++i)
-      has_order[size_t(b.cols[0].i32[i])] = 1;
-  });
+  // Several orders may share a customer, so the flag is merged by OR
+  // rather than written to a shared vector.
+  using FlagVec = std::vector<uint8_t>;
+  FlagVec has_order = ParAgg<FlagVec>(
+      db.orders, opt, {ord::custkey}, {},
+      [&db] { return FlagVec(size_t(db.NumCustomers()) + 1, 0); },
+      [](FlagVec& v, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          v[size_t(b.cols[0].i32[i])] = 1;
+      },
+      [](FlagVec& dst, const FlagVec& src) {
+        for (size_t i = 0; i < src.size(); ++i) dst[i] |= src[i];
+      });
 
   struct Agg {
     int64_t count = 0;
     int64_t sum = 0;
   };
-  std::map<std::string, Agg> groups;
-  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::phone, cust::acctbal}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!code_ok(b.cols[1].str[i])) continue;
-               if (double(b.cols[2].i64[i]) <= avg) continue;
-               if (has_order[size_t(b.cols[0].i32[i])]) continue;
-               Agg& a = groups[code_of(b.cols[1].str[i])];
-               ++a.count;
-               a.sum += b.cols[2].i64[i];
-             }
-           });
+  using GroupMap = std::map<std::string, Agg>;
+  GroupMap groups = ParAgg<GroupMap>(
+      db.customer, opt, {cust::custkey, cust::phone, cust::acctbal}, {},
+      [] { return GroupMap{}; },
+      [&](GroupMap& g, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!code_ok(b.cols[1].str[i])) continue;
+          if (double(b.cols[2].i64[i]) <= avg) continue;
+          if (has_order[size_t(b.cols[0].i32[i])]) continue;
+          Agg& a = g[code_of(b.cols[1].str[i])];
+          ++a.count;
+          a.sum += b.cols[2].i64[i];
+        }
+      },
+      [](GroupMap& dst, const GroupMap& src) {
+        for (const auto& [code, a] : src) {
+          dst[code].count += a.count;
+          dst[code].sum += a.sum;
+        }
+      });
 
   QueryResult result;
   for (auto& [code, a] : groups)

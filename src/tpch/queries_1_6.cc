@@ -1,5 +1,12 @@
 // TPC-H queries 1-6, hand-fused against the vectorized scan interface (the
 // role of the JIT-compiled pipelines in HyPer; see DESIGN.md substitution 1).
+//
+// Every fact-table scan+aggregate pipeline runs through detail::ParAgg /
+// detail::ParScan: sequential at ctx.threads == 1, morsel-parallel with
+// per-worker states and a slot-order merge otherwise. Tiny dimension scans
+// (region, nation, supplier lookups) stay sequential — there is nothing to
+// win on a handful of rows. All accumulations are exact (integer), so the
+// parallel results are identical to the sequential ones.
 
 #include <algorithm>
 #include <map>
@@ -33,15 +40,18 @@ QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt) {
     int64_t sum_disc = 0;        // percent units
     int64_t count = 0;
   };
-  std::array<Agg, 256 * 256> groups{};
+  // Heap-backed (one 3 MB state per worker slot): a stack array this size
+  // would overflow sanitizer stacks.
+  using Groups = std::vector<Agg>;
   const int32_t cutoff = MakeDate(1998, 9, 2);
 
-  ScanLoop(
-      opt.Scan(db.lineitem,
-               {li::quantity, li::extendedprice, li::discount, li::tax,
-                li::returnflag, li::linestatus},
-               {Predicate::Le(li::shipdate, Value::Int(cutoff))}),
-      [&](const Batch& b) {
+  Groups groups = ParAgg<Groups>(
+      db.lineitem, opt,
+      {li::quantity, li::extendedprice, li::discount, li::tax, li::returnflag,
+       li::linestatus},
+      {Predicate::Le(li::shipdate, Value::Int(cutoff))},
+      [] { return Groups(256 * 256); },
+      [](Groups& g, const Batch& b) {
         const int32_t* qty = b.cols[0].i32.data();
         const int64_t* ext = b.cols[1].i64.data();
         const int32_t* disc = b.cols[2].i32.data();
@@ -49,14 +59,24 @@ QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt) {
         const int32_t* rf = b.cols[4].i32.data();
         const int32_t* ls = b.cols[5].i32.data();
         for (uint32_t i = 0; i < b.count; ++i) {
-          Agg& g = groups[size_t(rf[i]) * 256 + size_t(ls[i])];
+          Agg& a = g[size_t(rf[i]) * 256 + size_t(ls[i])];
           int64_t dp = ext[i] * (100 - disc[i]);
-          g.sum_qty += qty[i];
-          g.sum_base += ext[i];
-          g.sum_disc_price += dp;
-          g.sum_charge += dp * (100 + tax[i]) / 100;
-          g.sum_disc += disc[i];
-          ++g.count;
+          a.sum_qty += qty[i];
+          a.sum_base += ext[i];
+          a.sum_disc_price += dp;
+          a.sum_charge += dp * (100 + tax[i]) / 100;
+          a.sum_disc += disc[i];
+          ++a.count;
+        }
+      },
+      [](Groups& dst, const Groups& src) {
+        for (size_t k = 0; k < dst.size(); ++k) {
+          dst[k].sum_qty += src[k].sum_qty;
+          dst[k].sum_base += src[k].sum_base;
+          dst[k].sum_disc_price += src[k].sum_disc_price;
+          dst[k].sum_charge += src[k].sum_charge;
+          dst[k].sum_disc += src[k].sum_disc;
+          dst[k].count += src[k].count;
         }
       });
 
@@ -119,31 +139,44 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
     int32_t partkey, suppkey;
     int64_t cost;
   };
-  std::vector<PsRow> ps_rows;
-  std::unordered_map<int32_t, int64_t> min_cost;
-  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::supplycost}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t sk = b.cols[1].i32[i];
-               if (!supp.count(sk)) continue;
-               int32_t pk = b.cols[0].i32[i];
-               int64_t cost = b.cols[2].i64[i];
-               ps_rows.push_back({pk, sk, cost});
-               auto [it, fresh] = min_cost.emplace(pk, cost);
-               if (!fresh) it->second = std::min(it->second, cost);
-             }
-           });
+  struct PsState {
+    std::vector<PsRow> rows;
+    std::unordered_map<int32_t, int64_t> min_cost;
+  };
+  PsState pstate = ParAgg<PsState>(
+      db.partsupp, opt, {ps::partkey, ps::suppkey, ps::supplycost}, {},
+      [] { return PsState{}; },
+      [&supp](PsState& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t sk = b.cols[1].i32[i];
+          if (!supp.count(sk)) continue;
+          int32_t pk = b.cols[0].i32[i];
+          int64_t cost = b.cols[2].i64[i];
+          s.rows.push_back({pk, sk, cost});
+          auto [it, fresh] = s.min_cost.emplace(pk, cost);
+          if (!fresh) it->second = std::min(it->second, cost);
+        }
+      },
+      [](PsState& dst, PsState& src) {
+        MergeConcat(dst.rows, src.rows);
+        for (const auto& [pk, cost] : src.min_cost) {
+          auto [it, fresh] = dst.min_cost.emplace(pk, cost);
+          if (!fresh) it->second = std::min(it->second, cost);
+        }
+      });
 
   // Qualifying parts: size = 15, type like '%BRASS'.
-  std::unordered_map<int32_t, std::string> part_mfgr;
-  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::mfgr, prt::type},
-                    {Predicate::Eq(prt::size, Value::Int(15))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!LikeMatch(b.cols[2].str[i], "%BRASS")) continue;
-               part_mfgr[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
-             }
-           });
+  auto part_mfgr = ParAgg<std::unordered_map<int32_t, std::string>>(
+      db.part, opt, {prt::partkey, prt::mfgr, prt::type},
+      {Predicate::Eq(prt::size, Value::Int(15))},
+      [] { return std::unordered_map<int32_t, std::string>{}; },
+      [](std::unordered_map<int32_t, std::string>& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!LikeMatch(b.cols[2].str[i], "%BRASS")) continue;
+          m[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+        }
+      },
+      MergeInsert<std::unordered_map<int32_t, std::string>>);
 
   struct OutRow {
     int64_t acctbal;
@@ -152,10 +185,10 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
     std::string mfgr, address, phone, comment;
   };
   std::vector<OutRow> out;
-  for (const PsRow& r : ps_rows) {
+  for (const PsRow& r : pstate.rows) {
     auto pit = part_mfgr.find(r.partkey);
     if (pit == part_mfgr.end()) continue;
-    if (r.cost != min_cost[r.partkey]) continue;
+    if (r.cost != pstate.min_cost[r.partkey]) continue;
     const SuppInfo& s = supp[r.suppkey];
     out.push_back({s.acctbal, s.name, s.nation, r.partkey, pit->second,
                    s.address, s.phone, s.comment});
@@ -182,42 +215,45 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t date = MakeDate(1995, 3, 15);
 
-  std::unordered_set<int32_t> building;
-  ScanLoop(opt.Scan(db.customer, {cust::custkey},
-                    {Predicate::Eq(cust::mktsegment, Value::Str("BUILDING"))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               building.insert(b.cols[0].i32[i]);
-           });
+  auto building = ParAgg<std::unordered_set<int32_t>>(
+      db.customer, opt, {cust::custkey},
+      {Predicate::Eq(cust::mktsegment, Value::Str("BUILDING"))},
+      [] { return std::unordered_set<int32_t>{}; },
+      [](std::unordered_set<int32_t>& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<std::unordered_set<int32_t>>);
 
   struct OrdInfo {
     int32_t orderdate;
     int32_t shippriority;
   };
-  std::unordered_map<int64_t, OrdInfo> ord_info;
-  ScanLoop(opt.Scan(db.orders,
-                    {ord::orderkey, ord::custkey, ord::orderdate,
-                     ord::shippriority},
-                    {Predicate::Lt(ord::orderdate, Value::Int(date))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!building.count(b.cols[1].i32[i])) continue;
-               ord_info[b.cols[0].i64[i]] =
-                   OrdInfo{b.cols[2].i32[i], b.cols[3].i32[i]};
-             }
-           });
+  using OrdMap = std::unordered_map<int64_t, OrdInfo>;
+  OrdMap ord_info = ParAgg<OrdMap>(
+      db.orders, opt,
+      {ord::orderkey, ord::custkey, ord::orderdate, ord::shippriority},
+      {Predicate::Lt(ord::orderdate, Value::Int(date))},
+      [] { return OrdMap{}; },
+      [&building](OrdMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!building.count(b.cols[1].i32[i])) continue;
+          m[b.cols[0].i64[i]] = OrdInfo{b.cols[2].i32[i], b.cols[3].i32[i]};
+        }
+      },
+      MergeInsert<OrdMap>);
 
-  std::unordered_map<int64_t, int64_t> revenue;
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::orderkey, li::extendedprice, li::discount},
-                    {Predicate::Gt(li::shipdate, Value::Int(date))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int64_t ok = b.cols[0].i64[i];
-               if (!ord_info.count(ok)) continue;
-               revenue[ok] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
-             }
-           });
+  auto revenue = ParAgg<std::unordered_map<int64_t, int64_t>>(
+      db.lineitem, opt, {li::orderkey, li::extendedprice, li::discount},
+      {Predicate::Gt(li::shipdate, Value::Int(date))},
+      [] { return std::unordered_map<int64_t, int64_t>{}; },
+      [&ord_info](std::unordered_map<int64_t, int64_t>& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int64_t ok = b.cols[0].i64[i];
+          if (!ord_info.count(ok)) continue;
+          m[ok] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+        }
+      },
+      MergeAdd<std::unordered_map<int64_t, int64_t>>);
 
   struct OutRow {
     int64_t orderkey, rev;
@@ -252,43 +288,40 @@ QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1993, 7, 1);
   const int32_t hi = MakeDate(1993, 10, 1);
 
-  // Orders in the quarter, by priority; existence test against lineitem.
-  std::unordered_map<int64_t, uint32_t> in_quarter;  // orderkey -> prio idx
-  std::vector<std::string> prio_names;
-  std::unordered_map<std::string, uint32_t> prio_idx;
-  ScanLoop(
-      opt.Scan(db.orders, {ord::orderkey, ord::orderpriority},
-               {Predicate::Between(ord::orderdate, Value::Int(lo),
-                                   Value::Int(hi - 1))}),
-      [&](const Batch& b) {
+  // Orders in the quarter -> priority name.
+  using QuarterMap = std::unordered_map<int64_t, std::string>;
+  QuarterMap in_quarter = ParAgg<QuarterMap>(
+      db.orders, opt, {ord::orderkey, ord::orderpriority},
+      {Predicate::Between(ord::orderdate, Value::Int(lo),
+                          Value::Int(hi - 1))},
+      [] { return QuarterMap{}; },
+      [](QuarterMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          m[b.cols[0].i64[i]] = std::string(b.cols[1].str[i]);
+      },
+      MergeInsert<QuarterMap>);
+
+  // Distinct quarter orders with at least one late lineitem.
+  auto late = ParAgg<std::unordered_set<int64_t>>(
+      db.lineitem, opt, {li::orderkey, li::commitdate, li::receiptdate}, {},
+      [] { return std::unordered_set<int64_t>{}; },
+      [&in_quarter](std::unordered_set<int64_t>& s, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          std::string p(b.cols[1].str[i]);
-          auto [it, fresh] = prio_idx.emplace(p, prio_names.size());
-          if (fresh) prio_names.push_back(p);
-          in_quarter[b.cols[0].i64[i]] = it->second;
+          if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;
+          int64_t ok = b.cols[0].i64[i];
+          if (in_quarter.count(ok)) s.insert(ok);
         }
-      });
+      },
+      MergeUnion<std::unordered_set<int64_t>>);
 
-  std::vector<int64_t> counts(prio_names.size(), 0);
-  std::unordered_set<int64_t> counted;
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::orderkey, li::commitdate, li::receiptdate}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;
-               int64_t ok = b.cols[0].i64[i];
-               auto it = in_quarter.find(ok);
-               if (it == in_quarter.end()) continue;
-               if (counted.insert(ok).second) ++counts[it->second];
-             }
-           });
+  // Priorities present in the quarter appear in the output even with a
+  // zero count, exactly like the plan this replaces.
+  std::map<std::string, int64_t> counts;
+  for (const auto& [ok, prio] : in_quarter) counts[prio];
+  for (int64_t ok : late) ++counts[in_quarter[ok]];
 
-  std::vector<std::pair<std::string, int64_t>> out;
-  for (size_t i = 0; i < prio_names.size(); ++i)
-    out.emplace_back(prio_names[i], counts[i]);
-  std::sort(out.begin(), out.end());
   QueryResult result;
-  for (auto& [p, c] : out)
+  for (auto& [p, c] : counts)
     result.rows.push_back(p + "|" + std::to_string(c));
   return result;
 }
@@ -311,25 +344,30 @@ QueryResult Q5(const TpchDatabase& db, const ScanOptions& opt) {
                nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
            });
 
-  std::unordered_map<int32_t, int32_t> cust_nation;  // asian customers
-  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               if (nation_name.count(b.cols[1].i32[i]))
-                 cust_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
-           });
+  using KeyMap = std::unordered_map<int32_t, int32_t>;
+  KeyMap cust_nation = ParAgg<KeyMap>(  // asian customers
+      db.customer, opt, {cust::custkey, cust::nationkey}, {},
+      [] { return KeyMap{}; },
+      [&nation_name](KeyMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (nation_name.count(b.cols[1].i32[i]))
+            m[b.cols[0].i32[i]] = b.cols[1].i32[i];
+      },
+      MergeInsert<KeyMap>);
 
-  std::unordered_map<int64_t, int32_t> order_nation;
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey},
-                    {Predicate::Between(ord::orderdate, Value::Int(lo),
-                                        Value::Int(hi - 1))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               auto it = cust_nation.find(b.cols[1].i32[i]);
-               if (it != cust_nation.end())
-                 order_nation[b.cols[0].i64[i]] = it->second;
-             }
-           });
+  using OrdMap = std::unordered_map<int64_t, int32_t>;
+  OrdMap order_nation = ParAgg<OrdMap>(
+      db.orders, opt, {ord::orderkey, ord::custkey},
+      {Predicate::Between(ord::orderdate, Value::Int(lo),
+                          Value::Int(hi - 1))},
+      [] { return OrdMap{}; },
+      [&cust_nation](OrdMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto it = cust_nation.find(b.cols[1].i32[i]);
+          if (it != cust_nation.end()) m[b.cols[0].i64[i]] = it->second;
+        }
+      },
+      MergeInsert<OrdMap>);
 
   std::unordered_map<int32_t, int32_t> supp_nation;
   ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
@@ -339,21 +377,22 @@ QueryResult Q5(const TpchDatabase& db, const ScanOptions& opt) {
                  supp_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
            });
 
-  std::unordered_map<int32_t, int64_t> revenue;  // nationkey -> rev
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::orderkey, li::suppkey, li::extendedprice,
-                     li::discount}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               auto oit = order_nation.find(b.cols[0].i64[i]);
-               if (oit == order_nation.end()) continue;
-               auto sit = supp_nation.find(b.cols[1].i32[i]);
-               if (sit == supp_nation.end()) continue;
-               if (oit->second != sit->second) continue;
-               revenue[oit->second] +=
-                   b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
-             }
-           });
+  auto revenue = ParAgg<std::unordered_map<int32_t, int64_t>>(
+      db.lineitem, opt,
+      {li::orderkey, li::suppkey, li::extendedprice, li::discount}, {},
+      [] { return std::unordered_map<int32_t, int64_t>{}; },
+      [&order_nation, &supp_nation](std::unordered_map<int32_t, int64_t>& m,
+                                    const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto oit = order_nation.find(b.cols[0].i64[i]);
+          if (oit == order_nation.end()) continue;
+          auto sit = supp_nation.find(b.cols[1].i32[i]);
+          if (sit == supp_nation.end()) continue;
+          if (oit->second != sit->second) continue;
+          m[oit->second] += b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
+        }
+      },
+      MergeAdd<std::unordered_map<int32_t, int64_t>>);
 
   std::vector<std::pair<int64_t, std::string>> out;
   for (auto& [nk, rev] : revenue) out.emplace_back(rev, nation_name[nk]);
@@ -372,19 +411,18 @@ QueryResult Q6(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1994, 1, 1);
   const int32_t hi = MakeDate(1995, 1, 1);
 
-  int64_t revenue = 0;  // cents * percent
-  ScanLoop(opt.Scan(db.lineitem, {li::extendedprice, li::discount},
-                    {Predicate::Between(li::shipdate, Value::Int(lo),
-                                        Value::Int(hi - 1)),
-                     Predicate::Between(li::discount, Value::Int(5),
-                                        Value::Int(7)),
-                     Predicate::Lt(li::quantity, Value::Int(24))}),
-           [&](const Batch& b) {
-             const int64_t* ext = b.cols[0].i64.data();
-             const int32_t* disc = b.cols[1].i32.data();
-             for (uint32_t i = 0; i < b.count; ++i)
-               revenue += ext[i] * disc[i];
-           });
+  int64_t revenue = ParAgg<int64_t>(  // cents * percent
+      db.lineitem, opt, {li::extendedprice, li::discount},
+      {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1)),
+       Predicate::Between(li::discount, Value::Int(5), Value::Int(7)),
+       Predicate::Lt(li::quantity, Value::Int(24))},
+      [] { return int64_t{0}; },
+      [](int64_t& rev, const Batch& b) {
+        const int64_t* ext = b.cols[0].i64.data();
+        const int32_t* disc = b.cols[1].i32.data();
+        for (uint32_t i = 0; i < b.count; ++i) rev += ext[i] * disc[i];
+      },
+      [](int64_t& dst, const int64_t& src) { dst += src; });
 
   QueryResult result;
   result.rows.push_back(F2(double(revenue) / 1e4));

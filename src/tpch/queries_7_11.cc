@@ -1,4 +1,7 @@
-// TPC-H queries 7-11.
+// TPC-H queries 7-11. Fact-table pipelines run through the parallel
+// helpers of queries.h (per-worker states, slot-order merges); see the
+// note in queries_1_6.cc. Dense per-order sinks (one writer per element)
+// are filled through ParScan with a shared vector.
 
 #include <algorithm>
 #include <map>
@@ -44,15 +47,16 @@ int32_t NationKeyOf(const TpchDatabase& db, const ScanOptions& opt,
   return key;
 }
 
-/// Dense orderkey -> custkey vector (order keys are 4*ordinal).
+/// Dense orderkey -> custkey vector (order keys are 4*ordinal). Each order
+/// appears exactly once, so parallel workers write disjoint elements.
 std::vector<int32_t> OrderCustVector(const TpchDatabase& db,
                                      const ScanOptions& opt) {
   std::vector<int32_t> v(size_t(db.NumOrders()), 0);
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               v[size_t(OrderIdx(b.cols[0].i64[i]))] = b.cols[1].i32[i];
-           });
+  ParScan(db.orders, opt, {ord::orderkey, ord::custkey}, {},
+          [&v](const Batch& b) {
+            for (uint32_t i = 0; i < b.count; ++i)
+              v[size_t(OrderIdx(b.cols[0].i64[i]))] = b.cols[1].i32[i];
+          });
   return v;
 }
 
@@ -74,26 +78,28 @@ QueryResult Q7(const TpchDatabase& db, const ScanOptions& opt) {
                  supp_nation[b.cols[0].i32[i]] = nk;
              }
            });
-  std::unordered_map<int32_t, int32_t> cust_nation;
-  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               int32_t nk = b.cols[1].i32[i];
-               if (nk == france || nk == germany)
-                 cust_nation[b.cols[0].i32[i]] = nk;
-             }
-           });
+  using KeyMap = std::unordered_map<int32_t, int32_t>;
+  KeyMap cust_nation = ParAgg<KeyMap>(
+      db.customer, opt, {cust::custkey, cust::nationkey}, {},
+      [] { return KeyMap{}; },
+      [france, germany](KeyMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          int32_t nk = b.cols[1].i32[i];
+          if (nk == france || nk == germany) m[b.cols[0].i32[i]] = nk;
+        }
+      },
+      MergeInsert<KeyMap>);
   std::vector<int32_t> order_cust = OrderCustVector(db, opt);
 
   // (supp_nation, cust_nation, year) -> volume.
-  std::map<std::tuple<int32_t, int32_t, int32_t>, int64_t> volume;
-  ScanLoop(
-      opt.Scan(db.lineitem,
-               {li::orderkey, li::suppkey, li::extendedprice, li::discount,
-                li::shipdate},
-               {Predicate::Between(li::shipdate, Value::Int(lo),
-                                   Value::Int(hi))}),
-      [&](const Batch& b) {
+  using VolMap = std::map<std::tuple<int32_t, int32_t, int32_t>, int64_t>;
+  VolMap volume = ParAgg<VolMap>(
+      db.lineitem, opt,
+      {li::orderkey, li::suppkey, li::extendedprice, li::discount,
+       li::shipdate},
+      {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi))},
+      [] { return VolMap{}; },
+      [&](VolMap& m, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           auto sit = supp_nation.find(b.cols[1].i32[i]);
           if (sit == supp_nation.end()) continue;
@@ -101,10 +107,11 @@ QueryResult Q7(const TpchDatabase& db, const ScanOptions& opt) {
               order_cust[size_t(OrderIdx(b.cols[0].i64[i]))]);
           if (cit == cust_nation.end()) continue;
           if (sit->second == cit->second) continue;
-          volume[{sit->second, cit->second, DateYear(b.cols[4].i32[i])}] +=
+          m[{sit->second, cit->second, DateYear(b.cols[4].i32[i])}] +=
               b.cols[2].i64[i] * (100 - b.cols[3].i32[i]);
         }
-      });
+      },
+      MergeAdd<VolMap>);
 
   auto nation_of = [&](int32_t nk) {
     return nk == france ? std::string("FRANCE") : std::string("GERMANY");
@@ -137,32 +144,37 @@ QueryResult Q8(const TpchDatabase& db, const ScanOptions& opt) {
                american_nations.insert(b.cols[0].i32[i]);
            });
 
-  std::unordered_set<int32_t> parts;
-  ScanLoop(opt.Scan(db.part, {prt::partkey},
-                    {Predicate::Eq(prt::type,
-                                   Value::Str("ECONOMY ANODIZED STEEL"))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               parts.insert(b.cols[0].i32[i]);
-           });
+  using KeySet = std::unordered_set<int32_t>;
+  KeySet parts = ParAgg<KeySet>(
+      db.part, opt, {prt::partkey},
+      {Predicate::Eq(prt::type, Value::Str("ECONOMY ANODIZED STEEL"))},
+      [] { return KeySet{}; },
+      [](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
-  std::unordered_set<int32_t> american_custs;
-  ScanLoop(opt.Scan(db.customer, {cust::custkey, cust::nationkey}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               if (american_nations.count(b.cols[1].i32[i]))
-                 american_custs.insert(b.cols[0].i32[i]);
-           });
+  KeySet american_custs = ParAgg<KeySet>(
+      db.customer, opt, {cust::custkey, cust::nationkey}, {},
+      [] { return KeySet{}; },
+      [&american_nations](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (american_nations.count(b.cols[1].i32[i]))
+            s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
-  std::unordered_map<int64_t, int32_t> order_year;
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey, ord::orderdate},
-                    {Predicate::Between(ord::orderdate, Value::Int(lo),
-                                        Value::Int(hi))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               if (american_custs.count(b.cols[1].i32[i]))
-                 order_year[b.cols[0].i64[i]] = DateYear(b.cols[2].i32[i]);
-           });
+  using OrdMap = std::unordered_map<int64_t, int32_t>;
+  OrdMap order_year = ParAgg<OrdMap>(
+      db.orders, opt, {ord::orderkey, ord::custkey, ord::orderdate},
+      {Predicate::Between(ord::orderdate, Value::Int(lo), Value::Int(hi))},
+      [] { return OrdMap{}; },
+      [&american_custs](OrdMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (american_custs.count(b.cols[1].i32[i]))
+            m[b.cols[0].i64[i]] = DateYear(b.cols[2].i32[i]);
+      },
+      MergeInsert<OrdMap>);
 
   std::unordered_map<int32_t, bool> supp_is_brazil;
   ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
@@ -172,26 +184,40 @@ QueryResult Q8(const TpchDatabase& db, const ScanOptions& opt) {
                    b.cols[1].i32[i] == brazil;
            });
 
-  std::map<int32_t, std::pair<double, double>> share;  // year -> (brazil, all)
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::orderkey, li::partkey, li::suppkey,
-                     li::extendedprice, li::discount}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!parts.count(b.cols[1].i32[i])) continue;
-               auto oit = order_year.find(b.cols[0].i64[i]);
-               if (oit == order_year.end()) continue;
-               double vol =
-                   double(b.cols[3].i64[i]) * (100 - b.cols[4].i32[i]) / 1e4;
-               auto& s = share[oit->second];
-               s.second += vol;
-               if (supp_is_brazil[b.cols[2].i32[i]]) s.first += vol;
-             }
-           });
+  // year -> (brazil volume, total volume), accumulated exactly in cents *
+  // percent so the parallel merge is bit-identical to the sequential sum.
+  struct Share {
+    int64_t brazil = 0;
+    int64_t total = 0;
+  };
+  using ShareMap = std::map<int32_t, Share>;
+  ShareMap share = ParAgg<ShareMap>(
+      db.lineitem, opt,
+      {li::orderkey, li::partkey, li::suppkey, li::extendedprice,
+       li::discount},
+      {},
+      [] { return ShareMap{}; },
+      [&](ShareMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!parts.count(b.cols[1].i32[i])) continue;
+          auto oit = order_year.find(b.cols[0].i64[i]);
+          if (oit == order_year.end()) continue;
+          int64_t vol = b.cols[3].i64[i] * (100 - b.cols[4].i32[i]);
+          Share& s = m[oit->second];
+          s.total += vol;
+          if (supp_is_brazil[b.cols[2].i32[i]]) s.brazil += vol;
+        }
+      },
+      [](ShareMap& dst, const ShareMap& src) {
+        for (const auto& [year, s] : src) {
+          dst[year].brazil += s.brazil;
+          dst[year].total += s.total;
+        }
+      });
 
   QueryResult result;
   for (auto& [year, s] : share) {
-    double mkt = s.second == 0 ? 0 : s.first / s.second;
+    double mkt = s.total == 0 ? 0 : double(s.brazil) / double(s.total);
     char row[64];
     std::snprintf(row, sizeof(row), "%d|%.4f", year, mkt);
     result.rows.push_back(row);
@@ -204,12 +230,16 @@ QueryResult Q8(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
   auto nations = AllNations(db, opt);
 
-  std::unordered_set<int32_t> green_parts;
-  ScanLoop(opt.Scan(db.part, {prt::partkey, prt::name}), [&](const Batch& b) {
-    for (uint32_t i = 0; i < b.count; ++i)
-      if (b.cols[1].str[i].find("green") != std::string_view::npos)
-        green_parts.insert(b.cols[0].i32[i]);
-  });
+  using KeySet = std::unordered_set<int32_t>;
+  KeySet green_parts = ParAgg<KeySet>(
+      db.part, opt, {prt::partkey, prt::name}, {},
+      [] { return KeySet{}; },
+      [](KeySet& s, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          if (b.cols[1].str[i].find("green") != std::string_view::npos)
+            s.insert(b.cols[0].i32[i]);
+      },
+      MergeUnion<KeySet>);
 
   std::unordered_map<int32_t, int32_t> supp_nation;
   ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::nationkey}),
@@ -220,49 +250,57 @@ QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
 
   // (partkey, suppkey) -> supplycost, keys encoded densely.
   const int64_t supp_span = db.NumSuppliers() + 1;
-  std::unordered_map<int64_t, int64_t> ps_cost;
-  ScanLoop(opt.Scan(db.partsupp, {ps::partkey, ps::suppkey, ps::supplycost}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!green_parts.count(b.cols[0].i32[i])) continue;
-               ps_cost[int64_t(b.cols[0].i32[i]) * supp_span +
-                       b.cols[1].i32[i]] = b.cols[2].i64[i];
-             }
-           });
+  using CostMap = std::unordered_map<int64_t, int64_t>;
+  CostMap ps_cost = ParAgg<CostMap>(
+      db.partsupp, opt, {ps::partkey, ps::suppkey, ps::supplycost}, {},
+      [] { return CostMap{}; },
+      [&green_parts, supp_span](CostMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!green_parts.count(b.cols[0].i32[i])) continue;
+          m[int64_t(b.cols[0].i32[i]) * supp_span + b.cols[1].i32[i]] =
+              b.cols[2].i64[i];
+        }
+      },
+      MergeInsert<CostMap>);
 
-  // orderkey -> year.
+  // orderkey -> year (dense, one writer per element).
   std::vector<int32_t> order_year(size_t(db.NumOrders()), 0);
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::orderdate}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               order_year[size_t(OrderIdx(b.cols[0].i64[i]))] =
-                   DateYear(b.cols[1].i32[i]);
-           });
+  ParScan(db.orders, opt, {ord::orderkey, ord::orderdate}, {},
+          [&order_year](const Batch& b) {
+            for (uint32_t i = 0; i < b.count; ++i)
+              order_year[size_t(OrderIdx(b.cols[0].i64[i]))] =
+                  DateYear(b.cols[1].i32[i]);
+          });
 
-  std::map<std::pair<std::string, int32_t>, double> profit;
-  ScanLoop(
-      opt.Scan(db.lineitem, {li::orderkey, li::partkey, li::suppkey,
-                             li::quantity, li::extendedprice, li::discount}),
-      [&](const Batch& b) {
+  // (nation, year) -> profit in units of 1e-4 dollars: ext*(100-disc) and
+  // cost*qty*100 are both exact in that scale, so the sum is an int64.
+  using ProfitMap = std::map<std::pair<std::string, int32_t>, int64_t>;
+  ProfitMap profit = ParAgg<ProfitMap>(
+      db.lineitem, opt,
+      {li::orderkey, li::partkey, li::suppkey, li::quantity,
+       li::extendedprice, li::discount},
+      {},
+      [] { return ProfitMap{}; },
+      [&](ProfitMap& m, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           int32_t pk = b.cols[1].i32[i];
           if (!green_parts.count(pk)) continue;
           int32_t sk = b.cols[2].i32[i];
           int64_t cost = ps_cost[int64_t(pk) * supp_span + sk];
-          double amount =
-              double(b.cols[4].i64[i]) * (100 - b.cols[5].i32[i]) / 1e4 -
-              double(cost) * b.cols[3].i32[i] / 100.0;
+          int64_t amount = b.cols[4].i64[i] * (100 - b.cols[5].i32[i]) -
+                           cost * b.cols[3].i32[i] * 100;
           int32_t year = order_year[size_t(OrderIdx(b.cols[0].i64[i]))];
-          profit[{nations[supp_nation[sk]], year}] += amount;
+          m[{nations[supp_nation[sk]], year}] += amount;
         }
-      });
+      },
+      MergeAdd<ProfitMap>);
 
   QueryResult result;
   for (auto it = profit.begin(); it != profit.end(); ++it) {
     // order by nation asc, year desc: collect per nation then reverse years.
     result.rows.push_back(it->first.first + "|" +
                           std::to_string(it->first.second) + "|" +
-                          F2(it->second));
+                          F2(double(it->second) / 1e4));
   }
   // std::map ordering gives (nation asc, year asc); flip year order.
   std::stable_sort(result.rows.begin(), result.rows.end(),
@@ -281,27 +319,30 @@ QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1993, 10, 1), hi = MakeDate(1994, 1, 1);
   auto nations = AllNations(db, opt);
 
-  std::unordered_map<int64_t, int32_t> order_cust;
-  ScanLoop(opt.Scan(db.orders, {ord::orderkey, ord::custkey},
-                    {Predicate::Between(ord::orderdate, Value::Int(lo),
-                                        Value::Int(hi - 1))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i)
-               order_cust[b.cols[0].i64[i]] = b.cols[1].i32[i];
-           });
+  using OrdMap = std::unordered_map<int64_t, int32_t>;
+  OrdMap order_cust = ParAgg<OrdMap>(
+      db.orders, opt, {ord::orderkey, ord::custkey},
+      {Predicate::Between(ord::orderdate, Value::Int(lo),
+                          Value::Int(hi - 1))},
+      [] { return OrdMap{}; },
+      [](OrdMap& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          m[b.cols[0].i64[i]] = b.cols[1].i32[i];
+      },
+      MergeInsert<OrdMap>);
 
-  std::unordered_map<int32_t, int64_t> revenue;
-  ScanLoop(opt.Scan(db.lineitem,
-                    {li::orderkey, li::extendedprice, li::discount},
-                    {Predicate::Eq(li::returnflag, Value::Int('R'))}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               auto it = order_cust.find(b.cols[0].i64[i]);
-               if (it == order_cust.end()) continue;
-               revenue[it->second] +=
-                   b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
-             }
-           });
+  auto revenue = ParAgg<std::unordered_map<int32_t, int64_t>>(
+      db.lineitem, opt, {li::orderkey, li::extendedprice, li::discount},
+      {Predicate::Eq(li::returnflag, Value::Int('R'))},
+      [] { return std::unordered_map<int32_t, int64_t>{}; },
+      [&order_cust](std::unordered_map<int32_t, int64_t>& m, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto it = order_cust.find(b.cols[0].i64[i]);
+          if (it == order_cust.end()) continue;
+          m[it->second] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+        }
+      },
+      MergeAdd<std::unordered_map<int32_t, int64_t>>);
 
   struct OutRow {
     int32_t custkey;
@@ -309,22 +350,26 @@ QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
     std::string name, address, phone, comment, nation;
     int64_t acctbal;
   };
-  std::vector<OutRow> out;
-  ScanLoop(opt.Scan(db.customer,
-                    {cust::custkey, cust::name, cust::acctbal, cust::phone,
-                     cust::nationkey, cust::address, cust::comment}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               auto it = revenue.find(b.cols[0].i32[i]);
-               if (it == revenue.end()) continue;
-               out.push_back({b.cols[0].i32[i], it->second,
-                              std::string(b.cols[1].str[i]),
-                              std::string(b.cols[5].str[i]),
-                              std::string(b.cols[3].str[i]),
-                              std::string(b.cols[6].str[i]),
-                              nations[b.cols[4].i32[i]], b.cols[2].i64[i]});
-             }
-           });
+  using OutVec = std::vector<OutRow>;
+  OutVec out = ParAgg<OutVec>(
+      db.customer, opt,
+      {cust::custkey, cust::name, cust::acctbal, cust::phone, cust::nationkey,
+       cust::address, cust::comment},
+      {},
+      [] { return OutVec{}; },
+      [&](OutVec& rows, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          auto it = revenue.find(b.cols[0].i32[i]);
+          if (it == revenue.end()) continue;
+          rows.push_back({b.cols[0].i32[i], it->second,
+                          std::string(b.cols[1].str[i]),
+                          std::string(b.cols[5].str[i]),
+                          std::string(b.cols[3].str[i]),
+                          std::string(b.cols[6].str[i]),
+                          nations[b.cols[4].i32[i]], b.cols[2].i64[i]});
+        }
+      },
+      MergeConcat<OutRow>);
   std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
     return a.rev != b.rev ? a.rev > b.rev : a.custkey < b.custkey;
   });
@@ -353,26 +398,35 @@ QueryResult Q11(const TpchDatabase& db, const ScanOptions& opt) {
                german_supp.insert(b.cols[0].i32[i]);
            });
 
-  std::unordered_map<int32_t, int64_t> value;  // partkey -> cost*qty (cents)
-  int64_t total = 0;
-  ScanLoop(opt.Scan(db.partsupp,
-                    {ps::partkey, ps::suppkey, ps::availqty, ps::supplycost}),
-           [&](const Batch& b) {
-             for (uint32_t i = 0; i < b.count; ++i) {
-               if (!german_supp.count(b.cols[1].i32[i])) continue;
-               int64_t v = b.cols[3].i64[i] * b.cols[2].i32[i];
-               value[b.cols[0].i32[i]] += v;
-               total += v;
-             }
-           });
+  struct ValueAgg {
+    std::unordered_map<int32_t, int64_t> value;  // partkey -> cost*qty
+    int64_t total = 0;
+  };
+  ValueAgg agg = ParAgg<ValueAgg>(
+      db.partsupp, opt,
+      {ps::partkey, ps::suppkey, ps::availqty, ps::supplycost}, {},
+      [] { return ValueAgg{}; },
+      [&german_supp](ValueAgg& a, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          if (!german_supp.count(b.cols[1].i32[i])) continue;
+          int64_t v = b.cols[3].i64[i] * b.cols[2].i32[i];
+          a.value[b.cols[0].i32[i]] += v;
+          a.total += v;
+        }
+      },
+      [](ValueAgg& dst, const ValueAgg& src) {
+        MergeAdd(dst.value, src.value);
+        dst.total += src.total;
+      });
 
-  const double threshold = double(total) * 0.0001 / db.config.scale_factor;
+  const double threshold =
+      double(agg.total) * 0.0001 / db.config.scale_factor;
   struct OutRow {
     int32_t partkey;
     int64_t value;
   };
   std::vector<OutRow> out;
-  for (auto& [pk, v] : value)
+  for (auto& [pk, v] : agg.value)
     if (double(v) > threshold) out.push_back({pk, v});
   std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
     return a.value != b.value ? a.value > b.value : a.partkey < b.partkey;

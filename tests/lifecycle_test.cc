@@ -397,9 +397,10 @@ TEST(Lifecycle, RestoredTablesReuseArchivedSummaries) {
   std::remove(path.c_str());
 }
 
-// Archive compaction/GC: fully-deleted chunks are detached (reloaded first,
-// so the table never needs their payload again) and their archive blocks
-// reclaimed; live evicted blocks survive the rewrite and stay readable.
+// Archive compaction/GC: fully-deleted chunks are tombstoned (their payload
+// dropped from memory AND the archive — no reload, no residual RAM) and
+// their archive blocks reclaimed; live evicted blocks survive the rewrite
+// and stay readable.
 TEST(Lifecycle, CompactionReclaimsFullyDeletedBlocks) {
   Table t = MakeTable(4096, 512);  // 8 full chunks
   const std::string path = TempArchive("compact");
@@ -427,10 +428,13 @@ TEST(Lifecycle, CompactionReclaimsFullyDeletedBlocks) {
     EXPECT_EQ(s.archived_blocks, 5u);
     EXPECT_NEAR(mgr.GarbageRatio(), 0.0, 1e-9);
 
-    // Detached chunks are resident again; the rest are still evicted and
-    // reload correctly from the rewritten archive.
+    // Detached chunks are tombstones — payload gone for good, only the
+    // delete bitmap remains; the rest are still evicted and reload
+    // correctly from the rewritten archive.
     for (size_t c = 0; c < 3; ++c)
-      EXPECT_EQ(t.chunk_state(c), ChunkState::kFrozen) << c;
+      EXPECT_EQ(t.chunk_state(c), ChunkState::kTombstone) << c;
+    EXPECT_EQ(s.tombstoned, 3u);
+    EXPECT_EQ(t.FrozenBytes(), 0u);  // tombstones keep nothing resident
     ScanResult r = FullScan(t);
     EXPECT_EQ(r.count, int64_t(4096 - 3 * 512));
 
@@ -446,6 +450,45 @@ TEST(Lifecycle, CompactionReclaimsFullyDeletedBlocks) {
     EXPECT_EQ(mgr.stats().archived_blocks, 5u);  // not re-adopted
   }
   std::remove(path.c_str());
+}
+
+// The tombstone transition itself: only fully-deleted frozen/evicted
+// chunks qualify, pins block it, and a tombstoned chunk answers scans and
+// visibility checks from the side bitmap alone.
+TEST(Lifecycle, TombstoneDropsPayloadOfFullyDeletedChunks) {
+  Table t = MakeTable(1024, 512);  // 2 full chunks
+  t.FreezeAll();
+  const uint64_t frozen_before = t.FrozenBytes();
+
+  EXPECT_FALSE(t.TombstoneChunk(0));  // not fully deleted yet
+  for (uint32_t r = 0; r < 512; ++r) t.Delete(MakeRowId(0, r));
+
+  t.PinChunk(0);
+  EXPECT_FALSE(t.TombstoneChunk(0));  // pinned readers win
+  EXPECT_EQ(t.chunk_state(0), ChunkState::kFrozen);
+  t.UnpinChunk(0);
+
+  EXPECT_TRUE(t.TombstoneChunk(0));
+  EXPECT_EQ(t.chunk_state(0), ChunkState::kTombstone);
+  EXPECT_EQ(t.tombstones(), 1u);
+  EXPECT_FALSE(t.TombstoneChunk(0));  // terminal: no second transition
+  EXPECT_LT(t.FrozenBytes(), frozen_before);
+  EXPECT_EQ(t.frozen_block(0), nullptr);
+
+  // Scans skip the tombstone pin-free in every mode; chunk 1 is unharmed.
+  for (ScanMode mode : {ScanMode::kJit, ScanMode::kVectorized,
+                        ScanMode::kDataBlocks, ScanMode::kDataBlocksPsma}) {
+    TableScanner scan(t, {0, 1, 2}, {}, mode);
+    Batch b;
+    int64_t count = 0;
+    while (scan.Next(&b)) count += b.count;
+    EXPECT_EQ(count, 512) << ScanModeName(mode);
+    EXPECT_GE(scan.chunks_skipped(), 1u) << ScanModeName(mode);
+  }
+  // Visibility and repeated deletes keep working off the side bitmap.
+  EXPECT_FALSE(t.IsVisible(MakeRowId(0, 17)));
+  t.Delete(MakeRowId(0, 17));  // idempotent no-op
+  EXPECT_EQ(t.num_visible(), 512u);
 }
 
 // Automatic compaction: once the dead fraction of the archive crosses

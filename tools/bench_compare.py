@@ -43,7 +43,8 @@ def load_results(path):
             if key in results:
                 print(f"warning: duplicate result {key} in {f}",
                       file=sys.stderr)
-            results[key] = dict(r, quick=data.get("quick", False))
+            results[key] = dict(r, quick=data.get("quick", False),
+                                threads=data.get("threads", 1))
     return results
 
 
@@ -70,6 +71,11 @@ def main():
         if b.get("quick") != c.get("quick"):
             print(f"warning: {key} mixes quick and full-mode numbers; "
                   "skipping", file=sys.stderr)
+            continue
+        if b.get("threads") != c.get("threads"):
+            print(f"warning: {key} mixes thread counts "
+                  f"({b.get('threads')} vs {c.get('threads')}); skipping",
+                  file=sys.stderr)
             continue
         if b["median_ns_op"] <= 0:
             continue
