@@ -58,6 +58,11 @@ struct BenchJsonEntry {
   std::string config;     // variant, e.g. "+PSMA" or "AVX2"
   double median_ns_op;    // median nanoseconds per operation
   double rows_per_s;      // throughput (rows, tuples or lookups per second)
+  // Peak aggregation-state bytes held by the partitioned-aggregation
+  // engine during the measurement (exec/partitioned_agg.h accounting);
+  // < 0 = not recorded. Makes the O(rows) dense-state guarantee visible
+  // in the perf artifacts.
+  double state_peak_bytes = -1;
 };
 
 struct BenchJsonState {
@@ -98,9 +103,13 @@ inline void BenchJsonFlush() {
     const BenchJsonEntry& e = s.entries[i];
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"config\": \"%s\", "
-                 "\"median_ns_op\": %.6g, \"rows_per_s\": %.6g}",
+                 "\"median_ns_op\": %.6g, \"rows_per_s\": %.6g",
                  i == 0 ? "" : ",", escape(e.name).c_str(),
                  escape(e.config).c_str(), e.median_ns_op, e.rows_per_s);
+    if (e.state_peak_bytes >= 0) {
+      std::fprintf(f, ", \"state_peak_bytes\": %.6g", e.state_peak_bytes);
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -136,11 +145,13 @@ inline bool BenchJsonMode(int* argc, char** argv, bool quick) {
 }
 
 inline void BenchJsonRecord(std::string name, std::string config,
-                            double median_ns_op, double rows_per_s) {
+                            double median_ns_op, double rows_per_s,
+                            double state_peak_bytes = -1) {
   BenchJsonState& s = BenchJson();
   if (s.path.empty()) return;
   s.entries.push_back(BenchJsonEntry{std::move(name), std::move(config),
-                                     median_ns_op, rows_per_s});
+                                     median_ns_op, rows_per_s,
+                                     state_peak_bytes});
 }
 
 /// Parses and strips `--threads N` (or `--threads=N`) from argv — the

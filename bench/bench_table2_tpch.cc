@@ -15,7 +15,11 @@
 // perf-regression job measures Q1/Q6 only). --threads N runs every query's
 // fact-table pipelines through the shared scheduler worker pool with N
 // parallelism slots (default 1 = the sequential reference path, 0 = all
-// hardware threads); the thread count is recorded in the --json output.
+// hardware threads); the thread count is recorded in the --json output,
+// along with the peak aggregation-state bytes per measurement. The final
+// "result checksum" line fingerprints every (query, config) result and is
+// identical across thread counts by the parallel-determinism contract —
+// the bench-smoke CI job asserts exactly that.
 
 #include <cmath>
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include <cstring>
 #include <vector>
 
+#include "exec/partitioned_agg.h"
 #include "tpch/queries.h"
 #include "util/cpu.h"
 #include "util/timer.h"
@@ -37,25 +42,40 @@ namespace {
 struct Measurement {
   double best;    // best-of-reps (the printed tables use this)
   double median;  // median-of-reps (the JSON harness uses this)
+  double state_peak_bytes;  // peak aggregation-state bytes of one run
+  uint64_t checksum;        // FNV over the result rows (thread-invariant)
 };
+
+uint64_t ResultChecksum(const QueryResult& result) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over rows + separators
+  for (const std::string& row : result.rows) {
+    for (char c : row) h = (h ^ uint8_t(c)) * 1099511628211ull;
+    h = (h ^ uint8_t('\n')) * 1099511628211ull;
+  }
+  return h;
+}
 
 Measurement MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
                            int reps, unsigned threads) {
   std::vector<double> samples;
   double best = 1e30;
+  uint64_t checksum = 0;
+  aggstate::ResetPeaks();
   for (int r = 0; r < reps; ++r) {
     Timer t;
     QueryResult result = RunQuery(
         q, db, ScanOptions{.mode = mode, .ctx = {.threads = threads}});
     samples.push_back(t.ElapsedSeconds());
     best = std::min(best, samples.back());
+    checksum = result.rows.empty() ? 1 : ResultChecksum(result);
     if (result.rows.empty() && q != 15 && q != 2) {
       // Only a handful of queries may legitimately return few rows; an
       // empty result elsewhere would make the timing meaningless.
       std::fprintf(stderr, "warning: Q%d returned no rows\n", q);
     }
   }
-  return {best, BenchMedian(samples)};
+  return {best, BenchMedian(samples),
+          double(aggstate::GetStats().peak_total_bytes), checksum};
 }
 
 /// Strips `--queries a,b,...` / `--queries=a,b,...` from argv. Returns the
@@ -139,20 +159,32 @@ int main(int argc, char** argv) {
   const double lineitem_rows = double(hot->lineitem.num_rows());
   double sum[6] = {0};
   double logsum[6] = {0};
+  // Combined checksum of every (query, config) result: bit-identical
+  // between --threads 1 and --threads N by the parallel-determinism
+  // contract — the bench-smoke CI job asserts exactly that.
+  uint64_t checksum = 1469598103934665603ull;
+  double state_peak_max = 0;
   for (int q : queries) {
     double secs[6];
+    double state_peak = 0;
     for (int c = 0; c < 6; ++c) {
       Measurement m =
           MeasureSeconds(q, *configs[c].db, configs[c].mode, reps, threads);
       secs[c] = m.best;
       sum[c] += secs[c];
       logsum[c] += std::log(secs[c]);
+      state_peak = std::max(state_peak, m.state_peak_bytes);
+      checksum = HashCombine(checksum, m.checksum);
       BenchJsonRecord("tpch_q" + std::to_string(q), configs[c].name,
-                      m.median * 1e9, lineitem_rows / m.median);
+                      m.median * 1e9, lineitem_rows / m.median,
+                      m.state_peak_bytes);
     }
-    std::printf("Q%-4d %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs %8.2fx\n",
-                q, secs[0], secs[1], secs[2], secs[3], secs[4], secs[5],
-                secs[0] / secs[5]);
+    state_peak_max = std::max(state_peak_max, state_peak);
+    std::printf(
+        "Q%-4d %9.3fs %9.3fs %9.3fs | %9.3fs %9.3fs %9.3fs %8.2fx "
+        "agg %.1f MB\n",
+        q, secs[0], secs[1], secs[2], secs[3], secs[4], secs[5],
+        secs[0] / secs[5], state_peak / 1e6);
   }
   std::printf("----\n%-5s", "sum");
   for (int c = 0; c < 6; ++c) std::printf(" %9.3fs", sum[c]);
@@ -170,5 +202,9 @@ int main(int argc, char** argv) {
               double(frozen->TotalBytes()) / 1e6,
               double(hot->TotalBytes()) / 1e6,
               double(hot->TotalBytes()) / double(frozen->TotalBytes()));
+  std::printf("peak aggregation state: %.1f MB (partitioned: one dense "
+              "state regardless of --threads)\n",
+              state_peak_max / 1e6);
+  std::printf("result checksum: %016llx\n", (unsigned long long)checksum);
   return 0;
 }

@@ -1,0 +1,79 @@
+#include "exec/partitioned_agg.h"
+
+namespace datablocks::aggstate {
+namespace {
+
+struct Counters {
+  std::atomic<uint64_t> dense{0};
+  std::atomic<uint64_t> spill{0};
+  std::atomic<uint64_t> table{0};
+  std::atomic<uint64_t> peak_dense{0};
+  std::atomic<uint64_t> peak_spill{0};
+  std::atomic<uint64_t> peak_total{0};
+};
+
+Counters& C() {
+  static Counters counters;
+  return counters;
+}
+
+void RaisePeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t seen = peak.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !peak.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<uint64_t>& Of(Kind kind) {
+  switch (kind) {
+    case Kind::kDense:
+      return C().dense;
+    case Kind::kSpill:
+      return C().spill;
+    default:
+      return C().table;
+  }
+}
+
+}  // namespace
+
+void Add(Kind kind, uint64_t bytes) {
+  Counters& c = C();
+  uint64_t now = Of(kind).fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (kind == Kind::kDense) RaisePeak(c.peak_dense, now);
+  if (kind == Kind::kSpill) RaisePeak(c.peak_spill, now);
+  RaisePeak(c.peak_total, c.dense.load(std::memory_order_relaxed) +
+                              c.spill.load(std::memory_order_relaxed) +
+                              c.table.load(std::memory_order_relaxed));
+}
+
+void Sub(Kind kind, uint64_t bytes) {
+  Of(kind).fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Stats GetStats() {
+  Counters& c = C();
+  Stats s;
+  s.dense_bytes = c.dense.load(std::memory_order_relaxed);
+  s.spill_bytes = c.spill.load(std::memory_order_relaxed);
+  s.table_bytes = c.table.load(std::memory_order_relaxed);
+  s.peak_dense_bytes = c.peak_dense.load(std::memory_order_relaxed);
+  s.peak_spill_bytes = c.peak_spill.load(std::memory_order_relaxed);
+  s.peak_total_bytes = c.peak_total.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetPeaks() {
+  Counters& c = C();
+  c.peak_dense.store(c.dense.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  c.peak_spill.store(c.spill.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  c.peak_total.store(c.dense.load(std::memory_order_relaxed) +
+                         c.spill.load(std::memory_order_relaxed) +
+                         c.table.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+}  // namespace datablocks::aggstate

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/parallel_scan.h"
+#include "exec/partitioned_agg.h"
 #include "exec/table_scanner.h"
 #include "tpch/tpch_db.h"
 
@@ -127,6 +128,64 @@ State ParAgg(const Table& table, const ScanOptions& opt,
   return merged;
 }
 
+/// Dense-keyed scan+aggregate through the partitioned-aggregation engine
+/// (exec/partitioned_agg.h): ONE T vector over [0, domain) total — not one
+/// per slot — with each slot owning a contiguous key partition and routing
+/// foreign-partition rows through bounded spill buffers. No merge step.
+/// Use when the group key is dense by construction (orderkey / custkey /
+/// suppkey ordinals) and rows touching any element are many.
+/// `produce`: (Sink&, const Batch&) calling sink.Add(key, U);
+/// `apply`: (T&, const U&), exact + commutative + associative, so results
+/// stay bit-identical to the sequential path.
+template <typename T, typename U, typename Produce, typename Apply>
+std::vector<T> ParDenseAgg(const Table& table, const ScanOptions& opt,
+                           std::vector<uint32_t> cols,
+                           std::vector<Predicate> preds, size_t domain,
+                           Produce produce, Apply apply, T init = T{}) {
+  if (opt.ctx.threads == 1) {
+    PartitionedDense<T, U, Apply> state(domain, 1, std::move(apply), init);
+    auto& sink = state.sink(0);  // single slot: direct apply, no buffers
+    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+             [&](const Batch& b) { produce(sink, b); });
+    return state.Take();
+  }
+  return DensePartitionedScan<T, U>(
+      table, std::move(cols), std::move(preds), opt.mode, opt.ctx.threads,
+      domain, produce, std::move(apply), init, opt.vector_size, opt.isa,
+      opt.ctx.scheduler);
+}
+
+/// Sparse group-by through the partitioned-aggregation engine: per-worker
+/// hash-partitioned AggHashTables merged partition-wise (disjoint
+/// partitions, parallel merge) instead of a hand-rolled map + MergeAdd.
+/// Use when the group key is sparse or the group count is small relative
+/// to the scanned rows. `produce`: (PartitionedAggTable<V>&, const Batch&)
+/// calling t.Ref(key); `fold`: (V& dst, const V& src), exact +
+/// commutative (dst of a fresh key is value-initialized).
+template <typename V, typename Produce, typename Fold>
+PartitionedAggTable<V> ParHashAgg(const Table& table, const ScanOptions& opt,
+                                  std::vector<uint32_t> cols,
+                                  std::vector<Predicate> preds,
+                                  Produce produce, Fold fold) {
+  if (opt.ctx.threads == 1) {
+    PartitionedAggTable<V> t(1);
+    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+             [&](const Batch& b) { produce(t, b); });
+    return t;
+  }
+  const unsigned threads =
+      EffectiveThreads(opt.ctx.threads, opt.ctx.scheduler);
+  std::vector<PartitionedAggTable<V>> locals =
+      ParallelScan<PartitionedAggTable<V>>(
+          table, std::move(cols), std::move(preds), opt.mode, threads,
+          [threads] { return PartitionedAggTable<V>(threads); },
+          [&produce](PartitionedAggTable<V>& t, const Batch& b) {
+            produce(t, b);
+          },
+          opt.vector_size, opt.isa, opt.ctx.scheduler);
+  return MergeAggTables(locals, fold, opt.ctx.scheduler);
+}
+
 /// Parallel scan into shared sinks, for consumers whose writes are
 /// per-element disjoint (dense per-order/per-customer vectors where each
 /// element is written by exactly one row — a data-race-free pattern) or
@@ -139,6 +198,23 @@ void ParScan(const Table& table, const ScanOptions& opt,
       table, opt, std::move(cols), std::move(preds), [] { return char{0}; },
       [&consume](char&, const Batch& b) { consume(b); },
       [](char&, const char&) {});
+}
+
+/// Dense vector filled by scatter stores through the engine's
+/// SharedStoreDense: ONE shared O(domain) vector, valid whenever every
+/// row writing an element stores the same value — unique writers (dense
+/// per-order sinks) or idempotent flags. No replicas, no locks, no merge.
+/// `produce`: (SharedStoreDense<T>&, const Batch&) calling
+/// sink.Store(key, value).
+template <typename T, typename Produce>
+std::vector<T> ParDenseStore(const Table& table, const ScanOptions& opt,
+                             std::vector<uint32_t> cols,
+                             std::vector<Predicate> preds, size_t domain,
+                             Produce produce, T init = T{}) {
+  SharedStoreDense<T> sink(domain, init);
+  ParScan(table, opt, std::move(cols), std::move(preds),
+          [&](const Batch& b) { produce(sink, b); });
+  return sink.Take();
 }
 
 // Slot-order merges for the common per-worker state shapes.

@@ -29,15 +29,15 @@ QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
 
   // orderkey -> is high priority (1-URGENT / 2-HIGH); dense, one writer
   // per element.
-  std::vector<uint8_t> high(size_t(db.NumOrders()), 0);
-  ParScan(db.orders, opt, {ord::orderkey, ord::orderpriority}, {},
-          [&high](const Batch& b) {
-            for (uint32_t i = 0; i < b.count; ++i) {
-              std::string_view p = b.cols[1].str[i];
-              high[size_t(OrderIdx(b.cols[0].i64[i]))] =
-                  (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0;
-            }
-          });
+  std::vector<uint8_t> high = ParDenseStore<uint8_t>(
+      db.orders, opt, {ord::orderkey, ord::orderpriority}, {},
+      size_t(db.NumOrders()), [](auto& sink, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i) {
+          std::string_view p = b.cols[1].str[i];
+          sink.Store(size_t(OrderIdx(b.cols[0].i64[i])),
+                     (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0);
+        }
+      });
 
   // (MAIL, SHIP) x (high count, low count).
   struct ModeCounts {
@@ -82,35 +82,37 @@ QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
 // --- Q13: customer distribution ------------------------------------------------
 
 QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
+  // Dense custkey domain: one shared count vector via the partitioned
+  // engine instead of a rows-sized replica per worker slot.
   using CountVec = std::vector<int32_t>;
-  CountVec order_count = ParAgg<CountVec>(
+  CountVec order_count = ParDenseAgg<int32_t, int32_t>(
       db.orders, opt, {ord::custkey, ord::comment}, {},
-      [&db] { return CountVec(size_t(db.NumCustomers()) + 1, 0); },
-      [](CountVec& v, const Batch& b) {
+      size_t(db.NumCustomers()) + 1,
+      [](auto& sink, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           if (LikeMatch(b.cols[1].str[i], "%special%requests%")) continue;
-          ++v[size_t(b.cols[0].i32[i])];
+          sink.Add(size_t(b.cols[0].i32[i]), 1);
         }
       },
-      MergeSeqAdd<CountVec>);
+      ApplyAdd{});
 
   // c_count -> number of customers (left join keeps 0-order customers).
-  using DistMap = std::unordered_map<int32_t, int64_t>;
-  DistMap dist = ParAgg<DistMap>(
+  auto dist = ParHashAgg<int64_t>(
       db.customer, opt, {cust::custkey}, {},
-      [] { return DistMap{}; },
-      [&order_count](DistMap& m, const Batch& b) {
+      [&order_count](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
-          ++m[order_count[size_t(b.cols[0].i32[i])]];
+          ++t.Ref(uint64_t(order_count[size_t(b.cols[0].i32[i])]));
       },
-      MergeAdd<DistMap>);
+      ApplyAdd{});
 
   struct OutRow {
     int32_t c_count;
     int64_t custdist;
   };
   std::vector<OutRow> out;
-  for (auto& [cc, cd] : dist) out.push_back({cc, cd});
+  dist.ForEach([&](uint64_t cc, const int64_t& cd) {
+    out.push_back({int32_t(cc), cd});
+  });
   std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
     return a.custdist != b.custdist ? a.custdist > b.custdist
                                     : a.c_count > b.c_count;
@@ -174,16 +176,16 @@ QueryResult Q15(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1996, 1, 1), hi = MakeDate(1996, 4, 1);
 
   using RevVec = std::vector<int64_t>;
-  RevVec revenue = ParAgg<RevVec>(
+  RevVec revenue = ParDenseAgg<int64_t, int64_t>(
       db.lineitem, opt, {li::suppkey, li::extendedprice, li::discount},
       {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1))},
-      [&db] { return RevVec(size_t(db.NumSuppliers()) + 1, 0); },
-      [](RevVec& v, const Batch& b) {
+      size_t(db.NumSuppliers()) + 1,
+      [](auto& sink, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
-          v[size_t(b.cols[0].i32[i])] +=
-              b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+          sink.Add(size_t(b.cols[0].i32[i]),
+                   b.cols[1].i64[i] * (100 - b.cols[2].i32[i]));
       },
-      MergeSeqAdd<RevVec>);
+      ApplyAdd{});
 
   int64_t max_rev = 0;
   for (int64_t r : revenue) max_rev = std::max(max_rev, r);

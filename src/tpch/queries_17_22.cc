@@ -41,24 +41,20 @@ QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
     int64_t sum = 0;
     int64_t count = 0;
   };
-  using QtyMap = std::unordered_map<int32_t, QtyAgg>;
-  QtyMap qty_agg = ParAgg<QtyMap>(
+  auto qty_agg = ParHashAgg<QtyAgg>(
       db.lineitem, opt, {li::partkey, li::quantity}, {},
-      [] { return QtyMap{}; },
-      [&parts](QtyMap& m, const Batch& b) {
+      [&parts](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           int32_t pk = b.cols[0].i32[i];
           if (!parts.count(pk)) continue;
-          QtyAgg& a = m[pk];
+          QtyAgg& a = t.Ref(uint64_t(pk));
           a.sum += b.cols[1].i32[i];
           ++a.count;
         }
       },
-      [](QtyMap& dst, const QtyMap& src) {
-        for (const auto& [pk, a] : src) {
-          dst[pk].sum += a.sum;
-          dst[pk].count += a.count;
-        }
+      [](QtyAgg& dst, const QtyAgg& src) {
+        dst.sum += src.sum;
+        dst.count += src.count;
       });
 
   int64_t total = ParAgg<int64_t>(  // cents
@@ -66,10 +62,9 @@ QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
       [] { return int64_t{0}; },
       [&qty_agg](int64_t& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          int32_t pk = b.cols[0].i32[i];
-          auto it = qty_agg.find(pk);
-          if (it == qty_agg.end()) continue;
-          double avg = double(it->second.sum) / double(it->second.count);
+          const QtyAgg* a = qty_agg.Find(uint64_t(b.cols[0].i32[i]));
+          if (a == nullptr) continue;
+          double avg = double(a->sum) / double(a->count);
           if (double(b.cols[1].i32[i]) < 0.2 * avg) t += b.cols[2].i64[i];
         }
       },
@@ -83,16 +78,18 @@ QueryResult Q17(const TpchDatabase& db, const ScanOptions& opt) {
 // --- Q18: large volume customers -----------------------------------------------
 
 QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt) {
+  // Dense per-order quantities: ONE O(orders) vector total through the
+  // partitioned engine, however many worker slots run the scan.
   using QtyVec = std::vector<uint16_t>;
-  QtyVec order_qty = ParAgg<QtyVec>(
+  QtyVec order_qty = ParDenseAgg<uint16_t, uint16_t>(
       db.lineitem, opt, {li::orderkey, li::quantity}, {},
-      [&db] { return QtyVec(size_t(db.NumOrders()), 0); },
-      [](QtyVec& v, const Batch& b) {
+      size_t(db.NumOrders()),
+      [](auto& sink, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
-          v[size_t(OrderIdx(b.cols[0].i64[i]))] +=
-              uint16_t(b.cols[1].i32[i]);
+          sink.Add(size_t(OrderIdx(b.cols[0].i64[i])),
+                   uint16_t(b.cols[1].i32[i]));
       },
-      MergeSeqAdd<QtyVec>);
+      ApplyAdd{});
 
   struct OutRow {
     std::string c_name;
@@ -230,19 +227,18 @@ QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
       MergeUnion<KeySet>);
 
   const int64_t supp_span = db.NumSuppliers() + 1;
-  using QtyMap = std::unordered_map<int64_t, int64_t>;  // (pk,sk) -> qty
-  QtyMap shipped_qty = ParAgg<QtyMap>(
+  auto shipped_qty = ParHashAgg<int64_t>(  // (pk,sk) -> qty
       db.lineitem, opt, {li::partkey, li::suppkey, li::quantity},
       {Predicate::Between(li::shipdate, Value::Int(lo), Value::Int(hi - 1))},
-      [] { return QtyMap{}; },
-      [&forest_parts, supp_span](QtyMap& m, const Batch& b) {
+      [&forest_parts, supp_span](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           int32_t pk = b.cols[0].i32[i];
           if (!forest_parts.count(pk)) continue;
-          m[int64_t(pk) * supp_span + b.cols[1].i32[i]] += b.cols[2].i32[i];
+          t.Ref(uint64_t(int64_t(pk) * supp_span + b.cols[1].i32[i])) +=
+              b.cols[2].i32[i];
         }
       },
-      MergeAdd<QtyMap>);
+      ApplyAdd{});
 
   KeySet candidate_supp = ParAgg<KeySet>(
       db.partsupp, opt, {ps::partkey, ps::suppkey, ps::availqty}, {},
@@ -251,9 +247,9 @@ QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
         for (uint32_t i = 0; i < b.count; ++i) {
           int32_t pk = b.cols[0].i32[i];
           if (!forest_parts.count(pk)) continue;
-          auto it =
-              shipped_qty.find(int64_t(pk) * supp_span + b.cols[1].i32[i]);
-          int64_t q = it == shipped_qty.end() ? 0 : it->second;
+          const int64_t* it = shipped_qty.Find(
+              uint64_t(int64_t(pk) * supp_span + b.cols[1].i32[i]));
+          int64_t q = it == nullptr ? 0 : *it;
           if (double(b.cols[2].i32[i]) > 0.5 * double(q) && q > 0)
             s.insert(b.cols[1].i32[i]);
         }
@@ -286,55 +282,48 @@ QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
   // Per-order supplier structure in an order-independent encoding (-1 =
   // none seen, -2 = more than one distinct supplier, otherwise the single
   // supplier): the combine rule is associative and commutative, so the
-  // parallel merge gives exactly the sequential answer regardless of which
-  // worker saw which lineitem first.
+  // partitioned dense state gives exactly the sequential answer regardless
+  // of which worker saw which lineitem first — in ONE O(orders) vector,
+  // not one replica per slot.
   auto combine = [](int32_t& slot, int32_t sk) {
     if (slot == -1)
       slot = sk;
     else if (slot != sk)
       slot = -2;
   };
-  struct OrderSupp {
-    std::vector<int32_t> supp;  // any supplier of the order
-    std::vector<int32_t> late;  // suppliers with receipt > commit
+  struct SuppState {
+    int32_t supp;  // any supplier of the order
+    int32_t late;  // supplier with receipt > commit
   };
-  OrderSupp per_order = ParAgg<OrderSupp>(
+  struct SuppUpd {
+    int32_t sk;
+    uint8_t is_late;
+  };
+  std::vector<SuppState> per_order = ParDenseAgg<SuppState, SuppUpd>(
       db.lineitem, opt,
       {li::orderkey, li::suppkey, li::commitdate, li::receiptdate}, {},
-      [num_orders] {
-        return OrderSupp{std::vector<int32_t>(size_t(num_orders), -1),
-                         std::vector<int32_t>(size_t(num_orders), -1)};
-      },
-      [&combine](OrderSupp& s, const Batch& b) {
+      size_t(num_orders),
+      [](auto& sink, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          size_t o = size_t(OrderIdx(b.cols[0].i64[i]));
-          int32_t sk = b.cols[1].i32[i];
-          combine(s.supp[o], sk);
-          if (b.cols[3].i32[i] > b.cols[2].i32[i]) combine(s.late[o], sk);
+          sink.Add(size_t(OrderIdx(b.cols[0].i64[i])),
+                   SuppUpd{b.cols[1].i32[i],
+                           uint8_t(b.cols[3].i32[i] > b.cols[2].i32[i])});
         }
       },
-      [](OrderSupp& dst, const OrderSupp& src) {
-        auto fold = [](int32_t& a, int32_t b) {
-          if (b == -1) return;
-          if (a == -1)
-            a = b;
-          else if (a != b || b == -2)
-            a = -2;
-        };
-        for (size_t o = 0; o < dst.supp.size(); ++o) {
-          fold(dst.supp[o], src.supp[o]);
-          fold(dst.late[o], src.late[o]);
-        }
-      });
+      [&combine](SuppState& s, const SuppUpd& u) {
+        combine(s.supp, u.sk);
+        if (u.is_late != 0) combine(s.late, u.sk);
+      },
+      SuppState{-1, -1});
 
   // Dense per-order status flag, one writer per element.
-  std::vector<uint8_t> status_f(size_t(num_orders), 0);
-  ParScan(db.orders, opt, {ord::orderkey},
-          {Predicate::Eq(ord::orderstatus, Value::Int('F'))},
-          [&status_f](const Batch& b) {
-            for (uint32_t i = 0; i < b.count; ++i)
-              status_f[size_t(OrderIdx(b.cols[0].i64[i]))] = 1;
-          });
+  std::vector<uint8_t> status_f = ParDenseStore<uint8_t>(
+      db.orders, opt, {ord::orderkey},
+      {Predicate::Eq(ord::orderstatus, Value::Int('F'))},
+      size_t(num_orders), [](auto& sink, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          sink.Store(size_t(OrderIdx(b.cols[0].i64[i])), 1);
+      });
 
   int32_t saudi = -1;
   ScanLoop(opt.Scan(db.nation, {nat::nationkey},
@@ -352,11 +341,11 @@ QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
   // was the only late one and other suppliers participated.
   std::unordered_map<int32_t, int64_t> numwait;
   for (size_t o = 0; o < size_t(num_orders); ++o) {
-    if (!status_f[o] || per_order.late[o] < 0 || per_order.supp[o] != -2)
+    if (!status_f[o] || per_order[o].late < 0 || per_order[o].supp != -2)
       continue;
-    auto it = saudi_supp.find(per_order.late[o]);
+    auto it = saudi_supp.find(per_order[o].late);
     if (it == saudi_supp.end()) continue;
-    ++numwait[per_order.late[o]];
+    ++numwait[per_order[o].late];
   }
 
   struct OutRow {
@@ -411,18 +400,15 @@ QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt) {
   const double avg =
       bal.count == 0 ? 0.0 : double(bal.sum) / double(bal.count);
 
-  // Several orders may share a customer, so the flag is merged by OR
-  // rather than written to a shared vector.
+  // Several orders may share a customer, but they all store the same
+  // flag value — an idempotent scatter store into ONE shared O(customers)
+  // vector (SharedStoreDense), no replicas and no merge.
   using FlagVec = std::vector<uint8_t>;
-  FlagVec has_order = ParAgg<FlagVec>(
-      db.orders, opt, {ord::custkey}, {},
-      [&db] { return FlagVec(size_t(db.NumCustomers()) + 1, 0); },
-      [](FlagVec& v, const Batch& b) {
+  FlagVec has_order = ParDenseStore<uint8_t>(
+      db.orders, opt, {ord::custkey}, {}, size_t(db.NumCustomers()) + 1,
+      [](auto& sink, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
-          v[size_t(b.cols[0].i32[i])] = 1;
-      },
-      [](FlagVec& dst, const FlagVec& src) {
-        for (size_t i = 0; i < src.size(); ++i) dst[i] |= src[i];
+          sink.Store(size_t(b.cols[0].i32[i]), 1);
       });
 
   struct Agg {

@@ -1,12 +1,16 @@
 // TPC-H queries 1-6, hand-fused against the vectorized scan interface (the
 // role of the JIT-compiled pipelines in HyPer; see DESIGN.md substitution 1).
 //
-// Every fact-table scan+aggregate pipeline runs through detail::ParAgg /
-// detail::ParScan: sequential at ctx.threads == 1, morsel-parallel with
-// per-worker states and a slot-order merge otherwise. Tiny dimension scans
-// (region, nation, supplier lookups) stay sequential — there is nothing to
-// win on a handful of rows. All accumulations are exact (integer), so the
-// parallel results are identical to the sequential ones.
+// Every fact-table scan+aggregate pipeline runs through the helpers of
+// queries.h: detail::ParAgg / detail::ParScan (per-worker states with a
+// slot-order merge), detail::ParDenseAgg (ONE partitioned dense vector for
+// dense key spaces — no per-slot replica, no merge) and detail::ParHashAgg
+// (per-worker hash-partitioned group-by tables, merged partition-wise).
+// Sequential at ctx.threads == 1, morsel-parallel otherwise. Tiny
+// dimension scans (region, nation, supplier lookups) stay sequential —
+// there is nothing to win on a handful of rows. All accumulations are
+// exact (integer), so the parallel results are identical to the
+// sequential ones.
 
 #include <algorithm>
 #include <map>
@@ -40,18 +44,22 @@ QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt) {
     int64_t sum_disc = 0;        // percent units
     int64_t count = 0;
   };
-  // Heap-backed (one 3 MB state per worker slot): a stack array this size
-  // would overflow sanitizer stacks.
+  // One 3 MB dense state TOTAL (not per worker slot): the (returnflag,
+  // linestatus) key space is dense, so the partitioned-aggregation engine
+  // shares a single vector across slots with no merge.
+  struct Upd {
+    int32_t qty, disc, tax;
+    int64_t ext;
+  };
   using Groups = std::vector<Agg>;
   const int32_t cutoff = MakeDate(1998, 9, 2);
 
-  Groups groups = ParAgg<Groups>(
+  Groups groups = ParDenseAgg<Agg, Upd>(
       db.lineitem, opt,
       {li::quantity, li::extendedprice, li::discount, li::tax, li::returnflag,
        li::linestatus},
-      {Predicate::Le(li::shipdate, Value::Int(cutoff))},
-      [] { return Groups(256 * 256); },
-      [](Groups& g, const Batch& b) {
+      {Predicate::Le(li::shipdate, Value::Int(cutoff))}, 256 * 256,
+      [](auto& sink, const Batch& b) {
         const int32_t* qty = b.cols[0].i32.data();
         const int64_t* ext = b.cols[1].i64.data();
         const int32_t* disc = b.cols[2].i32.data();
@@ -59,25 +67,18 @@ QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt) {
         const int32_t* rf = b.cols[4].i32.data();
         const int32_t* ls = b.cols[5].i32.data();
         for (uint32_t i = 0; i < b.count; ++i) {
-          Agg& a = g[size_t(rf[i]) * 256 + size_t(ls[i])];
-          int64_t dp = ext[i] * (100 - disc[i]);
-          a.sum_qty += qty[i];
-          a.sum_base += ext[i];
-          a.sum_disc_price += dp;
-          a.sum_charge += dp * (100 + tax[i]) / 100;
-          a.sum_disc += disc[i];
-          ++a.count;
+          sink.Add(size_t(rf[i]) * 256 + size_t(ls[i]),
+                   Upd{qty[i], disc[i], tax[i], ext[i]});
         }
       },
-      [](Groups& dst, const Groups& src) {
-        for (size_t k = 0; k < dst.size(); ++k) {
-          dst[k].sum_qty += src[k].sum_qty;
-          dst[k].sum_base += src[k].sum_base;
-          dst[k].sum_disc_price += src[k].sum_disc_price;
-          dst[k].sum_charge += src[k].sum_charge;
-          dst[k].sum_disc += src[k].sum_disc;
-          dst[k].count += src[k].count;
-        }
+      [](Agg& a, const Upd& u) {
+        int64_t dp = u.ext * (100 - u.disc);
+        a.sum_qty += u.qty;
+        a.sum_base += u.ext;
+        a.sum_disc_price += dp;
+        a.sum_charge += dp * (100 + u.tax) / 100;
+        a.sum_disc += u.disc;
+        ++a.count;
       });
 
   QueryResult result;
@@ -242,18 +243,17 @@ QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt) {
       },
       MergeInsert<OrdMap>);
 
-  auto revenue = ParAgg<std::unordered_map<int64_t, int64_t>>(
+  auto revenue = ParHashAgg<int64_t>(
       db.lineitem, opt, {li::orderkey, li::extendedprice, li::discount},
       {Predicate::Gt(li::shipdate, Value::Int(date))},
-      [] { return std::unordered_map<int64_t, int64_t>{}; },
-      [&ord_info](std::unordered_map<int64_t, int64_t>& m, const Batch& b) {
+      [&ord_info](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           int64_t ok = b.cols[0].i64[i];
           if (!ord_info.count(ok)) continue;
-          m[ok] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+          t.Ref(uint64_t(ok)) += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
         }
       },
-      MergeAdd<std::unordered_map<int64_t, int64_t>>);
+      ApplyAdd{});
 
   struct OutRow {
     int64_t orderkey, rev;
@@ -261,10 +261,11 @@ QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt) {
   };
   std::vector<OutRow> out;
   out.reserve(revenue.size());
-  for (auto& [ok, rev] : revenue) {
+  revenue.ForEach([&](uint64_t key, const int64_t& rev) {
+    const int64_t ok = int64_t(key);
     const OrdInfo& oi = ord_info[ok];
     out.push_back({ok, rev, oi.orderdate, oi.shippriority});
-  }
+  });
   std::sort(out.begin(), out.end(), [](const OutRow& a, const OutRow& b) {
     if (a.rev != b.rev) return a.rev > b.rev;
     if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;

@@ -48,16 +48,16 @@ int32_t NationKeyOf(const TpchDatabase& db, const ScanOptions& opt,
 }
 
 /// Dense orderkey -> custkey vector (order keys are 4*ordinal). Each order
-/// appears exactly once, so parallel workers write disjoint elements.
+/// appears exactly once, so parallel workers write disjoint elements of
+/// one shared store-dense vector.
 std::vector<int32_t> OrderCustVector(const TpchDatabase& db,
                                      const ScanOptions& opt) {
-  std::vector<int32_t> v(size_t(db.NumOrders()), 0);
-  ParScan(db.orders, opt, {ord::orderkey, ord::custkey}, {},
-          [&v](const Batch& b) {
-            for (uint32_t i = 0; i < b.count; ++i)
-              v[size_t(OrderIdx(b.cols[0].i64[i]))] = b.cols[1].i32[i];
-          });
-  return v;
+  return ParDenseStore<int32_t>(
+      db.orders, opt, {ord::orderkey, ord::custkey}, {},
+      size_t(db.NumOrders()), [](auto& sink, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          sink.Store(size_t(OrderIdx(b.cols[0].i64[i])), b.cols[1].i32[i]);
+      });
 }
 
 }  // namespace
@@ -248,29 +248,28 @@ QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
                supp_nation[b.cols[0].i32[i]] = b.cols[1].i32[i];
            });
 
-  // (partkey, suppkey) -> supplycost, keys encoded densely.
+  // (partkey, suppkey) -> supplycost, keys encoded densely. Keys are
+  // unique per partsupp row, so the partition-wise fold is an overwrite.
   const int64_t supp_span = db.NumSuppliers() + 1;
-  using CostMap = std::unordered_map<int64_t, int64_t>;
-  CostMap ps_cost = ParAgg<CostMap>(
+  auto ps_cost = ParHashAgg<int64_t>(
       db.partsupp, opt, {ps::partkey, ps::suppkey, ps::supplycost}, {},
-      [] { return CostMap{}; },
-      [&green_parts, supp_span](CostMap& m, const Batch& b) {
+      [&green_parts, supp_span](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           if (!green_parts.count(b.cols[0].i32[i])) continue;
-          m[int64_t(b.cols[0].i32[i]) * supp_span + b.cols[1].i32[i]] =
-              b.cols[2].i64[i];
+          t.Ref(uint64_t(int64_t(b.cols[0].i32[i]) * supp_span +
+                         b.cols[1].i32[i])) = b.cols[2].i64[i];
         }
       },
-      MergeInsert<CostMap>);
+      [](int64_t& dst, const int64_t& src) { dst = src; });
 
   // orderkey -> year (dense, one writer per element).
-  std::vector<int32_t> order_year(size_t(db.NumOrders()), 0);
-  ParScan(db.orders, opt, {ord::orderkey, ord::orderdate}, {},
-          [&order_year](const Batch& b) {
-            for (uint32_t i = 0; i < b.count; ++i)
-              order_year[size_t(OrderIdx(b.cols[0].i64[i]))] =
-                  DateYear(b.cols[1].i32[i]);
-          });
+  std::vector<int32_t> order_year = ParDenseStore<int32_t>(
+      db.orders, opt, {ord::orderkey, ord::orderdate}, {},
+      size_t(db.NumOrders()), [](auto& sink, const Batch& b) {
+        for (uint32_t i = 0; i < b.count; ++i)
+          sink.Store(size_t(OrderIdx(b.cols[0].i64[i])),
+                     DateYear(b.cols[1].i32[i]));
+      });
 
   // (nation, year) -> profit in units of 1e-4 dollars: ext*(100-disc) and
   // cost*qty*100 are both exact in that scale, so the sum is an int64.
@@ -286,7 +285,9 @@ QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
           int32_t pk = b.cols[1].i32[i];
           if (!green_parts.count(pk)) continue;
           int32_t sk = b.cols[2].i32[i];
-          int64_t cost = ps_cost[int64_t(pk) * supp_span + sk];
+          const int64_t* c =
+              ps_cost.Find(uint64_t(int64_t(pk) * supp_span + sk));
+          int64_t cost = c == nullptr ? 0 : *c;
           int64_t amount = b.cols[4].i64[i] * (100 - b.cols[5].i32[i]) -
                            cost * b.cols[3].i32[i] * 100;
           int32_t year = order_year[size_t(OrderIdx(b.cols[0].i64[i]))];
@@ -331,18 +332,18 @@ QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
       },
       MergeInsert<OrdMap>);
 
-  auto revenue = ParAgg<std::unordered_map<int32_t, int64_t>>(
+  auto revenue = ParHashAgg<int64_t>(
       db.lineitem, opt, {li::orderkey, li::extendedprice, li::discount},
       {Predicate::Eq(li::returnflag, Value::Int('R'))},
-      [] { return std::unordered_map<int32_t, int64_t>{}; },
-      [&order_cust](std::unordered_map<int32_t, int64_t>& m, const Batch& b) {
+      [&order_cust](auto& t, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
           auto it = order_cust.find(b.cols[0].i64[i]);
           if (it == order_cust.end()) continue;
-          m[it->second] += b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
+          t.Ref(uint64_t(it->second)) +=
+              b.cols[1].i64[i] * (100 - b.cols[2].i32[i]);
         }
       },
-      MergeAdd<std::unordered_map<int32_t, int64_t>>);
+      ApplyAdd{});
 
   struct OutRow {
     int32_t custkey;
@@ -359,9 +360,9 @@ QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
       [] { return OutVec{}; },
       [&](OutVec& rows, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          auto it = revenue.find(b.cols[0].i32[i]);
-          if (it == revenue.end()) continue;
-          rows.push_back({b.cols[0].i32[i], it->second,
+          const int64_t* rev = revenue.Find(uint64_t(b.cols[0].i32[i]));
+          if (rev == nullptr) continue;
+          rows.push_back({b.cols[0].i32[i], *rev,
                           std::string(b.cols[1].str[i]),
                           std::string(b.cols[5].str[i]),
                           std::string(b.cols[3].str[i]),

@@ -23,14 +23,19 @@ import os
 import sys
 
 
-def load_results(path):
-    """Returns {(bench, name, config): result_dict}."""
+def find_files(path):
+    """Bench JSON files at `path`; empty when the path has none."""
     if os.path.isdir(path):
         files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
         if not files:
             files = sorted(glob.glob(os.path.join(path, "*.json")))
-    else:
-        files = [path]
+        return files
+    return [path] if os.path.exists(path) else []
+
+
+def load_results(path):
+    """Returns {(bench, name, config): result_dict}."""
+    files = find_files(path)
     if not files:
         sys.exit(f"error: no bench JSON files found under {path}")
     results = {}
@@ -56,7 +61,15 @@ def main():
                     help="regression threshold in percent (default 25)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (shared runners)")
+    ap.add_argument("--baseline-optional", action="store_true",
+                    help="when the baseline is absent (fresh cache / first "
+                         "run), print a note and exit 0 instead of failing")
     args = ap.parse_args()
+
+    if args.baseline_optional and not find_files(args.baseline):
+        print(f"no baseline under {args.baseline}: recording only, nothing "
+              "to compare — this run's results become the next baseline")
+        return 0
 
     base = load_results(args.baseline)
     cand = load_results(args.candidate)
@@ -89,6 +102,20 @@ def main():
             regressions.append(line)
         elif delta_pct < -args.threshold:
             improvements.append(line)
+        # Aggregation-state bytes barely depend on runner speed, so growth
+        # past the threshold is a real state-size regression. Sub-MB
+        # states are skipped: they are dominated by demand-allocated
+        # spill/scratch buffers, which vary with morsel interleaving.
+        sb = b.get("state_peak_bytes", -1)
+        sc = c.get("state_peak_bytes", -1)
+        if sb > 0 and sc >= 0 and max(sb, sc) >= 1e6:
+            sdelta = 100.0 * (sc - sb) / sb
+            sline = (f"{key[0]} :: {key[1]} [{key[2]}] state "
+                     f"{sb:.4g} -> {sc:.4g} bytes ({sdelta:+.1f}%)")
+            if sdelta > args.threshold:
+                regressions.append(sline)
+            elif sdelta < -args.threshold:
+                improvements.append(sline)
 
     print(f"compared {compared} results "
           f"(baseline {len(base)}, candidate {len(cand)}, "
