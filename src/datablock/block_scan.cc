@@ -56,6 +56,79 @@ Translated TranslateIntPred(const DataBlock& block, uint32_t col,
   const int64_t smin = m.min_val, smax = m.max_val;
   const bool nullable = m.flags & AttrMeta::kHasNulls;
 
+  if (pred.op == CompareOp::kIn) {
+    // Translate each list value into the code domain; values outside
+    // [min, max] or missing from the dictionary are dropped without
+    // touching the data vector.
+    std::vector<uint64_t> codes;
+    bool signed_raw = false;
+    for (const Value& v : pred.list) {
+      const int64_t iv = ConstInt(v);
+      if (iv < smin || iv > smax) continue;
+      switch (scheme) {
+        case Compression::kSingleValue:
+          if (iv == smin) {
+            if (nullable) *needs_null_filter = true;
+            return Translated::kAll;
+          }
+          break;
+        case Compression::kDictionary: {
+          const int64_t* dict = block.int_dict(col);
+          const int64_t* pos = std::lower_bound(dict, dict + m.dict_count, iv);
+          if (pos != dict + m.dict_count && *pos == iv)
+            codes.push_back(uint64_t(pos - dict));
+          break;
+        }
+        case Compression::kTruncation:
+          codes.push_back(uint64_t(iv) - uint64_t(smin));
+          break;
+        case Compression::kRaw: {
+          TypeId t = TypeId(m.type);
+          signed_raw = (t == TypeId::kInt32 || t == TypeId::kInt64 ||
+                        t == TypeId::kDate);
+          codes.push_back(uint64_t(iv));
+          break;
+        }
+      }
+    }
+    if (codes.empty()) return Translated::kNone;
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    if (scheme == Compression::kDictionary && codes.size() == m.dict_count) {
+      if (nullable) *needs_null_filter = true;
+      return Translated::kAll;
+    }
+    bp->col = col;
+    bp->width = m.code_width;
+    bp->is_signed = signed_raw;
+    if (codes.back() - codes.front() + 1 == codes.size()) {
+      // Contiguous code run: lower to the SIMD range kernel.
+      bp->kind = BlockPred::Kind::kRange;
+      bp->lo = codes.front();
+      bp->hi = codes.back();
+      bp->psma_usable = true;
+      if (scheme == Compression::kRaw) {
+        bp->psma_dlo = codes.front() - uint64_t(smin);
+        bp->psma_dhi = codes.back() - uint64_t(smin);
+        if (nullable && int64_t(codes.front()) <= 0 &&
+            0 <= int64_t(codes.back())) {
+          *needs_null_filter = true;
+        }
+      } else {
+        bp->psma_dlo = codes.front();
+        bp->psma_dhi = codes.back();
+        if (nullable && codes.front() == 0) *needs_null_filter = true;
+      }
+      return Translated::kKeep;
+    }
+    bp->kind = BlockPred::Kind::kInSet;
+    const bool has_zero =
+        std::binary_search(codes.begin(), codes.end(), uint64_t(0));
+    bp->in_codes = std::move(codes);
+    if (nullable && has_zero) *needs_null_filter = true;
+    return Translated::kKeep;
+  }
+
   if (pred.op == CompareOp::kNe) {
     const int64_t v = ConstInt(pred.lo);
     if (nullable) *needs_null_filter = true;
@@ -189,6 +262,12 @@ Translated TranslateStringPred(const DataBlock& block, uint32_t col,
       case CompareOp::kBetween:
         match = v >= pred.lo.str() && v <= pred.hi.str();
         break;
+      case CompareOp::kIn:
+        for (const Value& c : pred.list) match |= (v == c.str());
+        break;
+      case CompareOp::kPrefix:
+        match = v.substr(0, pred.lo.str().size()) == pred.lo.str();
+        break;
       default: DB_CHECK(false);
     }
     return match ? Translated::kAll : Translated::kNone;
@@ -202,6 +281,74 @@ Translated TranslateStringPred(const DataBlock& block, uint32_t col,
     bp->kind = BlockPred::Kind::kNe;
     bp->width = m.code_width;
     bp->ne = i;
+    return Translated::kKeep;
+  }
+
+  if (pred.op == CompareOp::kIn) {
+    // Each list value binary-searches the sorted dictionary; misses cost
+    // O(log |dict|) and never touch the data vector.
+    std::vector<uint64_t> codes;
+    for (const Value& c : pred.list) {
+      uint32_t i = lower(c.str());
+      if (i < count && dict_at(i) == c.str()) codes.push_back(i);
+    }
+    if (codes.empty()) return Translated::kNone;
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    if (codes.size() == count) {
+      if (nullable) *needs_null_filter = true;
+      return Translated::kAll;
+    }
+    bp->col = col;
+    bp->width = m.code_width;
+    if (codes.back() - codes.front() + 1 == codes.size()) {
+      bp->kind = BlockPred::Kind::kRange;
+      bp->lo = codes.front();
+      bp->hi = codes.back();
+      bp->psma_usable = true;
+      bp->psma_dlo = bp->lo;
+      bp->psma_dhi = bp->hi;
+      if (nullable && bp->lo == 0) *needs_null_filter = true;
+      return Translated::kKeep;
+    }
+    bp->kind = BlockPred::Kind::kInSet;
+    if (nullable && codes.front() == 0) *needs_null_filter = true;
+    bp->in_codes = std::move(codes);
+    return Translated::kKeep;
+  }
+
+  if (pred.op == CompareOp::kPrefix) {
+    // The dictionary is order-preserving, so the strings sharing a prefix
+    // form one contiguous code run: binary-search with prefix-truncated
+    // comparisons instead of computing a successor string.
+    const std::string_view p = pred.lo.str();
+    const size_t plen = p.size();
+    uint32_t lo_idx = 0, hi_bound = count;
+    while (lo_idx < hi_bound) {  // first index with trunc(dict[i]) >= p
+      uint32_t mid = (lo_idx + hi_bound) / 2;
+      if (dict_at(mid).substr(0, plen) < p) lo_idx = mid + 1;
+      else hi_bound = mid;
+    }
+    uint32_t lo2 = lo_idx, hi_idx = count;
+    while (lo2 < hi_idx) {  // first index with trunc(dict[i]) > p
+      uint32_t mid = (lo2 + hi_idx) / 2;
+      if (dict_at(mid).substr(0, plen) <= p) lo2 = mid + 1;
+      else hi_idx = mid;
+    }
+    if (lo_idx >= hi_idx) return Translated::kNone;
+    if (lo_idx == 0 && hi_idx == count) {
+      if (nullable) *needs_null_filter = true;
+      return Translated::kAll;
+    }
+    bp->col = col;
+    bp->kind = BlockPred::Kind::kRange;
+    bp->width = m.code_width;
+    bp->lo = lo_idx;
+    bp->hi = hi_idx - 1;
+    bp->psma_usable = true;
+    bp->psma_dlo = bp->lo;
+    bp->psma_dhi = bp->hi;
+    if (nullable && lo_idx == 0) *needs_null_filter = true;
     return Translated::kKeep;
   }
 
@@ -274,6 +421,39 @@ Translated TranslateDoublePred(const DataBlock& block, uint32_t col,
   const double smin = block.sma_min_double(col);
   const double smax = block.sma_max_double(col);
   constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (pred.op == CompareOp::kIn) {
+    std::vector<double> vals;
+    for (const Value& v : pred.list) {
+      const double dv = ConstDouble(v);
+      if (dv < smin || dv > smax) continue;
+      if (Compression(m.compression) == Compression::kSingleValue) {
+        if (dv == smin) {
+          if (nullable) *needs_null_filter = true;
+          return Translated::kAll;
+        }
+        continue;
+      }
+      vals.push_back(dv);
+    }
+    if (vals.empty()) return Translated::kNone;
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    bp->col = col;
+    bp->is_double = true;
+    bp->width = 8;
+    if (vals.size() == 1) {
+      bp->kind = BlockPred::Kind::kRange;
+      bp->dlo = bp->dhi = vals[0];
+      if (nullable && vals[0] == 0) *needs_null_filter = true;
+      return Translated::kKeep;
+    }
+    bp->kind = BlockPred::Kind::kInSet;
+    if (nullable && std::binary_search(vals.begin(), vals.end(), 0.0))
+      *needs_null_filter = true;
+    bp->in_dbls = std::move(vals);
+    return Translated::kKeep;
+  }
 
   if (pred.op == CompareOp::kNe) {
     double v = ConstDouble(pred.lo);
@@ -512,6 +692,48 @@ uint32_t RunRangePred(const DataBlock& block, const BlockPred& bp,
   }
 }
 
+/// Scalar membership filter for non-contiguous IN sets: reads each code (or
+/// raw value, sign-extended so bit patterns match the translated constants)
+/// and binary-searches the sorted set.
+uint32_t RunInSetPred(const DataBlock& block, const BlockPred& bp,
+                      uint32_t from, uint32_t to, bool first,
+                      const uint32_t* pos, uint32_t n, uint32_t* out) {
+  const uint8_t* base = block.codes(bp.col);
+  auto member = [&](uint32_t row) -> bool {
+    if (bp.is_double) {
+      const double v = reinterpret_cast<const double*>(base)[row];
+      return std::binary_search(bp.in_dbls.begin(), bp.in_dbls.end(), v);
+    }
+    uint64_t c;
+    switch (bp.width) {
+      case 1: c = base[row]; break;
+      case 2: c = reinterpret_cast<const uint16_t*>(base)[row]; break;
+      case 4:
+        c = bp.is_signed
+                ? uint64_t(int64_t(
+                      reinterpret_cast<const int32_t*>(base)[row]))
+                : uint64_t(reinterpret_cast<const uint32_t*>(base)[row]);
+        break;
+      default: c = reinterpret_cast<const uint64_t*>(base)[row]; break;
+    }
+    return std::binary_search(bp.in_codes.begin(), bp.in_codes.end(), c);
+  };
+  uint32_t* w = out;
+  if (first) {
+    for (uint32_t i = from; i < to; ++i) {
+      *w = i;
+      w += member(i);
+    }
+  } else {
+    for (uint32_t j = 0; j < n; ++j) {
+      uint32_t p = pos[j];
+      *w = p;
+      w += member(p);
+    }
+  }
+  return static_cast<uint32_t>(w - out);
+}
+
 }  // namespace
 
 uint32_t FilterPositionsByBitmap(const uint32_t* positions, uint32_t n,
@@ -544,6 +766,9 @@ uint32_t FindMatchesInBlock(const DataBlock& block, const BlockScanPrep& prep,
       case BlockPred::Kind::kRange:
       case BlockPred::Kind::kNe:
         n = RunRangePred(block, bp, from, to, isa, first, out, n, out);
+        break;
+      case BlockPred::Kind::kInSet:
+        n = RunInSetPred(block, bp, from, to, first, out, n, out);
         break;
       case BlockPred::Kind::kIsNull:
       case BlockPred::Kind::kIsNotNull: {
@@ -753,6 +978,47 @@ void UnpackColumnRange(const DataBlock& block, uint32_t col, uint32_t from,
   pos.resize(n);
   for (uint32_t i = 0; i < n; ++i) pos[i] = from + i;
   UnpackColumn(block, col, pos.data(), n, out);
+}
+
+void UnpackColumnCodes(const DataBlock& block, uint32_t col,
+                       const uint32_t* positions, uint32_t n,
+                       ColumnVector* out) {
+  const AttrMeta& m = block.attr(col);
+  DB_DCHECK(TypeId(m.type) == TypeId::kString && m.dict_count > 0);
+  AppendNullMask(block, col, positions, n, out);
+  out->dict_block = &block;
+  out->dict_col = col;
+  size_t old = out->codes.size();
+  out->codes.resize(old + n);
+  uint32_t* w = out->codes.data() + old;
+  const uint8_t* base = block.codes(col);
+  switch (m.code_width) {
+    case 0:  // single-value column: every row decodes to dictionary entry 0
+      for (uint32_t j = 0; j < n; ++j) w[j] = 0;
+      break;
+    case 1:
+      for (uint32_t j = 0; j < n; ++j) w[j] = base[positions[j]];
+      break;
+    case 2: {
+      const uint16_t* d = reinterpret_cast<const uint16_t*>(base);
+      for (uint32_t j = 0; j < n; ++j) w[j] = d[positions[j]];
+      break;
+    }
+    default: {
+      const uint32_t* d = reinterpret_cast<const uint32_t*>(base);
+      for (uint32_t j = 0; j < n; ++j) w[j] = d[positions[j]];
+      break;
+    }
+  }
+}
+
+void UnpackColumnCodesRange(const DataBlock& block, uint32_t col,
+                            uint32_t from, uint32_t to, ColumnVector* out) {
+  static thread_local std::vector<uint32_t> pos;
+  uint32_t n = to - from;
+  pos.resize(n);
+  for (uint32_t i = 0; i < n; ++i) pos[i] = from + i;
+  UnpackColumnCodes(block, col, pos.data(), n, out);
 }
 
 }  // namespace datablocks

@@ -18,6 +18,7 @@ struct BlockPred {
   enum class Kind : uint8_t {
     kRange,     // lo <= code <= hi in the (unsigned or signed) code domain
     kNe,        // code != ne
+    kInSet,     // code (or raw value) is a member of the sorted in_codes set
     kIsNull,    // NULL bitmap bit set
     kIsNotNull  // NULL bitmap bit clear
   };
@@ -30,6 +31,11 @@ struct BlockPred {
   uint64_t lo = 0, hi = 0; // inclusive bounds (bit patterns when signed)
   uint64_t ne = 0;
   double dlo = 0, dhi = 0, dne = 0;
+  // kInSet membership: sorted, deduplicated code (or sign-extended raw
+  // value) bit patterns; in_dbls for raw double storage. An IN list whose
+  // surviving codes are contiguous is lowered to kRange instead.
+  std::vector<uint64_t> in_codes;
+  std::vector<double> in_dbls;
   // PSMA probe deltas (only meaningful for kRange on PSMA-indexed columns).
   bool psma_usable = false;
   uint64_t psma_dlo = 0, psma_dhi = 0;
@@ -72,6 +78,19 @@ void UnpackColumn(const DataBlock& block, uint32_t col,
 /// for fully-matching vectors and the decompress-all baseline.
 void UnpackColumnRange(const DataBlock& block, uint32_t col, uint32_t from,
                        uint32_t to, ColumnVector* out);
+
+/// Emits a dictionary-compressed string column as a code-carrying
+/// ColumnVector: the dictionary codes at `positions` are appended to
+/// `out->codes` and `out` is bound to the block's dictionary, so strings are
+/// only decoded for rows the consumer materializes through Str(). The block
+/// must outlive the batch (the scanner's chunk pin guarantees this).
+void UnpackColumnCodes(const DataBlock& block, uint32_t col,
+                       const uint32_t* positions, uint32_t n,
+                       ColumnVector* out);
+
+/// Code-carrying form of UnpackColumnRange.
+void UnpackColumnCodesRange(const DataBlock& block, uint32_t col,
+                            uint32_t from, uint32_t to, ColumnVector* out);
 
 /// Keeps the positions whose bitmap bit equals `keep_set`. `bitmap` may be
 /// null, in which case all positions are kept (bits treated as clear).

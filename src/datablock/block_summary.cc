@@ -63,6 +63,19 @@ Verdict JudgeIntPred(const ColumnSummary& cs, const Predicate& pred,
     return Verdict::kPass;
   }
 
+  if (pred.op == CompareOp::kIn) {
+    // Skip only when every list value provably misses: outside [min, max],
+    // or different from the single stored value. Dictionary misses inside
+    // the range need the payload, so they pass.
+    for (const Value& v : pred.list) {
+      const int64_t iv = ConstInt(v);
+      if (iv < smin || iv > smax) continue;
+      if (scheme == Compression::kSingleValue && iv != smin) continue;
+      return Verdict::kPass;
+    }
+    return Verdict::kNone;
+  }
+
   IntRange r = OpToRange(pred.op, ConstInt(pred.lo),
                          pred.op == CompareOp::kBetween ? ConstInt(pred.hi)
                                                         : 0);
@@ -104,6 +117,14 @@ Verdict JudgeStringPred(const ColumnSummary& cs, const Predicate& pred) {
       case CompareOp::kBetween:
         return (v >= pred.lo.str() && v <= pred.hi.str()) ? Verdict::kPass
                                                           : Verdict::kNone;
+      case CompareOp::kIn:
+        for (const Value& c : pred.list)
+          if (v == c.str()) return Verdict::kPass;
+        return Verdict::kNone;
+      case CompareOp::kPrefix:
+        return v.compare(0, pred.lo.str().size(), pred.lo.str()) == 0
+                   ? Verdict::kPass
+                   : Verdict::kNone;
       default: DB_CHECK(false); return Verdict::kPass;
     }
   }
@@ -114,6 +135,20 @@ Verdict JudgeStringPred(const ColumnSummary& cs, const Predicate& pred) {
       return Verdict::kPass;
     case CompareOp::kNe:
       return Verdict::kPass;
+    case CompareOp::kIn:
+      for (const Value& c : pred.list)
+        if (c.str() >= smin && c.str() <= smax) return Verdict::kPass;
+      return Verdict::kNone;
+    case CompareOp::kPrefix: {
+      // Matching strings sort in [p, successor(p)): skip when the whole
+      // block sorts below p, or when even the minimum's p-length prefix
+      // already sorts above p.
+      const std::string_view p = pred.lo.str();
+      if (smax < p) return Verdict::kNone;
+      if (std::string_view(smin).substr(0, p.size()) > p)
+        return Verdict::kNone;
+      return Verdict::kPass;
+    }
     case CompareOp::kLt:
       return smin < pred.lo.str() ? Verdict::kPass : Verdict::kNone;
     case CompareOp::kLe:
@@ -143,6 +178,18 @@ Verdict JudgeDoublePred(const ColumnSummary& cs, const Predicate& pred) {
       return Verdict::kNone;
     }
     return Verdict::kPass;
+  }
+
+  if (pred.op == CompareOp::kIn) {
+    const bool single =
+        Compression(cs.compression) == Compression::kSingleValue;
+    for (const Value& v : pred.list) {
+      const double dv = ConstDouble(v);
+      if (dv < smin || dv > smax) continue;
+      if (single && dv != smin) continue;
+      return Verdict::kPass;
+    }
+    return Verdict::kNone;
   }
 
   double lo = -kInf, hi = kInf;

@@ -13,7 +13,8 @@ uint32_t ColumnVector::size() const {
     case TypeId::kDouble:
       return static_cast<uint32_t>(f64.size());
     case TypeId::kString:
-      return static_cast<uint32_t>(str.size());
+      return static_cast<uint32_t>(dict_block != nullptr ? codes.size()
+                                                         : str.size());
   }
   return 0;
 }
@@ -32,6 +33,7 @@ void ColumnVector::Compact(const uint32_t* keep, uint32_t n) {
   CompactVec(i64, keep, n);
   CompactVec(f64, keep, n);
   CompactVec(str, keep, n);
+  CompactVec(codes, keep, n);
   CompactVec(null_mask, keep, n);
 }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "datablock/data_block.h"
 #include "storage/types.h"
 
 namespace datablocks {
@@ -16,12 +17,27 @@ namespace datablocks {
 /// Physical mapping: kInt32/kDate/kChar1 -> i32, kInt64 -> i64,
 /// kDouble -> f64, kString -> str (views into block dictionaries or chunk
 /// arenas; valid until the underlying table is modified).
+///
+/// String columns produced from frozen Data Blocks can alternatively be
+/// *code-carrying*: `codes` holds the dictionary codes of the matching rows
+/// and `dict_block`/`dict_col` identify the block dictionary that decodes
+/// them. The strings are materialized lazily through Str(), only for rows the
+/// consumer actually touches. The scanner keeps the producing chunk pinned
+/// for as long as the batch is live (until the next Next()/Reset/destruction),
+/// so both the code vector's dictionary handle and any materialized views
+/// stay valid for the batch's lifetime.
 struct ColumnVector {
   TypeId type = TypeId::kInt64;
   std::vector<int32_t> i32;
   std::vector<int64_t> i64;
   std::vector<double> f64;
   std::vector<std::string_view> str;
+  /// Code-carrying form of a string column: dictionary codes plus the block
+  /// whose order-preserving dictionary decodes them. Null when the column is
+  /// materialized (`str`).
+  std::vector<uint32_t> codes;
+  const DataBlock* dict_block = nullptr;
+  uint32_t dict_col = 0;
   /// Parallel validity flags (1 = NULL). Empty when the source column is not
   /// nullable.
   std::vector<uint8_t> null_mask;
@@ -36,6 +52,9 @@ struct ColumnVector {
     i64.clear();
     f64.clear();
     str.clear();
+    codes.clear();
+    dict_block = nullptr;
+    dict_col = 0;
     null_mask.clear();
   }
 
@@ -43,6 +62,27 @@ struct ColumnVector {
 
   bool IsNull(uint32_t i) const {
     return !null_mask.empty() && null_mask[i] != 0;
+  }
+
+  /// Whether this string column carries dictionary codes instead of
+  /// materialized views.
+  bool coded() const { return dict_block != nullptr; }
+
+  /// The unified string accessor: decodes on demand for code-carrying
+  /// columns (mirroring what eager unpacking would have produced — NULL rows
+  /// decode to dictionary entry 0, exactly like the materialized path; check
+  /// IsNull before trusting the payload), returns the materialized view
+  /// otherwise.
+  std::string_view Str(uint32_t i) const {
+    return dict_block != nullptr ? dict_block->dict_string(dict_col, codes[i])
+                                 : str[i];
+  }
+
+  /// Number of distinct values Str() can take in this batch, or 0 when the
+  /// column is not code-carrying. Per-code memoization (see DictMemo) is
+  /// valid across batches while (dict_block, dict_col) is unchanged.
+  uint32_t dict_size() const {
+    return dict_block != nullptr ? dict_block->attr(dict_col).dict_count : 0;
   }
 
   /// Drops all rows except those listed in keep[0..n) (ascending).

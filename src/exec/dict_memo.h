@@ -1,0 +1,59 @@
+#ifndef DATABLOCKS_EXEC_DICT_MEMO_H_
+#define DATABLOCKS_EXEC_DICT_MEMO_H_
+
+// Per-dictionary-code memoization for non-SARGable string predicates
+// (LIKE '%x%', suffix matches, substring probes) evaluated in the query
+// pipeline over code-carrying ColumnVectors (exec/batch.h).
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exec/batch.h"
+
+namespace datablocks {
+
+/// Evaluates a boolean string predicate over one batch column, memoized per
+/// dictionary code: for a code-carrying column the predicate runs at most
+/// once per distinct value in the batch's block dictionary (a LIKE over a
+/// TPC-H p_type column costs ~150 evaluations per 8K-row vector instead of
+/// 8K), and rows sharing a code resolve with one array load — no dictionary
+/// dereference, no string compare. Non-coded columns (hot chunks, baseline
+/// scan modes) fall back to direct evaluation per row.
+///
+/// The filter is bound to one batch (the memo indexes that batch's block
+/// dictionary); construct a fresh one per consume call. Construction is
+/// O(dict size) for the memo reset, amortized over the batch's rows.
+/// Memoization engages only when codes can actually repeat within the batch
+/// (dict smaller than the batch); a near-unique dictionary — comment
+/// columns — would pay the reset without ever reusing an entry, so those
+/// evaluate directly.
+template <typename Fn>
+class DictFilter {
+ public:
+  DictFilter(const ColumnVector& cv, Fn fn) : cv_(cv), fn_(std::move(fn)) {
+    if (cv_.coded() && size_t(cv_.dict_size()) < cv_.codes.size())
+      memo_.assign(cv_.dict_size(), kUnknown);
+  }
+
+  bool operator()(uint32_t i) {
+    if (memo_.empty()) return fn_(cv_.Str(i));
+    uint8_t& m = memo_[cv_.codes[i]];
+    if (m == kUnknown) m = fn_(cv_.Str(i)) ? 1 : 0;
+    return m != 0;
+  }
+
+ private:
+  static constexpr uint8_t kUnknown = 2;
+  const ColumnVector& cv_;
+  Fn fn_;
+  std::vector<uint8_t> memo_;
+};
+
+template <typename Fn>
+DictFilter(const ColumnVector&, Fn) -> DictFilter<Fn>;
+
+}  // namespace datablocks
+
+#endif  // DATABLOCKS_EXEC_DICT_MEMO_H_

@@ -48,6 +48,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -636,6 +639,79 @@ PartitionedAggTable<V> MergeAggTables(
   RunOnSlots(partitions, merge_partition, scheduler);
   return merged;
 }
+
+// ---------------------------------------------------------------------------
+// Dictionary-aware string group-by keys
+// ---------------------------------------------------------------------------
+
+/// Maps string group-by keys to dense uint32 ids so sparse group-bys can key
+/// PartitionedAggTable on an integer instead of hashing the string per row.
+///
+/// Dictionary codes are block-local (every frozen block compresses its own
+/// value set), so a code cannot key an aggregate across blocks directly. The
+/// interner bridges that: within one batch, BatchKeys resolves each distinct
+/// dictionary code to an interned id once and every further row with that
+/// code is a single array load — no dictionary dereference, no string hash.
+/// Across blocks (and across hot, non-coded batches) ids are stable because
+/// they are assigned by string value.
+///
+/// Concurrency: parallel_scan.h invokes the consume callable concurrently
+/// from every slot, so an interner must live in per-worker state (one per
+/// ParAgg slot). Per-worker id spaces differ; merge across workers by NAME:
+/// translate each worker-local id through name() and re-intern into the
+/// merged interner while folding the aggregate tables.
+class StringKeyInterner {
+ public:
+  /// Returns the dense id for `s`, assigning the next id on first sight.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const uint32_t id = uint32_t(names_.size());
+    names_.emplace_back(s);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  const std::string& name(uint32_t id) const { return names_[id]; }
+  uint32_t size() const { return uint32_t(names_.size()); }
+
+  /// Per-batch code->id resolver for one string column. Bound to the batch's
+  /// block dictionary; construct a fresh one per consume call (O(dict size)
+  /// reset, amortized over the batch's rows). Falls back to per-row interning
+  /// for non-coded columns.
+  class BatchKeys {
+   public:
+    BatchKeys(StringKeyInterner& interner, const ColumnVector& cv)
+        : interner_(interner), cv_(cv) {
+      if (cv_.coded()) ids_.assign(cv_.dict_size(), kUnresolved);
+    }
+
+    uint32_t operator()(uint32_t i) {
+      if (!cv_.coded()) return interner_.Intern(cv_.str[i]);
+      uint32_t& id = ids_[cv_.codes[i]];
+      if (id == kUnresolved) id = interner_.Intern(cv_.Str(i));
+      return id;
+    }
+
+   private:
+    static constexpr uint32_t kUnresolved = UINT32_MAX;
+    StringKeyInterner& interner_;
+    const ColumnVector& cv_;
+    std::vector<uint32_t> ids_;
+  };
+
+ private:
+  struct StrHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  // Transparent hashing lets Intern probe with a string_view and allocate a
+  // std::string key only on first sight of a value.
+  std::unordered_map<std::string, uint32_t, StrHash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;
+};
 
 }  // namespace datablocks
 

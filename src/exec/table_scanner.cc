@@ -44,6 +44,10 @@ bool EvalInt(CompareOp op, int64_t v, const Predicate& p) {
     case CompareOp::kGe: return v >= ConstInt(p.lo);
     case CompareOp::kBetween:
       return v >= ConstInt(p.lo) && v <= ConstInt(p.hi);
+    case CompareOp::kIn:
+      for (const Value& c : p.list)
+        if (v == ConstInt(c)) return true;
+      return false;
     default: return false;
   }
 }
@@ -58,6 +62,10 @@ bool EvalDouble(CompareOp op, double v, const Predicate& p) {
     case CompareOp::kGe: return v >= ConstDouble(p.lo);
     case CompareOp::kBetween:
       return v >= ConstDouble(p.lo) && v <= ConstDouble(p.hi);
+    case CompareOp::kIn:
+      for (const Value& c : p.list)
+        if (v == ConstDouble(c)) return true;
+      return false;
     default: return false;
   }
 }
@@ -71,6 +79,12 @@ bool EvalString(CompareOp op, std::string_view v, const Predicate& p) {
     case CompareOp::kGt: return v > p.lo.str();
     case CompareOp::kGe: return v >= p.lo.str();
     case CompareOp::kBetween: return v >= p.lo.str() && v <= p.hi.str();
+    case CompareOp::kIn:
+      for (const Value& c : p.list)
+        if (v == c.str()) return true;
+      return false;
+    case CompareOp::kPrefix:
+      return v.substr(0, p.lo.str().size()) == p.lo.str();
     default: return false;
   }
 }
@@ -114,6 +128,44 @@ uint32_t RunHotPred(const Chunk& chunk, const Predicate& pred, TypeId type,
       return uint32_t(w - buf);
     }
     return FilterPositionsByBitmap(buf, n, bitmap, keep_set, buf);
+  }
+
+  // IN / prefix restrictions have no SIMD kernel on uncompressed data;
+  // evaluate them scalar per row (frozen blocks translate them to code
+  // ranges or code sets instead).
+  if (pred.op == CompareOp::kIn || pred.op == CompareOp::kPrefix) {
+    auto eval = [&](uint32_t row) -> bool {
+      switch (type) {
+        case TypeId::kString:
+          return EvalString(pred.op, chunk.GetString(pred.col, row), pred);
+        case TypeId::kDouble:
+          return EvalDouble(pred.op,
+                            reinterpret_cast<const double*>(data)[row], pred);
+        case TypeId::kInt64:
+          return EvalInt(pred.op,
+                         reinterpret_cast<const int64_t*>(data)[row], pred);
+        case TypeId::kChar1:
+          return EvalInt(pred.op,
+                         reinterpret_cast<const uint32_t*>(data)[row], pred);
+        default:
+          return EvalInt(pred.op,
+                         reinterpret_cast<const int32_t*>(data)[row], pred);
+      }
+    };
+    uint32_t* w = buf;
+    if (first) {
+      for (uint32_t i = from; i < to; ++i) {
+        *w = i;
+        w += eval(i);
+      }
+    } else {
+      for (uint32_t j = 0; j < n; ++j) {
+        uint32_t p = buf[j];
+        *w = p;
+        w += eval(p);
+      }
+    }
+    return uint32_t(w - buf);
   }
 
   switch (type) {
@@ -703,10 +755,27 @@ uint32_t TableScanner::ProduceFrozenWindow(const DataBlock& block,
 
   const uint64_t* deleted = table_->delete_bitmap(chunk_idx_);
 
+  // The Data Blocks modes emit dictionary-compressed string columns as
+  // code-carrying vectors: survivors stay compressed through the pipeline
+  // and decode lazily via ColumnVector::Str(). The block stays valid for
+  // the batch's lifetime because the chunk pin is held until the scan moves
+  // on. The comparison baselines (kVectorizedSarg and below) keep
+  // materializing so they measure the decompress cost they are meant to.
+  const bool emit_codes =
+      mode_ == ScanMode::kDataBlocks || mode_ == ScanMode::kDataBlocksPsma;
+  auto codeable = [&](uint32_t col) {
+    return emit_codes && block.type(col) == TypeId::kString &&
+           block.attr(col).dict_count > 0;
+  };
+
   // Fast path: every tuple in the window matches and none are deleted.
   if (block_prep_.MatchAll() && deleted == nullptr) {
-    for (size_t i = 0; i < columns_.size(); ++i)
-      UnpackColumnRange(block, columns_[i], from, to, &batch->cols[i]);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (codeable(columns_[i]))
+        UnpackColumnCodesRange(block, columns_[i], from, to, &batch->cols[i]);
+      else
+        UnpackColumnRange(block, columns_[i], from, to, &batch->cols[i]);
+    }
     return to - from;
   }
 
@@ -718,8 +787,13 @@ uint32_t TableScanner::ProduceFrozenWindow(const DataBlock& block,
                                 positions_.data());
   }
   if (n == 0) return 0;
-  for (size_t i = 0; i < columns_.size(); ++i)
-    UnpackColumn(block, columns_[i], positions_.data(), n, &batch->cols[i]);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (codeable(columns_[i]))
+      UnpackColumnCodes(block, columns_[i], positions_.data(), n,
+                        &batch->cols[i]);
+    else
+      UnpackColumn(block, columns_[i], positions_.data(), n, &batch->cols[i]);
+  }
   return n;
 }
 

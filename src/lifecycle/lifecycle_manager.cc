@@ -32,7 +32,7 @@ LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
       std::lock_guard<std::mutex> lock(mu_);
       auto it = archived_.find(chunk_idx);
       DB_CHECK(it != archived_.end());  // evicted chunk must be archived
-      block_id = it->second;
+      block_id = it->second.id;
       archive = archive_;
     }
     return archive->ReadBlock(block_id);
@@ -86,11 +86,15 @@ bool LifecycleManager::ArchiveChunk(size_t idx) {
   }
   // The delete bitmap is deliberately NOT archived here: it stays mutable
   // in table memory across eviction. Whole-table BlockArchive::Save is the
-  // path that persists bitmaps.
+  // path that persists bitmaps, and RearchiveGarbageLocked refreshes the
+  // archived copy once the bitmap has grown enough to matter. The deleted
+  // count is read before the append so the recorded baseline can only lag
+  // the archived state — at worst re-archiving one tick early, never late.
+  const uint32_t deleted = table_->deleted_in_chunk(idx);
   size_t id = archive_->AppendBlock(*block, uint32_t(idx), nullptr,
                                     table_->block_summary(idx));
   std::lock_guard<std::mutex> lock(mu_);
-  archived_[idx] = id;
+  archived_[idx] = ArchivedBlock{id, deleted};
   cache_.Register(idx, block->SizeBytes());
   return true;
 }
@@ -125,7 +129,7 @@ void LifecycleManager::DetachFullyDeletedLocked() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     chunks.reserve(archived_.size());
-    for (const auto& [chunk, id] : archived_) chunks.push_back(chunk);
+    for (const auto& [chunk, entry] : archived_) chunks.push_back(chunk);
   }
   for (size_t chunk : chunks) {
     if (!FullyDeleted(chunk)) continue;
@@ -139,6 +143,50 @@ void LifecycleManager::DetachFullyDeletedLocked() {
     std::lock_guard<std::mutex> lock(mu_);
     archived_.erase(chunk);
     cache_.Unregister(chunk);
+  }
+}
+
+void LifecycleManager::RearchiveGarbageLocked() {
+  if (cfg_.rearchive_garbage_ratio > 1.0) return;
+  // Snapshot the candidates outside mu_ — the pin below can call back into
+  // Table, which must never happen with mu_ held.
+  std::vector<std::pair<size_t, uint32_t>> candidates;  // chunk, baseline
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    candidates.reserve(archived_.size());
+    for (const auto& [chunk, entry] : archived_)
+      candidates.emplace_back(chunk, entry.deleted_at_archive);
+  }
+  for (const auto& [chunk, baseline] : candidates) {
+    const uint32_t rows = table_->chunk_rows(chunk);
+    const uint32_t deleted = table_->deleted_in_chunk(chunk);
+    if (rows == 0 || deleted <= baseline) continue;
+    if (deleted == rows) continue;  // fully deleted: the detach path owns it
+    if (double(deleted - baseline) <
+        cfg_.rearchive_garbage_ratio * double(rows)) {
+      continue;
+    }
+    // Resident blocks only: pinning an evicted chunk would reload its
+    // payload from the very archive being refreshed. An evicted chunk whose
+    // bitmap keeps growing is picked up if it is resident on a later tick.
+    if (table_->chunk_state(chunk) != ChunkState::kFrozen) continue;
+    Table::PinGuard pin(*table_, chunk);
+    const DataBlock* block = table_->frozen_block(chunk);
+    if (block == nullptr) continue;  // raced back to hot — skip
+    // Appends are serialized by tick_mu_ (held), and compaction (the only
+    // archive_ swapper) also runs under it, so archive_ is stable here. The
+    // deleted count is read before the append: the stored baseline can only
+    // lag the appended snapshot, re-triggering early rather than late.
+    const uint32_t now = table_->deleted_in_chunk(chunk);
+    size_t id = archive_->AppendBlock(*block, uint32_t(chunk),
+                                      table_->delete_bitmap(chunk),
+                                      table_->block_summary(chunk));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = archived_.find(chunk);
+      if (it != archived_.end()) it->second = ArchivedBlock{id, now};
+    }
+    rearchived_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -178,7 +226,7 @@ double LifecycleManager::GarbageRatio() const {
     std::lock_guard<std::mutex> lock(mu_);
     archive = archive_;
     live.assign(archive_->num_blocks(), false);
-    for (const auto& [chunk, id] : archived_) live[id] = true;
+    for (const auto& [chunk, entry] : archived_) live[entry.id] = true;
   }
   std::vector<ArchiveEntry> entries = archive->EntriesSnapshot();
   // Appends racing this snapshot may have grown the catalog past the live
@@ -201,9 +249,9 @@ size_t LifecycleManager::CompactLocked(bool force) {
     std::lock_guard<std::mutex> lock(mu_);
     old = archive_;
     live.assign(old->num_blocks(), false);
-    for (const auto& [chunk, id] : archived_) {
-      DB_CHECK(id < live.size());
-      live[id] = true;
+    for (const auto& [chunk, entry] : archived_) {
+      DB_CHECK(entry.id < live.size());
+      live[entry.id] = true;
     }
   }
   // The catalog is append-quiescent here (appends only run under tick_mu_,
@@ -234,9 +282,9 @@ size_t LifecycleManager::CompactLocked(bool force) {
   fresh->NotifyRenamed(archive_path_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [chunk, id] : archived_) {
-      DB_CHECK(id_map[id] != SIZE_MAX);
-      id = id_map[id];
+    for (auto& [chunk, entry] : archived_) {
+      DB_CHECK(id_map[entry.id] != SIZE_MAX);
+      entry.id = id_map[entry.id];
     }
     prior_archive_reads_.fetch_add(old_reads, std::memory_order_relaxed);
     archive_ = std::move(fresh);
@@ -303,6 +351,7 @@ void LifecycleManager::Tick() {
     table_->DecayChunkClock(i, cfg_.decay_shift);
   }
 
+  RearchiveGarbageLocked();
   EnforceBudget();
   if (cfg_.compact_garbage_ratio <= 1.0) CompactLocked(/*force=*/false);
   epochs_.fetch_add(1, std::memory_order_relaxed);
@@ -364,6 +413,7 @@ LifecycleStats LifecycleManager::stats() const {
   s.reclaimed_blocks = reclaimed_blocks_.load(std::memory_order_relaxed);
   s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
   s.tombstoned = table_->tombstones();
+  s.rearchived = rearchived_.load(std::memory_order_relaxed);
   for (size_t c = 0; c < table_->num_chunks(); ++c) {
     if (const BlockSummary* sum = table_->block_summary(c))
       s.summary_bytes += sum->MemoryBytes();

@@ -53,6 +53,15 @@ struct LifecycleConfig {
   /// is garbage (superseded or fully-deleted blocks). > 1.0 disables
   /// automatic compaction; CompactArchive() still works explicitly.
   double compact_garbage_ratio = 0.5;
+  /// Re-archive a resident frozen chunk when its delete bitmap grew by at
+  /// least this fraction of the chunk's rows since it was last appended:
+  /// the fresh append snapshots the current bitmap (so a Restore from the
+  /// archive reflects the deletes) and supersedes the stale entry, which
+  /// the compactor then reclaims. > 1.0 disables re-archiving. Evicted
+  /// chunks are never re-archived — that would reload their payload from
+  /// the very archive being refreshed; they are picked up if resident on a
+  /// later tick.
+  double rearchive_garbage_ratio = 0.25;
 
   // -- Background ticks -----------------------------------------------------
   std::chrono::milliseconds tick_interval{50};
@@ -78,6 +87,7 @@ struct LifecycleStats {
   uint64_t reclaimed_blocks = 0; // dead blocks dropped by compaction
   uint64_t reclaimed_bytes = 0;  // payload bytes reclaimed by compaction
   uint64_t tombstoned = 0;       // fully-deleted chunks whose payload dropped
+  uint64_t rearchived = 0;       // blocks re-appended for delete growth
 };
 
 /// The block lifecycle subsystem: per-chunk temperature statistics drive
@@ -166,6 +176,11 @@ class LifecycleManager {
   /// cost. Chunks that are transiently pinned stay attached and are
   /// retried on the next pass.
   void DetachFullyDeletedLocked();
+  /// Re-appends resident frozen chunks whose delete bitmap grew past
+  /// cfg_.rearchive_garbage_ratio since their last append (with the fresh
+  /// bitmap snapshot); the superseded entries become compactor garbage.
+  /// Requires tick_mu_.
+  void RearchiveGarbageLocked();
   bool FullyDeleted(size_t chunk_idx) const;
   std::shared_ptr<BlockArchive> ArchiveRef() const;
 
@@ -180,7 +195,11 @@ class LifecycleManager {
   std::mutex tick_mu_;  // serializes Tick / CompactArchive
   std::shared_ptr<BlockArchive> archive_;  // swapped atomically by compaction
   BlockCache cache_;
-  std::unordered_map<size_t, size_t> archived_;  // chunk -> archive block id
+  struct ArchivedBlock {
+    size_t id;                    // current archive block id
+    uint32_t deleted_at_archive;  // chunk's deleted count when last appended
+  };
+  std::unordered_map<size_t, ArchivedBlock> archived_;  // chunk -> entry
   std::vector<uint32_t> cold_epochs_;
 
   std::atomic<uint64_t> epochs_{0};
@@ -189,6 +208,7 @@ class LifecycleManager {
   std::atomic<uint64_t> compactions_{0};
   std::atomic<uint64_t> reclaimed_blocks_{0};
   std::atomic<uint64_t> reclaimed_bytes_{0};
+  std::atomic<uint64_t> rearchived_{0};
   std::atomic<uint64_t> prior_archive_reads_{0};  // reads on retired archives
 
   std::thread bg_;

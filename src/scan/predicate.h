@@ -2,13 +2,20 @@
 #define DATABLOCKS_SCAN_PREDICATE_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "storage/value.h"
 
 namespace datablocks {
 
 /// SARGable comparison operators (paper Section 3: "=, is, <, <=, >, >=,
-/// between"). `is [not] null` is the paper's "is".
+/// between"). `is [not] null` is the paper's "is". kIn and kPrefix extend the
+/// paper's set with two restrictions that stay SARGable on compressed blocks:
+/// an IN list translates to a set of dictionary codes (or a code range when
+/// the matching codes are contiguous), and a prefix restriction (LIKE 'x%')
+/// translates to a code range because the string dictionaries are
+/// order-preserving.
 enum class CompareOp : uint8_t {
   kEq,
   kNe,
@@ -17,6 +24,8 @@ enum class CompareOp : uint8_t {
   kGt,
   kGe,
   kBetween,  // inclusive on both ends, SQL semantics
+  kIn,       // membership in `list`
+  kPrefix,   // string starts with `lo` (strings only)
   kIsNull,
   kIsNotNull,
 };
@@ -28,33 +37,44 @@ struct Predicate {
   CompareOp op = CompareOp::kEq;
   Value lo;  // comparison constant (lower bound for kBetween)
   Value hi;  // upper bound for kBetween only
+  std::vector<Value> list;  // membership constants for kIn only
 
   static Predicate Eq(uint32_t col, Value v) {
-    return {col, CompareOp::kEq, std::move(v), Value()};
+    return {col, CompareOp::kEq, std::move(v), Value(), {}};
   }
   static Predicate Ne(uint32_t col, Value v) {
-    return {col, CompareOp::kNe, std::move(v), Value()};
+    return {col, CompareOp::kNe, std::move(v), Value(), {}};
   }
   static Predicate Lt(uint32_t col, Value v) {
-    return {col, CompareOp::kLt, std::move(v), Value()};
+    return {col, CompareOp::kLt, std::move(v), Value(), {}};
   }
   static Predicate Le(uint32_t col, Value v) {
-    return {col, CompareOp::kLe, std::move(v), Value()};
+    return {col, CompareOp::kLe, std::move(v), Value(), {}};
   }
   static Predicate Gt(uint32_t col, Value v) {
-    return {col, CompareOp::kGt, std::move(v), Value()};
+    return {col, CompareOp::kGt, std::move(v), Value(), {}};
   }
   static Predicate Ge(uint32_t col, Value v) {
-    return {col, CompareOp::kGe, std::move(v), Value()};
+    return {col, CompareOp::kGe, std::move(v), Value(), {}};
   }
   static Predicate Between(uint32_t col, Value lo, Value hi) {
-    return {col, CompareOp::kBetween, std::move(lo), std::move(hi)};
+    return {col, CompareOp::kBetween, std::move(lo), std::move(hi), {}};
+  }
+  static Predicate In(uint32_t col, std::vector<Value> values) {
+    Predicate p;
+    p.col = col;
+    p.op = CompareOp::kIn;
+    p.list = std::move(values);
+    return p;
+  }
+  static Predicate Prefix(uint32_t col, Value v) {
+    return {col, CompareOp::kPrefix, std::move(v), Value(), {}};
   }
   static Predicate IsNull(uint32_t col) {
-    return {col, CompareOp::kIsNull, Value(), Value()};
+    return {col, CompareOp::kIsNull, Value(), Value(), {}};
   }
   static Predicate IsNotNull(uint32_t col) {
-    return {col, CompareOp::kIsNotNull, Value(), Value()};
+    return {col, CompareOp::kIsNotNull, Value(), Value(), {}};
   }
 };
 

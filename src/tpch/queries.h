@@ -59,7 +59,11 @@ struct QueryResult {
 
 // The 22 TPC-H queries (validation parameters), hand-fused against the
 // vectorized scan interface. SARGable restrictions are pushed into the
-// scans; LIKE / IN / cross-column predicates run in the pipeline.
+// scans — including IN lists and prefix LIKE patterns, which code-space
+// scans on frozen blocks translate to dictionary codes / code ranges.
+// Non-prefix LIKE and cross-column predicates run in the pipeline,
+// memoized per dictionary code where the column is code-carrying
+// (exec/dict_memo.h).
 QueryResult Q1(const TpchDatabase& db, const ScanOptions& opt);   // pricing summary report
 QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt);   // minimum cost supplier
 QueryResult Q3(const TpchDatabase& db, const ScanOptions& opt);   // shipping priority (top 10)

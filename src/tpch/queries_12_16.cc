@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/dict_memo.h"
 #include "tpch/queries.h"
 #include "util/date.h"
 #include "util/like.h"
@@ -32,14 +33,22 @@ QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
   std::vector<uint8_t> high = ParDenseStore<uint8_t>(
       db.orders, opt, {ord::orderkey, ord::orderpriority}, {},
       size_t(db.NumOrders()), [](auto& sink, const Batch& b) {
+        // o_orderpriority has five distinct values: on coded batches the
+        // membership test runs once per dictionary code, not per row.
+        DictFilter high_pri(b.cols[1], [](std::string_view p) {
+          return p == "1-URGENT" || p == "2-HIGH";
+        });
         for (uint32_t i = 0; i < b.count; ++i) {
-          std::string_view p = b.cols[1].str[i];
           sink.Store(size_t(OrderIdx(b.cols[0].i64[i])),
-                     (p == "1-URGENT" || p == "2-HIGH") ? 1 : 0);
+                     high_pri(i) ? 1 : 0);
         }
       });
 
-  // (MAIL, SHIP) x (high count, low count).
+  // (MAIL, SHIP) x (high count, low count). The shipmode membership is
+  // pushed into the scan as an IN predicate — on frozen blocks it becomes a
+  // dictionary code set (or code range), so non-matching rows never touch
+  // the dictionary; the pipeline only disambiguates MAIL vs SHIP among
+  // survivors.
   struct ModeCounts {
     std::array<std::pair<int64_t, int64_t>, 2> counts{};  // 0=MAIL, 1=SHIP
   };
@@ -47,13 +56,13 @@ QueryResult Q12(const TpchDatabase& db, const ScanOptions& opt) {
       db.lineitem, opt,
       {li::orderkey, li::shipdate, li::commitdate, li::receiptdate,
        li::shipmode},
-      {Predicate::Between(li::receiptdate, Value::Int(lo),
-                          Value::Int(hi - 1))},
+      {Predicate::Between(li::receiptdate, Value::Int(lo), Value::Int(hi - 1)),
+       Predicate::In(li::shipmode,
+                     {Value::Str("MAIL"), Value::Str("SHIP")})},
       [] { return ModeCounts{}; },
       [&high](ModeCounts& mc, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          std::string_view mode = b.cols[4].str[i];
-          if (mode != "MAIL" && mode != "SHIP") continue;
+          std::string_view mode = b.cols[4].Str(i);
           if (b.cols[2].i32[i] >= b.cols[3].i32[i]) continue;  // commit<recpt
           if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;  // ship<commit
           auto& c = mc.counts[mode == "MAIL" ? 0 : 1];
@@ -89,8 +98,14 @@ QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
       db.orders, opt, {ord::custkey, ord::comment}, {},
       size_t(db.NumCustomers()) + 1,
       [](auto& sink, const Batch& b) {
+        // o_comment is near-unique, so DictFilter's cardinality guard keeps
+        // this a direct evaluation; the wrapper still routes coded batches
+        // through the dictionary accessor.
+        DictFilter special(b.cols[1], [](std::string_view c) {
+          return LikeMatch(c, "%special%requests%");
+        });
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (LikeMatch(b.cols[1].str[i], "%special%requests%")) continue;
+          if (special(i)) continue;
           sink.Add(size_t(b.cols[0].i32[i]), 1);
         }
       },
@@ -129,14 +144,16 @@ QueryResult Q13(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q14(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1995, 9, 1), hi = MakeDate(1995, 10, 1);
 
+  // LIKE 'PROMO%' is a pure prefix, so it pushes into the scan as a SARGable
+  // Prefix predicate: on frozen blocks the order-preserving dictionary turns
+  // it into a code-range comparison and p_type itself need not be read.
   using KeySet = std::unordered_set<int32_t>;
   KeySet promo_parts = ParAgg<KeySet>(
-      db.part, opt, {prt::partkey, prt::type}, {},
+      db.part, opt, {prt::partkey},
+      {Predicate::Prefix(prt::type, Value::Str("PROMO"))},
       [] { return KeySet{}; },
       [](KeySet& s, const Batch& b) {
-        for (uint32_t i = 0; i < b.count; ++i)
-          if (LikeMatch(b.cols[1].str[i], "PROMO%"))
-            s.insert(b.cols[0].i32[i]);
+        for (uint32_t i = 0; i < b.count; ++i) s.insert(b.cols[0].i32[i]);
       },
       MergeUnion<KeySet>);
 
@@ -198,9 +215,9 @@ QueryResult Q15(const TpchDatabase& db, const ScanOptions& opt) {
                int32_t sk = b.cols[0].i32[i];
                if (revenue[size_t(sk)] != max_rev || max_rev == 0) continue;
                result.rows.push_back(
-                   std::to_string(sk) + "|" + std::string(b.cols[1].str[i]) +
-                   "|" + std::string(b.cols[2].str[i]) + "|" +
-                   std::string(b.cols[3].str[i]) + "|" +
+                   std::to_string(sk) + "|" + std::string(b.cols[1].Str(i)) +
+                   "|" + std::string(b.cols[2].Str(i)) + "|" +
+                   std::string(b.cols[3].Str(i)) + "|" +
                    F2(double(max_rev) / 1e4));
              }
            });
@@ -223,14 +240,20 @@ QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt) {
       {Predicate::Ne(prt::brand, Value::Str("Brand#45"))},
       [] { return PartMap{}; },
       [](PartMap& m, const Batch& b) {
+        // NOT LIKE 'MEDIUM POLISHED%' cannot push into the scan, but on
+        // coded batches the prefix test runs once per p_type dictionary
+        // code instead of per row.
+        DictFilter polished(b.cols[2], [](std::string_view t) {
+          return LikeMatch(t, "MEDIUM POLISHED%");
+        });
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (LikeMatch(b.cols[2].str[i], "MEDIUM POLISHED%")) continue;
+          if (polished(i)) continue;
           int32_t size = b.cols[3].i32[i];
           bool size_ok = false;
           for (int s : kSizes) size_ok |= (size == s);
           if (!size_ok) continue;
-          m[b.cols[0].i32[i]] = PartInfo{std::string(b.cols[1].str[i]),
-                                         std::string(b.cols[2].str[i]), size};
+          m[b.cols[0].i32[i]] = PartInfo{std::string(b.cols[1].Str(i)),
+                                         std::string(b.cols[2].Str(i)), size};
         }
       },
       MergeInsert<PartMap>);
@@ -239,7 +262,7 @@ QueryResult Q16(const TpchDatabase& db, const ScanOptions& opt) {
   ScanLoop(opt.Scan(db.supplier, {sup::suppkey, sup::comment}),
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
-               if (LikeMatch(b.cols[1].str[i], "%Customer%Complaints%"))
+               if (LikeMatch(b.cols[1].Str(i), "%Customer%Complaints%"))
                  excluded_supp.insert(b.cols[0].i32[i]);
            });
 

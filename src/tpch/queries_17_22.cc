@@ -124,7 +124,7 @@ QueryResult Q18(const TpchDatabase& db, const ScanOptions& opt) {
       [&wanted](NameMap& m, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
           if (wanted.count(b.cols[0].i32[i]))
-            m[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+            m[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
       },
       MergeInsert<NameMap>);
   for (OutRow& r : out) r.c_name = cust_name[r.custkey];
@@ -161,8 +161,8 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
       [](PartMap& m, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
           m[b.cols[0].i32[i]] =
-              PartInfo{std::string(b.cols[1].str[i]),
-                       std::string(b.cols[2].str[i]), b.cols[3].i32[i]};
+              PartInfo{std::string(b.cols[1].Str(i)),
+                       std::string(b.cols[2].Str(i)), b.cols[3].i32[i]};
       },
       MergeInsert<PartMap>);
 
@@ -172,17 +172,19 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
     return false;
   };
 
+  // Both lineitem string restrictions push into the scan: on frozen blocks
+  // they run as dictionary-code comparisons and the strings themselves are
+  // never read, so l_shipmode / l_shipinstruct drop out of the consumed
+  // column set entirely.
   int64_t revenue = ParAgg<int64_t>(
       db.lineitem, opt,
-      {li::partkey, li::quantity, li::extendedprice, li::discount,
-       li::shipmode, li::shipinstruct},
-      {Predicate::Le(li::quantity, Value::Int(40))},
+      {li::partkey, li::quantity, li::extendedprice, li::discount},
+      {Predicate::Le(li::quantity, Value::Int(40)),
+       Predicate::Eq(li::shipinstruct, Value::Str("DELIVER IN PERSON")),
+       Predicate::In(li::shipmode, {Value::Str("AIR"), Value::Str("REG AIR")})},
       [] { return int64_t{0}; },
       [&parts, &in](int64_t& rev, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (b.cols[5].str[i] != "DELIVER IN PERSON") continue;
-          std::string_view mode = b.cols[4].str[i];
-          if (mode != "AIR" && mode != "REG AIR") continue;
           auto it = parts.find(b.cols[0].i32[i]);
           if (it == parts.end()) continue;
           const PartInfo& p = it->second;
@@ -215,14 +217,15 @@ QueryResult Q19(const TpchDatabase& db, const ScanOptions& opt) {
 QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
 
+  // LIKE 'forest%' pushes as a SARGable prefix predicate — a code-range
+  // comparison on frozen blocks — so p_name is never materialized.
   using KeySet = std::unordered_set<int32_t>;
   KeySet forest_parts = ParAgg<KeySet>(
-      db.part, opt, {prt::partkey, prt::name}, {},
+      db.part, opt, {prt::partkey},
+      {Predicate::Prefix(prt::name, Value::Str("forest"))},
       [] { return KeySet{}; },
       [](KeySet& s, const Batch& b) {
-        for (uint32_t i = 0; i < b.count; ++i)
-          if (LikeMatch(b.cols[1].str[i], "forest%"))
-            s.insert(b.cols[0].i32[i]);
+        for (uint32_t i = 0; i < b.count; ++i) s.insert(b.cols[0].i32[i]);
       },
       MergeUnion<KeySet>);
 
@@ -267,8 +270,8 @@ QueryResult Q20(const TpchDatabase& db, const ScanOptions& opt) {
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
                if (candidate_supp.count(b.cols[0].i32[i]))
-                 result.rows.push_back(std::string(b.cols[1].str[i]) + "|" +
-                                       std::string(b.cols[2].str[i]));
+                 result.rows.push_back(std::string(b.cols[1].Str(i)) + "|" +
+                                       std::string(b.cols[2].Str(i)));
            });
   std::sort(result.rows.begin(), result.rows.end());
   return result;
@@ -334,7 +337,7 @@ QueryResult Q21(const TpchDatabase& db, const ScanOptions& opt) {
                     {Predicate::Eq(sup::nationkey, Value::Int(saudi))}),
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
-               saudi_supp[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+               saudi_supp[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
            });
 
   // numwait per saudi supplier: orders with status F where this supplier
@@ -388,7 +391,7 @@ QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt) {
       [] { return BalAgg{}; },
       [&code_ok](BalAgg& a, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (!code_ok(b.cols[0].str[i])) continue;
+          if (!code_ok(b.cols[0].Str(i))) continue;
           a.sum += b.cols[1].i64[i];
           ++a.count;
         }
@@ -421,10 +424,10 @@ QueryResult Q22(const TpchDatabase& db, const ScanOptions& opt) {
       [] { return GroupMap{}; },
       [&](GroupMap& g, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (!code_ok(b.cols[1].str[i])) continue;
+          if (!code_ok(b.cols[1].Str(i))) continue;
           if (double(b.cols[2].i64[i]) <= avg) continue;
           if (has_order[size_t(b.cols[0].i32[i])]) continue;
-          Agg& a = g[code_of(b.cols[1].str[i])];
+          Agg& a = g[code_of(b.cols[1].Str(i))];
           ++a.count;
           a.sum += b.cols[2].i64[i];
         }

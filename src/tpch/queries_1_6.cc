@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/dict_memo.h"
 #include "tpch/queries.h"
 #include "util/date.h"
 #include "util/like.h"
@@ -111,7 +112,7 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
                     {Predicate::Eq(nat::regionkey, Value::Int(europe))}),
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
-               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
            });
 
   struct SuppInfo {
@@ -127,10 +128,10 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
                auto it = nation_name.find(b.cols[3].i32[i]);
                if (it == nation_name.end()) continue;
                supp[b.cols[0].i32[i]] =
-                   SuppInfo{std::string(b.cols[1].str[i]),
-                            std::string(b.cols[2].str[i]),
-                            std::string(b.cols[4].str[i]),
-                            std::string(b.cols[6].str[i]), it->second,
+                   SuppInfo{std::string(b.cols[1].Str(i)),
+                            std::string(b.cols[2].Str(i)),
+                            std::string(b.cols[4].Str(i)),
+                            std::string(b.cols[6].Str(i)), it->second,
                             b.cols[5].i64[i]};
              }
            });
@@ -172,9 +173,14 @@ QueryResult Q2(const TpchDatabase& db, const ScanOptions& opt) {
       {Predicate::Eq(prt::size, Value::Int(15))},
       [] { return std::unordered_map<int32_t, std::string>{}; },
       [](std::unordered_map<int32_t, std::string>& m, const Batch& b) {
+        // LIKE '%BRASS' is a suffix match — not SARGable — but on coded
+        // batches it runs once per p_type dictionary code, not per row.
+        DictFilter brass(b.cols[2], [](std::string_view t) {
+          return LikeMatch(t, "%BRASS");
+        });
         for (uint32_t i = 0; i < b.count; ++i) {
-          if (!LikeMatch(b.cols[2].str[i], "%BRASS")) continue;
-          m[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+          if (!brass(i)) continue;
+          m[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
         }
       },
       MergeInsert<std::unordered_map<int32_t, std::string>>);
@@ -289,18 +295,34 @@ QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt) {
   const int32_t lo = MakeDate(1993, 7, 1);
   const int32_t hi = MakeDate(1993, 10, 1);
 
-  // Orders in the quarter -> priority name.
-  using QuarterMap = std::unordered_map<int64_t, std::string>;
-  QuarterMap in_quarter = ParAgg<QuarterMap>(
+  // Orders in the quarter -> priority, keyed through a per-worker string
+  // interner: on coded batches each distinct o_orderpriority dictionary
+  // code resolves to a dense id once per batch, and the per-order map
+  // stores a uint32 instead of a heap string. Worker-local id spaces are
+  // reconciled by NAME in the merge — dictionary codes are block-local and
+  // interner ids are worker-local, so the string value is the only key
+  // that is stable across both.
+  struct Quarter {
+    StringKeyInterner prios;
+    std::unordered_map<int64_t, uint32_t> orders;
+  };
+  Quarter in_quarter = ParAgg<Quarter>(
       db.orders, opt, {ord::orderkey, ord::orderpriority},
       {Predicate::Between(ord::orderdate, Value::Int(lo),
                           Value::Int(hi - 1))},
-      [] { return QuarterMap{}; },
-      [](QuarterMap& m, const Batch& b) {
+      [] { return Quarter{}; },
+      [](Quarter& q, const Batch& b) {
+        StringKeyInterner::BatchKeys prio(q.prios, b.cols[1]);
         for (uint32_t i = 0; i < b.count; ++i)
-          m[b.cols[0].i64[i]] = std::string(b.cols[1].str[i]);
+          q.orders.emplace(b.cols[0].i64[i], prio(i));
       },
-      MergeInsert<QuarterMap>);
+      [](Quarter& dst, Quarter& src) {
+        std::vector<uint32_t> remap(src.prios.size());
+        for (uint32_t id = 0; id < src.prios.size(); ++id)
+          remap[id] = dst.prios.Intern(src.prios.name(id));
+        for (const auto& [ok, id] : src.orders)
+          dst.orders.emplace(ok, remap[id]);
+      });
 
   // Distinct quarter orders with at least one late lineitem.
   auto late = ParAgg<std::unordered_set<int64_t>>(
@@ -310,7 +332,7 @@ QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt) {
         for (uint32_t i = 0; i < b.count; ++i) {
           if (b.cols[1].i32[i] >= b.cols[2].i32[i]) continue;
           int64_t ok = b.cols[0].i64[i];
-          if (in_quarter.count(ok)) s.insert(ok);
+          if (in_quarter.orders.count(ok)) s.insert(ok);
         }
       },
       MergeUnion<std::unordered_set<int64_t>>);
@@ -318,8 +340,10 @@ QueryResult Q4(const TpchDatabase& db, const ScanOptions& opt) {
   // Priorities present in the quarter appear in the output even with a
   // zero count, exactly like the plan this replaces.
   std::map<std::string, int64_t> counts;
-  for (const auto& [ok, prio] : in_quarter) counts[prio];
-  for (int64_t ok : late) ++counts[in_quarter[ok]];
+  for (const auto& [ok, id] : in_quarter.orders)
+    counts[in_quarter.prios.name(id)];
+  for (int64_t ok : late)
+    ++counts[in_quarter.prios.name(in_quarter.orders[ok])];
 
   QueryResult result;
   for (auto& [p, c] : counts)
@@ -342,7 +366,7 @@ QueryResult Q5(const TpchDatabase& db, const ScanOptions& opt) {
                     {Predicate::Eq(nat::regionkey, Value::Int(asia))}),
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
-               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+               nation_name[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
            });
 
   using KeyMap = std::unordered_map<int32_t, int32_t>;

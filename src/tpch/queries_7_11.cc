@@ -33,7 +33,7 @@ std::unordered_map<int32_t, std::string> AllNations(const TpchDatabase& db,
   ScanLoop(opt.Scan(db.nation, {nat::nationkey, nat::name}),
            [&](const Batch& b) {
              for (uint32_t i = 0; i < b.count; ++i)
-               names[b.cols[0].i32[i]] = std::string(b.cols[1].str[i]);
+               names[b.cols[0].i32[i]] = std::string(b.cols[1].Str(i));
            });
   return names;
 }
@@ -236,7 +236,7 @@ QueryResult Q9(const TpchDatabase& db, const ScanOptions& opt) {
       [] { return KeySet{}; },
       [](KeySet& s, const Batch& b) {
         for (uint32_t i = 0; i < b.count; ++i)
-          if (b.cols[1].str[i].find("green") != std::string_view::npos)
+          if (b.cols[1].Str(i).find("green") != std::string_view::npos)
             s.insert(b.cols[0].i32[i]);
       },
       MergeUnion<KeySet>);
@@ -363,10 +363,10 @@ QueryResult Q10(const TpchDatabase& db, const ScanOptions& opt) {
           const int64_t* rev = revenue.Find(uint64_t(b.cols[0].i32[i]));
           if (rev == nullptr) continue;
           rows.push_back({b.cols[0].i32[i], *rev,
-                          std::string(b.cols[1].str[i]),
-                          std::string(b.cols[5].str[i]),
-                          std::string(b.cols[3].str[i]),
-                          std::string(b.cols[6].str[i]),
+                          std::string(b.cols[1].Str(i)),
+                          std::string(b.cols[5].Str(i)),
+                          std::string(b.cols[3].Str(i)),
+                          std::string(b.cols[6].Str(i)),
                           nations[b.cols[4].i32[i]], b.cols[2].i64[i]});
         }
       },

@@ -6,8 +6,11 @@
 namespace datablocks {
 
 /// Minimal SQL LIKE matcher supporting '%' wildcards (no '_'), which covers
-/// every pattern in TPC-H. Non-SARGable: evaluated in the query pipeline on
-/// unpacked strings, never pushed into scans.
+/// every pattern in TPC-H. Prefix patterns (`x%`) are SARGable — queries
+/// push them into scans as Predicate::Prefix, which code-space scans lower
+/// to a dictionary code range. Everything else (infix/suffix patterns) is
+/// evaluated in the query pipeline, typically memoized per dictionary code
+/// via DictFilter (exec/dict_memo.h) instead of re-matched per row.
 inline bool LikeMatch(std::string_view s, std::string_view pattern) {
   // Split the pattern into literal segments separated by '%'.
   size_t sp = 0;

@@ -115,7 +115,7 @@ std::vector<CarrierDelay> RunFlightsQuery(const Table& flights, ScanMode mode,
   Batch batch;
   while (scan.Next(&batch)) {
     for (uint32_t i = 0; i < batch.count; ++i) {
-      Agg& a = groups[batch.cols[0].str[i]];
+      Agg& a = groups[batch.cols[0].Str(i)];
       a.sum += batch.cols[1].i32[i];
       ++a.count;
     }

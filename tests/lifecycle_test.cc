@@ -235,7 +235,7 @@ TEST(Lifecycle, TpccTablesSurviveFullLifecycleWithIdenticalScans) {
           }
           if (tg.str_slot >= 0) {
             r.str_hash ^= std::hash<std::string_view>()(
-                              b.cols[size_t(tg.str_slot)].str[i]) +
+                              b.cols[size_t(tg.str_slot)].Str(i)) +
                           0x9e3779b9 + (r.str_hash << 6) + (r.str_hash >> 2);
           }
         }

@@ -77,7 +77,7 @@ std::string Digest(const Table& t, const std::vector<uint32_t>& cols,
             digest += std::to_string(cv.f64[i]);
             break;
           case TypeId::kString:
-            digest += cv.str[i];
+            digest += cv.Str(i);
             break;
         }
         digest += '|';

@@ -64,7 +64,7 @@ inline ScanResult FullScan(const Table& t,
     for (uint32_t i = 0; i < b.count; ++i) {
       ++r.count;
       r.sum += b.cols[0].i64[i] + b.cols[1].i32[i];
-      r.str_hash ^= std::hash<std::string_view>()(b.cols[2].str[i]) +
+      r.str_hash ^= std::hash<std::string_view>()(b.cols[2].Str(i)) +
                     0x9e3779b9 + (r.str_hash << 6) + (r.str_hash >> 2);
     }
   }
