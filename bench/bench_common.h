@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "exec/partitioned_agg.h"
+#include "obs/metrics.h"
+
 // Shared flag handling for the bench binaries. Every benchmark accepts
 // `--quick` (anywhere on the command line): workloads shrink to smoke-test
 // sizes so CI can launch each binary and catch bit-rot. Quick-mode numbers
@@ -111,7 +114,14 @@ inline void BenchJsonFlush() {
     }
     std::fprintf(f, "}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  // Process-wide metrics snapshot (obs/metrics.h). RegisterEngineMetrics
+  // pre-registers every engine metric so the section has a stable set of
+  // names (untouched ones read 0); the aggregation-state gauges are
+  // exported here since they are pull-based.
+  datablocks::obs::RegisterEngineMetrics();
+  datablocks::aggstate::ExportGauges();
+  std::fprintf(f, "\n  ],\n  \"metrics\": %s\n}\n",
+               datablocks::obs::MetricsRegistry::Default().ToJson().c_str());
   std::fclose(f);
   std::printf("[--json] wrote %zu results to %s\n", s.entries.size(),
               s.path.c_str());
@@ -140,6 +150,11 @@ inline bool BenchJsonMode(int* argc, char** argv, bool quick) {
   const char* base = std::strrchr(argv[0], '/');
   s.bench = base != nullptr ? base + 1 : argv[0];
   s.quick = quick;
+  // Construct the registry static BEFORE registering the exit handler:
+  // function-local statics are destroyed in reverse construction order
+  // interleaved with atexit callbacks, so a registry first touched during
+  // the run would be torn down before the flush that reads it.
+  datablocks::obs::RegisterEngineMetrics();
   std::atexit(BenchJsonFlush);
   return true;
 }
@@ -152,6 +167,82 @@ inline void BenchJsonRecord(std::string name, std::string config,
   s.entries.push_back(BenchJsonEntry{std::move(name), std::move(config),
                                      median_ns_op, rows_per_s,
                                      state_peak_bytes});
+}
+
+// ---------------------------------------------------------------------------
+// --profile: per-query execution profiles (obs/query_profile.h). Benches
+// that support it attach a fresh QueryProfile to every measured run and
+// print an EXPLAIN-ANALYZE-style report for the most interesting config.
+// `--profile-json <path>` additionally collects one profile JSON object
+// per (name, config) — the last measured repetition — into a single file
+// for tools/profile_report.py (which also validates the schema in CI).
+// ---------------------------------------------------------------------------
+
+struct BenchProfileState {
+  bool enabled = false;
+  std::string bench;
+  std::string json_path;
+  std::vector<std::string> profiles;  // QueryProfile::ToJson() objects
+};
+
+inline BenchProfileState& BenchProfile() {
+  static BenchProfileState state;
+  return state;
+}
+
+inline void BenchProfileFlush() {
+  BenchProfileState& s = BenchProfile();
+  if (s.json_path.empty()) return;
+  std::FILE* f = std::fopen(s.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", s.json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"profiles\": [", s.bench.c_str());
+  for (size_t i = 0; i < s.profiles.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", s.profiles[i].c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("[--profile-json] wrote %zu profiles to %s\n",
+              s.profiles.size(), s.json_path.c_str());
+}
+
+/// Parses and strips `--profile` and `--profile-json <path>` (or
+/// `--profile-json=<path>`; implies --profile) from argv. Returns true
+/// when profiling is enabled.
+inline bool BenchProfileMode(int* argc, char** argv) {
+  BenchProfileState& s = BenchProfile();
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--profile") == 0) {
+      s.enabled = true;
+      continue;
+    }
+    if (std::strcmp(argv[r], "--profile-json") == 0 && r + 1 < *argc) {
+      s.enabled = true;
+      s.json_path = argv[++r];
+      continue;
+    }
+    if (std::strncmp(argv[r], "--profile-json=", 15) == 0) {
+      s.enabled = true;
+      s.json_path = argv[r] + 15;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (!s.enabled) return false;
+  const char* base = std::strrchr(argv[0], '/');
+  s.bench = base != nullptr ? base + 1 : argv[0];
+  if (!s.json_path.empty()) std::atexit(BenchProfileFlush);
+  return true;
+}
+
+inline void BenchProfileRecord(std::string profile_json) {
+  BenchProfileState& s = BenchProfile();
+  if (s.json_path.empty()) return;
+  s.profiles.push_back(std::move(profile_json));
 }
 
 /// Parses and strips `--threads N` (or `--threads=N`) from argv — the

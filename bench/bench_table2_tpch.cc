@@ -8,8 +8,13 @@
 //   +SARG/SMA   Data Block scan with SARG pushdown and SMA skipping
 //   +PSMA       +SARG/SMA with PSMA range narrowing
 //
-// Usage: bench_table2_tpch [--queries 1,6] [--threads N] [scale_factor]
-//        [repetitions]
+// Usage: bench_table2_tpch [--queries 1,6] [--threads N] [--profile]
+//        [--profile-json out.json] [scale_factor] [repetitions]
+//
+// --profile attaches an execution profile (obs/query_profile.h) to every
+// measured run and prints the per-query EXPLAIN-ANALYZE-style report for
+// the +PSMA config; --profile-json collects the profile JSON objects into
+// a file for tools/profile_report.py.
 //
 // --queries restricts the run to a comma-separated query subset (the CI
 // perf-regression job measures Q1/Q6 only). --threads N runs every query's
@@ -25,9 +30,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/partitioned_agg.h"
+#include "obs/query_profile.h"
 #include "tpch/queries.h"
 #include "util/cpu.h"
 #include "util/timer.h"
@@ -44,6 +52,7 @@ struct Measurement {
   double median;  // median-of-reps (the JSON harness uses this)
   double state_peak_bytes;  // peak aggregation-state bytes of one run
   uint64_t checksum;        // FNV over the result rows (thread-invariant)
+  std::string report;       // --profile: last rep's execution profile
 };
 
 uint64_t ResultChecksum(const QueryResult& result) {
@@ -56,15 +65,27 @@ uint64_t ResultChecksum(const QueryResult& result) {
 }
 
 Measurement MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
-                           int reps, unsigned threads) {
+                           const char* config, int reps, unsigned threads) {
   std::vector<double> samples;
   double best = 1e30;
   uint64_t checksum = 0;
+  std::string report;
   aggstate::ResetPeaks();
   for (int r = 0; r < reps; ++r) {
+    // With --profile, EVERY measured run of EVERY config carries a live
+    // profile — so profiled-vs-unprofiled comparisons (the CI overhead
+    // guard) measure instrumentation cost, not a config mix.
+    std::unique_ptr<obs::QueryProfile> profile;
+    if (BenchProfile().enabled) {
+      char qname[8];
+      std::snprintf(qname, sizeof(qname), "Q%d", q);
+      profile = std::make_unique<obs::QueryProfile>(qname, config, threads);
+    }
     Timer t;
     QueryResult result = RunQuery(
-        q, db, ScanOptions{.mode = mode, .ctx = {.threads = threads}});
+        q, db,
+        ScanOptions{.mode = mode,
+                    .ctx = {.threads = threads, .profile = profile.get()}});
     samples.push_back(t.ElapsedSeconds());
     best = std::min(best, samples.back());
     checksum = result.rows.empty() ? 1 : ResultChecksum(result);
@@ -73,9 +94,14 @@ Measurement MeasureSeconds(int q, const TpchDatabase& db, ScanMode mode,
       // empty result elsewhere would make the timing meaningless.
       std::fprintf(stderr, "warning: Q%d returned no rows\n", q);
     }
+    if (profile != nullptr && r == reps - 1) {
+      report = profile->Report();
+      BenchProfileRecord(profile->ToJson());
+    }
   }
   return {best, BenchMedian(samples),
-          double(aggstate::GetStats().peak_total_bytes), checksum};
+          double(aggstate::GetStats().peak_total_bytes), checksum,
+          std::move(report)};
 }
 
 /// Strips `--queries a,b,...` / `--queries=a,b,...` from argv. Returns the
@@ -119,6 +145,7 @@ std::vector<int> ParseQueries(int* argc, char** argv) {
 int main(int argc, char** argv) {
   const bool quick = BenchQuickMode(&argc, argv);
   BenchJsonMode(&argc, argv, quick);
+  const bool profiling = BenchProfileMode(&argc, argv);
   const unsigned threads = BenchThreadsFlag(&argc, argv);
   const std::vector<int> queries = ParseQueries(&argc, argv);
   TpchConfig cfg;
@@ -164,12 +191,13 @@ int main(int argc, char** argv) {
   // contract — the bench-smoke CI job asserts exactly that.
   uint64_t checksum = 1469598103934665603ull;
   double state_peak_max = 0;
+  std::vector<std::string> reports;  // --profile: +PSMA profile per query
   for (int q : queries) {
     double secs[6];
     double state_peak = 0;
     for (int c = 0; c < 6; ++c) {
-      Measurement m =
-          MeasureSeconds(q, *configs[c].db, configs[c].mode, reps, threads);
+      Measurement m = MeasureSeconds(q, *configs[c].db, configs[c].mode,
+                                     configs[c].name, reps, threads);
       secs[c] = m.best;
       sum[c] += secs[c];
       logsum[c] += std::log(secs[c]);
@@ -178,6 +206,10 @@ int main(int argc, char** argv) {
       BenchJsonRecord("tpch_q" + std::to_string(q), configs[c].name,
                       m.median * 1e9, lineitem_rows / m.median,
                       m.state_peak_bytes);
+      // The +PSMA config exercises every scan feature (SARG, SMA skipping,
+      // PSMA narrowing, compressed blocks) — its report is the one worth
+      // reading, so it is the one printed.
+      if (profiling && c == 5) reports.push_back(std::move(m.report));
     }
     state_peak_max = std::max(state_peak_max, state_peak);
     std::printf(
@@ -185,6 +217,12 @@ int main(int argc, char** argv) {
         "agg %.1f MB\n",
         q, secs[0], secs[1], secs[2], secs[3], secs[4], secs[5],
         secs[0] / secs[5], state_peak / 1e6);
+  }
+  if (profiling) {
+    std::printf("\n=== execution profiles (+PSMA config, last rep) ===\n");
+    for (const std::string& report : reports) {
+      std::printf("%s\n", report.c_str());
+    }
   }
   std::printf("----\n%-5s", "sum");
   for (int c = 0; c < 6; ++c) std::printf(" %9.3fs", sum[c]);

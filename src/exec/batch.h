@@ -106,6 +106,15 @@ struct Batch {
     for (auto& c : cols) c.Clear();
     count = 0;
   }
+
+  /// Whether any column is code-carrying (compressed through the pipeline)
+  /// — the "code batch" classification of the execution profiles.
+  bool AnyCoded() const {
+    for (const auto& c : cols) {
+      if (c.coded()) return true;
+    }
+    return false;
+  }
 };
 
 }  // namespace datablocks

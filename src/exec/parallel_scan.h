@@ -5,6 +5,7 @@
 
 #include "exec/scheduler.h"
 #include "exec/table_scanner.h"
+#include "obs/query_profile.h"
 
 namespace datablocks {
 
@@ -27,6 +28,8 @@ namespace datablocks {
 /// TableScanner pins its claimed chunk (reloading it if evicted) for the
 /// duration of that morsel, so background freezing/eviction can proceed on
 /// all unclaimed chunks without invalidating in-flight scans.
+/// `pipeline` (optional) receives per-worker execution profiles — morsel /
+/// batch / row counts and the scanners' block accounting; nullptr = off.
 template <typename State, typename MakeState, typename Consume>
 std::vector<State> ParallelScan(const Table& table,
                                 std::vector<uint32_t> columns,
@@ -36,7 +39,8 @@ std::vector<State> ParallelScan(const Table& table,
                                 uint32_t vector_size =
                                     TableScanner::kDefaultVectorSize,
                                 Isa isa = BestIsa(),
-                                Scheduler* scheduler = nullptr) {
+                                Scheduler* scheduler = nullptr,
+                                obs::PipelineProfile* pipeline = nullptr) {
   num_threads = EffectiveThreads(num_threads, scheduler);
 
   std::vector<State> states;
@@ -45,12 +49,23 @@ std::vector<State> ParallelScan(const Table& table,
 
   MorselDispatcher morsels(table.num_chunks());
   auto worker = [&](unsigned slot) {
+    obs::WorkerScope scope(pipeline, slot);
     TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
     Batch batch;
     size_t begin, end;
     while (morsels.Next(&begin, &end)) {
+      scope.OnMorsel();
       scanner.RestrictChunks(begin, end);
-      while (scanner.Next(&batch)) consume(states[slot], batch);
+      while (scanner.Next(&batch)) {
+        scope.OnBatch(batch.count, batch.AnyCoded());
+        consume(states[slot], batch);
+      }
+      // Harvest per morsel: RestrictChunks just reset the counters, so the
+      // current values are exactly this morsel's delta.
+      scope.OnScanTotals(scanner.chunks_scanned(), scanner.rows_considered(),
+                         scanner.chunks_skipped(),
+                         scanner.evicted_chunks_skipped(),
+                         scanner.pins_taken(), scanner.archive_reloads());
     }
   };
   RunOnSlots(num_threads, worker, scheduler);

@@ -1,5 +1,7 @@
 #include "exec/partitioned_agg.h"
 
+#include "obs/metrics.h"
+
 namespace datablocks::aggstate {
 namespace {
 
@@ -74,6 +76,17 @@ void ResetPeaks() {
                          c.spill.load(std::memory_order_relaxed) +
                          c.table.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+}
+
+void ExportGauges() {
+  const Stats s = GetStats();
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+  r.GetGauge("agg.dense_bytes")->Set(int64_t(s.dense_bytes));
+  r.GetGauge("agg.spill_bytes")->Set(int64_t(s.spill_bytes));
+  r.GetGauge("agg.table_bytes")->Set(int64_t(s.table_bytes));
+  r.GetGauge("agg.peak_dense_bytes")->Set(int64_t(s.peak_dense_bytes));
+  r.GetGauge("agg.peak_spill_bytes")->Set(int64_t(s.peak_spill_bytes));
+  r.GetGauge("agg.peak_total_bytes")->Set(int64_t(s.peak_total_bytes));
 }
 
 }  // namespace datablocks::aggstate

@@ -57,6 +57,7 @@
 #include "exec/hash_table.h"
 #include "exec/scheduler.h"
 #include "exec/table_scanner.h"
+#include "obs/query_profile.h"
 
 namespace datablocks {
 
@@ -89,6 +90,11 @@ void Sub(Kind kind, uint64_t bytes);
 
 Stats GetStats();
 void ResetPeaks();
+
+/// Re-exports the current Stats onto the process-wide metrics registry as
+/// "agg.*_bytes" gauges (exposition only; the atomics above stay the
+/// source of truth). Call before rendering the registry.
+void ExportGauges();
 
 }  // namespace aggstate
 
@@ -366,19 +372,30 @@ std::vector<T> DensePartitionedScan(
     std::vector<Predicate> predicates, ScanMode mode, unsigned num_threads,
     size_t domain, Produce produce, Apply apply = Apply{}, T init = T{},
     uint32_t vector_size = TableScanner::kDefaultVectorSize,
-    Isa isa = BestIsa(), Scheduler* scheduler = nullptr) {
+    Isa isa = BestIsa(), Scheduler* scheduler = nullptr,
+    obs::PipelineProfile* pipeline = nullptr) {
   num_threads = EffectiveThreads(num_threads, scheduler);
   PartitionedDense<T, U, Apply> state(domain, num_threads, std::move(apply),
                                       init);
   MorselDispatcher morsels(table.num_chunks());
   auto worker = [&](unsigned slot) {
+    obs::WorkerScope scope(pipeline, slot);
     auto& sink = state.sink(slot);
     TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
     Batch batch;
     size_t begin, end;
     while (morsels.Next(&begin, &end)) {
+      scope.OnMorsel();
       scanner.RestrictChunks(begin, end);
-      while (scanner.Next(&batch)) produce(sink, batch);
+      while (scanner.Next(&batch)) {
+        scope.OnBatch(batch.count, batch.AnyCoded());
+        produce(sink, batch);
+      }
+      // Per-morsel harvest: RestrictChunks reset the scanner's counters.
+      scope.OnScanTotals(scanner.chunks_scanned(), scanner.rows_considered(),
+                         scanner.chunks_skipped(),
+                         scanner.evicted_chunks_skipped(),
+                         scanner.pins_taken(), scanner.archive_reloads());
     }
     sink.Flush();
   };

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/query_profile.h"  // MonotonicNs
+#include "obs/trace.h"
 #include "util/macros.h"
 
 #ifdef __linux__
@@ -25,6 +28,23 @@ void PinSelfTo(unsigned cpu) {
 #else
   (void)cpu;
 #endif
+}
+
+/// Process-wide mirrors of the pool counters ("scheduler.*"), resolved once.
+struct SchedulerMetrics {
+  obs::Counter* tasks_run;
+  obs::Counter* steals;
+  obs::Counter* periodic_fires;
+};
+
+const SchedulerMetrics& Metrics() {
+  static const SchedulerMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return SchedulerMetrics{r.GetCounter("scheduler.tasks_run"),
+                            r.GetCounter("scheduler.steals"),
+                            r.GetCounter("scheduler.periodic_fires")};
+  }();
+  return m;
 }
 
 }  // namespace
@@ -106,6 +126,8 @@ bool Scheduler::TryRunOne(unsigned self) {
         task = std::move(victim.queue.back());
         victim.queue.pop_back();
         steals_.fetch_add(1, std::memory_order_relaxed);
+        workers_[self]->steals.fetch_add(1, std::memory_order_relaxed);
+        Metrics().steals->Add();
       }
     }
   }
@@ -116,7 +138,18 @@ bool Scheduler::TryRunOne(unsigned self) {
   }
   task();
   tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  workers_[self]->tasks_run.fetch_add(1, std::memory_order_relaxed);
+  Metrics().tasks_run->Add();
   return true;
+}
+
+std::vector<Scheduler::WorkerStats> Scheduler::worker_stats() const {
+  std::vector<WorkerStats> out(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    out[w].tasks_run = workers_[w]->tasks_run.load(std::memory_order_relaxed);
+    out[w].steals = workers_[w]->steals.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Scheduler::WorkerLoop(unsigned self) {
@@ -170,7 +203,11 @@ void Scheduler::FirePeriodic(uint64_t id) {
     it->second.in_flight = true;
     fn = it->second.fn;
   }
+  const uint64_t t0 = obs::MonotonicNs();
   fn();
+  Metrics().periodic_fires->Add();
+  obs::TraceRing::Default().Publish("scheduler", "periodic_fire", int64_t(id),
+                                    int64_t(obs::MonotonicNs() - t0));
   {
     std::lock_guard<std::mutex> lock(timer_mu_);
     auto it = periodics_.find(id);

@@ -88,6 +88,14 @@ class Scheduler {
   /// Tasks a worker took from a sibling's queue.
   uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
+  /// Per-worker slice of tasks_run()/steals(); index = worker id. The
+  /// split shows work-distribution skew the pool-wide totals hide.
+  struct WorkerStats {
+    uint64_t tasks_run = 0;
+    uint64_t steals = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+
  private:
   struct Worker {
     std::mutex mu;
@@ -95,6 +103,8 @@ class Scheduler {
     std::thread thread;
     int cpu = -1;
     int node = -1;
+    std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> steals{0};
   };
 
   struct Periodic {

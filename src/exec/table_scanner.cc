@@ -4,9 +4,36 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/bits.h"
 
 namespace datablocks {
+
+namespace {
+
+/// Process-wide mirrors of the per-scanner counters ("scan.*"). Resolved
+/// once; the per-chunk event sites then pay one relaxed fetch_add each.
+struct ScanMetrics {
+  obs::Counter* chunks_pruned;
+  obs::Counter* evicted_chunks_pruned;
+  obs::Counter* chunks_scanned;
+  obs::Counter* pins;
+  obs::Counter* archive_reloads;
+};
+
+const ScanMetrics& Metrics() {
+  static const ScanMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return ScanMetrics{r.GetCounter("scan.chunks_pruned"),
+                       r.GetCounter("scan.evicted_chunks_pruned"),
+                       r.GetCounter("scan.chunks_scanned"),
+                       r.GetCounter("scan.pins"),
+                       r.GetCounter("scan.archive_reloads")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 const char* ScanModeName(ScanMode mode) {
   switch (mode) {
@@ -306,8 +333,19 @@ TableScanner::~TableScanner() { ReleasePin(); }
 void TableScanner::PinCurrentChunk() {
   if (pinned_chunk_ == chunk_idx_) return;
   ReleasePin();
+  // Sample the state before pinning: a pin that finds the chunk evicted is
+  // the scan-side archive-read path. The state may flip concurrently (another
+  // reader reloading first), so this classifies, it does not synchronize.
+  const bool was_evicted =
+      table_->chunk_state(chunk_idx_) == ChunkState::kEvicted;
   table_->PinChunk(chunk_idx_);
   pinned_chunk_ = chunk_idx_;
+  ++pins_;
+  Metrics().pins->Add();
+  if (was_evicted) {
+    ++archive_reloads_;
+    Metrics().archive_reloads->Add();
+  }
 }
 
 void TableScanner::ReleasePin() {
@@ -325,6 +363,10 @@ void TableScanner::Reset() {
   skip_chunk_ = false;
   chunks_skipped_ = 0;
   evicted_skips_ = 0;
+  chunks_scanned_ = 0;
+  rows_considered_ = 0;
+  pins_ = 0;
+  archive_reloads_ = 0;
 }
 
 bool TableScanner::TrySkipChunkUnpinned() {
@@ -345,7 +387,11 @@ bool TableScanner::TrySkipChunkUnpinned() {
   // here avoids the pin (and, if evicted, the archive reload).
   if (table_->deleted_in_chunk(c) == rows) {
     ++chunks_skipped_;
-    if (st == ChunkState::kEvicted) ++evicted_skips_;
+    Metrics().chunks_pruned->Add();
+    if (st == ChunkState::kEvicted) {
+      ++evicted_skips_;
+      Metrics().evicted_chunks_pruned->Add();
+    }
     return true;
   }
 
@@ -368,6 +414,8 @@ bool TableScanner::TrySkipChunkUnpinned() {
   if (!prep.skip) return false;
   ++chunks_skipped_;
   ++evicted_skips_;
+  Metrics().chunks_pruned->Add();
+  Metrics().evicted_chunks_pruned->Add();
   return true;
 }
 
@@ -386,31 +434,36 @@ void TableScanner::PrepareChunk() {
   if (table_->chunk_state(chunk_idx_) == ChunkState::kTombstone) {
     skip_chunk_ = true;
     ++chunks_skipped_;
+    Metrics().chunks_pruned->Add();
     return;
   }
   const DataBlock* block = table_->frozen_block(chunk_idx_);
-  if (block == nullptr) return;  // hot chunk: no per-chunk preparation
-
-  switch (mode_) {
-    case ScanMode::kJit:
-    case ScanMode::kVectorized:
-    case ScanMode::kDecompressAll:
-      return;  // no early filtering on these paths
-    case ScanMode::kVectorizedSarg:
-    case ScanMode::kDataBlocks:
-    case ScanMode::kDataBlocksPsma: {
-      block_prep_ = PrepareBlockScan(*block, predicates_,
-                                     mode_ == ScanMode::kDataBlocksPsma);
-      if (block_prep_.skip) {
-        skip_chunk_ = true;
-        ++chunks_skipped_;
-        return;
+  if (block != nullptr) {
+    switch (mode_) {
+      case ScanMode::kJit:
+      case ScanMode::kVectorized:
+      case ScanMode::kDecompressAll:
+        break;  // no early filtering on these paths
+      case ScanMode::kVectorizedSarg:
+      case ScanMode::kDataBlocks:
+      case ScanMode::kDataBlocksPsma: {
+        block_prep_ = PrepareBlockScan(*block, predicates_,
+                                       mode_ == ScanMode::kDataBlocksPsma);
+        if (block_prep_.skip) {
+          skip_chunk_ = true;
+          ++chunks_skipped_;
+          Metrics().chunks_pruned->Add();
+          return;
+        }
+        range_begin_ = block_prep_.range_begin;
+        range_end_ = block_prep_.range_end;
+        break;
       }
-      range_begin_ = block_prep_.range_begin;
-      range_end_ = block_prep_.range_end;
-      return;
     }
   }
+  ++chunks_scanned_;
+  rows_considered_ += range_end_ - range_begin_;
+  Metrics().chunks_scanned->Add();
 }
 
 bool TableScanner::Next(Batch* batch) {

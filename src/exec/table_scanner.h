@@ -85,6 +85,20 @@ class TableScanner {
   /// promotion.
   uint64_t evicted_chunks_skipped() const { return evicted_skips_; }
 
+  /// Chunks actually prepared for scanning (not pruned, not empty).
+  uint64_t chunks_scanned() const { return chunks_scanned_; }
+
+  /// Rows inside the scanned chunks' effective ranges (after PSMA range
+  /// narrowing) — the scan's input cardinality before predicates.
+  uint64_t rows_considered() const { return rows_considered_; }
+
+  /// Chunk pins taken (Table::PinChunk calls).
+  uint64_t pins_taken() const { return pins_; }
+
+  /// Subset of pins_taken(): pins that found the chunk evicted and faulted
+  /// its block back in from the archive.
+  uint64_t archive_reloads() const { return archive_reloads_; }
+
  private:
   /// Pin-free skip decision for the chunk about to be prepared: rules out
   /// fully-deleted chunks and (in SMA modes) evicted chunks whose resident
@@ -128,6 +142,10 @@ class TableScanner {
   BlockScanPrep block_prep_;
   uint64_t chunks_skipped_ = 0;
   uint64_t evicted_skips_ = 0;
+  uint64_t chunks_scanned_ = 0;
+  uint64_t rows_considered_ = 0;
+  uint64_t pins_ = 0;
+  uint64_t archive_reloads_ = 0;
 
   // Scratch buffers.
   std::vector<uint32_t> positions_;

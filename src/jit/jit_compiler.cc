@@ -9,11 +9,29 @@
 #include <fstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace datablocks {
 
 namespace {
+
+/// Process-wide JIT metrics ("jit.*"), resolved once.
+struct JitMetrics {
+  obs::Counter* compiles;
+  obs::Counter* compile_failures;
+  obs::Histogram* compile_ns;
+};
+
+const JitMetrics& Metrics() {
+  static const JitMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return JitMetrics{r.GetCounter("jit.compiles"),
+                      r.GetCounter("jit.compile_failures"),
+                      r.GetHistogram("jit.compile_ns")};
+  }();
+  return m;
+}
 
 const char* CompilerPath() {
   static const std::string path = [] {
@@ -52,28 +70,56 @@ void* JitModule::Symbol(const char* name) const {
   return handle_ == nullptr ? nullptr : dlsym(handle_, name);
 }
 
-bool JitCompiler::Available() {
+namespace {
+
+struct ProbeResult {
+  bool available = false;
+  std::string diagnostic;  // why the probe failed; empty when available
+};
+
+const ProbeResult& ProbeOnce() {
   // Probe the full pipeline once (compile a trivial TU, dlopen it): a
   // compiler on PATH is not enough if the sandbox forbids fork/exec, /tmp
   // writes, or dlopen. Tests use this to GTEST_SKIP instead of failing on
   // such hosts.
-  static const bool available = [] {
-    if (CompilerPath() == nullptr) return false;
+  static const ProbeResult result = [] {
+    ProbeResult r;
+    if (CompilerPath() == nullptr) {
+      r.diagnostic = "no system compiler found";
+      return r;
+    }
     // Local error sink: a failing probe is the expected outcome on hosts
     // without a usable toolchain and must not spam stderr.
-    std::string probe_error;
-    auto mod = Compile("extern \"C\" int datablocks_jit_probe() { return 1; }",
-                       &probe_error);
-    return mod != nullptr &&
-           mod->Symbol("datablocks_jit_probe") != nullptr;
+    auto mod = JitCompiler::Compile(
+        "extern \"C\" int datablocks_jit_probe() { return 1; }",
+        &r.diagnostic);
+    if (mod == nullptr) return r;
+    if (mod->Symbol("datablocks_jit_probe") == nullptr) {
+      r.diagnostic = "probe module loaded but symbol lookup failed";
+      return r;
+    }
+    r.available = true;
+    r.diagnostic.clear();
+    return r;
   }();
-  return available;
+  return result;
+}
+
+}  // namespace
+
+bool JitCompiler::Available() { return ProbeOnce().available; }
+
+bool JitCompiler::Available(std::string* diagnostic) {
+  const ProbeResult& r = ProbeOnce();
+  if (diagnostic != nullptr) *diagnostic = r.diagnostic;
+  return r.available;
 }
 
 std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
                                                 std::string* error) {
   const char* cc = CompilerPath();
   if (cc == nullptr) {
+    Metrics().compile_failures->Add();
     if (error != nullptr) *error = "no system compiler found";
     return nullptr;
   }
@@ -94,6 +140,7 @@ std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
   double secs = timer.ElapsedSeconds();
   std::remove(src_path.c_str());
   if (rc != 0) {
+    Metrics().compile_failures->Add();
     std::ifstream log(log_path);
     std::string diag{std::istreambuf_iterator<char>(log),
                      std::istreambuf_iterator<char>()};
@@ -114,6 +161,7 @@ std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
 
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
+    Metrics().compile_failures->Add();
     const char* dlerr = dlerror();
     if (error != nullptr) {
       *error = dlerr != nullptr ? dlerr : "dlopen failed";
@@ -128,6 +176,8 @@ std::unique_ptr<JitModule> JitCompiler::Compile(const std::string& source,
   mod->handle_ = handle;
   mod->so_path_ = so_path;
   mod->compile_seconds_ = secs;
+  Metrics().compiles->Add();
+  Metrics().compile_ns->Observe(uint64_t(secs * 1e9));
   return mod;
 }
 

@@ -41,8 +41,15 @@ class JitCompiler {
   /// True if a usable system compiler was found.
   static bool Available();
 
+  /// As Available(), and reports *why* the probe failed in `diagnostic`
+  /// (empty when available). The probe runs once; the diagnostic of that
+  /// first run is retained and returned on every later call.
+  static bool Available(std::string* diagnostic);
+
   /// Compiles `source` (a complete translation unit) and loads it. Returns
   /// nullptr on failure with the compiler output in `error` (if non-null).
+  /// Failures (compile and dlopen alike) are counted on the process-wide
+  /// "jit.compile_failures" metric; successes observe "jit.compile_ns".
   static std::unique_ptr<JitModule> Compile(const std::string& source,
                                             std::string* error = nullptr);
 };

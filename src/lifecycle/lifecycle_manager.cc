@@ -6,9 +6,53 @@
 #include <utility>
 
 #include "exec/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"  // MonotonicNs
+#include "obs/trace.h"
 #include "util/macros.h"
 
 namespace datablocks {
+
+namespace {
+
+/// Process-wide mirrors of the lifecycle counters ("lifecycle.*"). The
+/// per-manager atomics stay authoritative for stats(); these aggregate
+/// across all managers for the registry's uniform view.
+struct LifecycleMetrics {
+  obs::Counter* ticks;
+  obs::Counter* freezes;
+  obs::Counter* adopted;
+  obs::Counter* evictions;
+  obs::Counter* reloads;
+  obs::Counter* rearchived;
+  obs::Counter* tombstoned;
+  obs::Counter* compactions;
+  obs::Counter* reclaimed_blocks;
+  obs::Histogram* tick_ns;
+};
+
+const LifecycleMetrics& Metrics() {
+  static const LifecycleMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return LifecycleMetrics{r.GetCounter("lifecycle.ticks"),
+                            r.GetCounter("lifecycle.freezes"),
+                            r.GetCounter("lifecycle.adopted"),
+                            r.GetCounter("lifecycle.evictions"),
+                            r.GetCounter("lifecycle.reloads"),
+                            r.GetCounter("lifecycle.rearchived"),
+                            r.GetCounter("lifecycle.tombstoned"),
+                            r.GetCounter("lifecycle.compactions"),
+                            r.GetCounter("lifecycle.reclaimed_blocks"),
+                            r.GetHistogram("lifecycle.tick_ns")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+obs::TraceRing& LifecycleManager::trace() const {
+  return cfg_.trace != nullptr ? *cfg_.trace : obs::TraceRing::Default();
+}
 
 LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
                                    LifecycleConfig config)
@@ -35,7 +79,11 @@ LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
       block_id = it->second.id;
       archive = archive_;
     }
-    return archive->ReadBlock(block_id);
+    auto block = archive->ReadBlock(block_id);
+    Metrics().reloads->Add();
+    trace().Publish("lifecycle", "reload", int64_t(chunk_idx),
+                    int64_t(block_id));
+    return block;
   });
 }
 
@@ -118,7 +166,12 @@ void LifecycleManager::EnforceBudget() {
       victim = cache_.PickVictim(resident, last_access, skip);
     }
     if (victim == SIZE_MAX) return;  // everything left is pinned
-    if (!table_->EvictChunk(victim)) skip.insert(victim);
+    if (table_->EvictChunk(victim)) {
+      Metrics().evictions->Add();
+      trace().Publish("lifecycle", "evict", int64_t(victim));
+    } else {
+      skip.insert(victim);
+    }
   }
 }
 
@@ -140,6 +193,8 @@ void LifecycleManager::DetachFullyDeletedLocked() {
     // next pass — it must then stay attached, or an in-flight reload could
     // look up a block id we already dropped.
     if (!table_->TombstoneChunk(chunk)) continue;
+    Metrics().tombstoned->Add();
+    trace().Publish("lifecycle", "tombstone", int64_t(chunk));
     std::lock_guard<std::mutex> lock(mu_);
     archived_.erase(chunk);
     cache_.Unregister(chunk);
@@ -187,6 +242,8 @@ void LifecycleManager::RearchiveGarbageLocked() {
       if (it != archived_.end()) it->second = ArchivedBlock{id, now};
     }
     rearchived_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().rearchived->Add();
+    trace().Publish("lifecycle", "rearchive", int64_t(chunk), int64_t(id));
   }
 }
 
@@ -292,6 +349,10 @@ size_t LifecycleManager::CompactLocked(bool force) {
   compactions_.fetch_add(1, std::memory_order_relaxed);
   reclaimed_blocks_.fetch_add(tally.dead_blocks, std::memory_order_relaxed);
   reclaimed_bytes_.fetch_add(tally.dead_bytes, std::memory_order_relaxed);
+  Metrics().compactions->Add();
+  Metrics().reclaimed_blocks->Add(tally.dead_blocks);
+  trace().Publish("lifecycle", "compact", int64_t(tally.dead_blocks),
+                  int64_t(tally.dead_bytes));
   return tally.dead_blocks;
 }
 
@@ -302,6 +363,7 @@ size_t LifecycleManager::CompactArchive() {
 
 void LifecycleManager::Tick() {
   std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  const uint64_t tick_start = obs::MonotonicNs();
   table_->AdvanceAccessEpoch();
   const size_t n = table_->num_chunks();
   {
@@ -326,6 +388,9 @@ void LifecycleManager::Tick() {
       if (candidate && cold >= cfg_.freeze_after_cold_epochs) {
         if (table_->FreezeChunk(i, cfg_.sort_col, cfg_.build_psma)) {
           freezes_.fetch_add(1, std::memory_order_relaxed);
+          Metrics().freezes->Add();
+          trace().Publish("lifecycle", "freeze", int64_t(i),
+                          int64_t(table_->chunk_rows(i)));
           ArchiveChunk(i);
         }
       }
@@ -340,13 +405,19 @@ void LifecycleManager::Tick() {
         unarchived = archived_.count(i) == 0;
       }
       if (unarchived && FullyDeleted(i) && table_->TombstoneChunk(i)) {
+        Metrics().tombstoned->Add();
+        trace().Publish("lifecycle", "tombstone", int64_t(i));
         continue;
       }
     }
     if (st == ChunkState::kFrozen) {
       // Adopt chunks frozen outside the policy (FreezeAll, explicit
       // FreezeChunk): archiving them makes them evictable too.
-      if (ArchiveChunk(i)) adopted_.fetch_add(1, std::memory_order_relaxed);
+      if (ArchiveChunk(i)) {
+        adopted_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().adopted->Add();
+        trace().Publish("lifecycle", "adopt", int64_t(i));
+      }
     }
     table_->DecayChunkClock(i, cfg_.decay_shift);
   }
@@ -354,7 +425,11 @@ void LifecycleManager::Tick() {
   RearchiveGarbageLocked();
   EnforceBudget();
   if (cfg_.compact_garbage_ratio <= 1.0) CompactLocked(/*force=*/false);
-  epochs_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t epoch = epochs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t tick_ns = obs::MonotonicNs() - tick_start;
+  Metrics().ticks->Add();
+  Metrics().tick_ns->Observe(tick_ns);
+  trace().Publish("lifecycle", "tick", int64_t(epoch), int64_t(tick_ns));
 }
 
 void LifecycleManager::Start() {

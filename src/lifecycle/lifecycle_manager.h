@@ -19,6 +19,9 @@
 namespace datablocks {
 
 class Scheduler;
+namespace obs {
+class TraceRing;
+}
 
 /// Policy knobs of the block lifecycle (see README "Block lifecycle").
 struct LifecycleConfig {
@@ -70,6 +73,12 @@ struct LifecycleConfig {
   /// shared scheduler workers, so N managed tables cost zero extra threads.
   /// The scheduler must outlive the manager (or at least its Stop()).
   Scheduler* scheduler = nullptr;
+
+  // -- Observability --------------------------------------------------------
+  /// Ring the manager publishes lifecycle events into (freeze, evict,
+  /// reload, re-archive, tombstone, compaction, tick durations). nullptr =
+  /// the process-wide obs::TraceRing::Default(); tests inject private rings.
+  obs::TraceRing* trace = nullptr;
 };
 
 struct LifecycleStats {
@@ -183,6 +192,7 @@ class LifecycleManager {
   void RearchiveGarbageLocked();
   bool FullyDeleted(size_t chunk_idx) const;
   std::shared_ptr<BlockArchive> ArchiveRef() const;
+  obs::TraceRing& trace() const;
 
   Table* table_;
   LifecycleConfig cfg_;

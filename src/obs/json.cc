@@ -1,0 +1,179 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace datablocks::obs::json {
+
+const Value* Value::Get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : it->second.get();
+}
+
+const Value* Value::At(size_t i) const {
+  if (kind_ != Kind::kArray || i >= array_.size()) return nullptr;
+  return array_[i].get();
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ValuePtr Run(std::string* error) {
+    ValuePtr v = ParseValue();
+    SkipWs();
+    if (v != nullptr && pos_ != text_.size()) {
+      v = nullptr;
+      fail_ = "trailing characters";
+    }
+    if (v == nullptr && error != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s at offset %zu",
+                    fail_ != nullptr ? fail_ : "parse error", pos_);
+      *error = buf;
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(uint8_t(text_[pos_]))) ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  ValuePtr Fail(const char* why) {
+    if (fail_ == nullptr) fail_ = why;
+    return nullptr;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+      case 'f': {
+        auto v = std::make_unique<Value>();
+        v->kind_ = Value::Kind::kBool;
+        v->bool_ = c == 't';
+        if (!ConsumeWord(c == 't' ? "true" : "false")) {
+          return Fail("bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!ConsumeWord("null")) return Fail("bad literal");
+        return std::make_unique<Value>();
+      default: return ParseNumber();
+    }
+  }
+
+  ValuePtr ParseObject() {
+    ++pos_;  // '{'
+    auto v = std::make_unique<Value>();
+    v->kind_ = Value::Kind::kObject;
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWs();
+      ValuePtr key = pos_ < text_.size() && text_[pos_] == '"'
+                         ? ParseString()
+                         : Fail("expected object key");
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) return Fail("expected ':'");
+      ValuePtr member = ParseValue();
+      if (member == nullptr) return nullptr;
+      v->object_[key->string_] = std::move(member);
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  ValuePtr ParseArray() {
+    ++pos_;  // '['
+    auto v = std::make_unique<Value>();
+    v->kind_ = Value::Kind::kArray;
+    if (Consume(']')) return v;
+    for (;;) {
+      ValuePtr elem = ParseValue();
+      if (elem == nullptr) return nullptr;
+      v->array_.push_back(std::move(elem));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  ValuePtr ParseString() {
+    ++pos_;  // '"'
+    auto v = std::make_unique<Value>();
+    v->kind_ = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        // The engine's writers only emit \" and \\; pass other escapes
+        // through verbatim rather than rejecting the document.
+        v->string_.push_back(text_[pos_++]);
+        continue;
+      }
+      v->string_.push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  ValuePtr ParseNumber() {
+    // Copy the number's characters out first: the input view is not
+    // guaranteed NUL-terminated, so strtod must not run on it directly.
+    char buf[64];
+    size_t n = 0;
+    while (pos_ < text_.size() && n < sizeof(buf) - 1) {
+      const char c = text_[pos_];
+      if (std::isdigit(uint8_t(c)) || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        buf[n++] = c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    buf[n] = '\0';
+    char* end = nullptr;
+    const double d = std::strtod(buf, &end);
+    if (n == 0 || end != buf + n) return Fail("bad number");
+    auto v = std::make_unique<Value>();
+    v->kind_ = Value::Kind::kNumber;
+    v->number_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  const char* fail_ = nullptr;
+};
+
+ValuePtr Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace datablocks::obs::json

@@ -1,0 +1,63 @@
+#ifndef DATABLOCKS_OBS_JSON_H_
+#define DATABLOCKS_OBS_JSON_H_
+
+// Minimal recursive-descent JSON reader for the observability outputs:
+// tests round-trip QueryProfile::ToJson() / MetricsRegistry::ToJson()
+// through it, and it keeps the checked-in exposition formats honest
+// without pulling in a dependency. It parses the full JSON grammar the
+// engine emits (objects, arrays, strings with \" and \\ escapes, numbers,
+// booleans, null); it is NOT a general-purpose validator (no \uXXXX
+// decoding, no depth limit) and must never be fed untrusted input.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datablocks::obs::json {
+
+class Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  double number() const { return number_; }
+  int64_t i64() const { return int64_t(number_); }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return string_; }
+  const std::vector<ValuePtr>& array() const { return array_; }
+  const std::map<std::string, ValuePtr>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Get(std::string_view key) const;
+  /// Array element; nullptr when out of range or not an array.
+  const Value* At(size_t i) const;
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<ValuePtr> array_;
+  std::map<std::string, ValuePtr> object_;
+};
+
+/// Parses one JSON document. Returns nullptr on malformed input (with the
+/// failure position in `error` when non-null). Trailing garbage after the
+/// document is an error.
+ValuePtr Parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace datablocks::obs::json
+
+#endif  // DATABLOCKS_OBS_JSON_H_

@@ -1,0 +1,165 @@
+#ifndef DATABLOCKS_OBS_METRICS_H_
+#define DATABLOCKS_OBS_METRICS_H_
+
+// Process-wide metrics registry: named counters, gauges and log-bucketed
+// histograms, cheap enough for hot paths.
+//
+//  * Counter    — monotonically increasing u64. Writes are relaxed
+//                 fetch_adds on one of kShards cache-line-padded shards
+//                 (picked per thread), so concurrent writers from the
+//                 worker pool never contend on one line; Value()
+//                 aggregates on read.
+//  * Gauge      — a settable i64 (resident bytes, worker counts, ...).
+//  * Histogram  — log2-bucketed u64 distribution (one bucket per bit
+//                 width), with p50/p95/p99 extraction. Bucketing bounds
+//                 the relative quantile error at 2x, which is the right
+//                 trade for latency-style metrics at one relaxed
+//                 fetch_add per observation.
+//
+// Lookup is by dotted name ("lifecycle.freezes", "scan.chunks_pruned");
+// the returned pointers are stable for the registry's lifetime, so hot
+// paths resolve once (function-local static) and then touch only the
+// metric itself. Exposition: ToText() for humans, ToJson() for the bench
+// harness ("metrics" section) and tools/profile_report.py.
+//
+// Naming convention: "<component>.<event>", lower_snake_case, counters
+// named after the event ("scan.pins"), histograms suffixed with the unit
+// ("tpch.query_wall_ns"). See README "Observability".
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace datablocks::obs {
+
+class Counter {
+ public:
+  static constexpr unsigned kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThisShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Aggregate-on-read sum over the shards. Monotone for any single
+  /// observer, but concurrent Adds may or may not be included.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  static unsigned ThisShard();
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  /// Bucket b holds values whose bit width is b: 0, then [2^(b-1), 2^b).
+  static constexpr unsigned kBuckets = 65;
+
+  void Observe(uint64_t v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(unsigned b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate for q in [0, 100]: finds the bucket containing the
+  /// q-th observation and interpolates linearly inside it. Exact to within
+  /// the bucket's bounds (relative error <= 2x); 0 when empty.
+  double Percentile(double q) const;
+
+  static unsigned BucketOf(uint64_t v);
+  /// Inclusive lower / exclusive upper value bound of bucket b.
+  static uint64_t BucketLo(unsigned b);
+  static uint64_t BucketHi(unsigned b);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name -> metric directory. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime; re-requesting a
+/// name returns the same metric (asserting the kind matches). The process
+/// normally uses Default(); tests build private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// One "name kind value" line per metric, sorted by name (histograms show
+  /// count/sum/p50/p95/p99).
+  std::string ToText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count","sum","p50","p95","p99","buckets":[[lo,hi,n],...]}}}.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, Entry::Kind kind);
+
+  mutable std::mutex mu_;
+  // std::map: stable iteration order makes ToText/ToJson deterministic.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Pre-registers the engine's standard metric names on the default
+/// registry (idempotent), so exposition shows the full schema — zeros
+/// included — even for components that have not fired yet.
+void RegisterEngineMetrics();
+
+}  // namespace datablocks::obs
+
+#endif  // DATABLOCKS_OBS_METRICS_H_

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/query_profile.h"  // MonotonicNs
+
+namespace datablocks::obs {
+
+namespace {
+
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = src.size() < dst_size - 1 ? src.size() : dst_size - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// cat/name are engine-chosen identifiers ([a-z_.] by convention); escape
+/// anyway so a stray quote cannot corrupt the JSONL stream.
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    if (uint8_t(*s) >= 0x20) out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity), epoch_ns_(MonotonicNs()) {}
+
+TraceRing& TraceRing::Default() {
+  static TraceRing ring;
+  return ring;
+}
+
+void TraceRing::Publish(std::string_view cat, std::string_view name,
+                        int64_t a, int64_t b) {
+  const uint64_t now = MonotonicNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& e = ring_[next_seq_ % ring_.size()];
+  e.seq = next_seq_++;
+  e.ts_ns = now - epoch_ns_;
+  CopyTruncated(e.cat, sizeof(e.cat), cat);
+  CopyTruncated(e.name, sizeof(e.name), name);
+  e.a = a;
+  e.b = b;
+}
+
+uint64_t TraceRing::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const uint64_t n = next_seq_ < ring_.size() ? next_seq_ : ring_.size();
+  out.reserve(n);
+  for (uint64_t i = next_seq_ - n; i < next_seq_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent& e : Snapshot()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "{\"seq\": %" PRIu64 ", \"ts_ns\": %"
+                  PRIu64 ", \"cat\": \"", e.seq, e.ts_ns);
+    out += buf;
+    AppendEscaped(&out, e.cat);
+    out += "\", \"name\": \"";
+    AppendEscaped(&out, e.name);
+    std::snprintf(buf, sizeof(buf), "\", \"a\": %" PRId64 ", \"b\": %" PRId64
+                  "}\n", e.a, e.b);
+    out += buf;
+  }
+  return out;
+}
+
+bool TraceRing::DumpJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string jsonl = ToJsonl();
+  const bool ok = std::fwrite(jsonl.data(), 1, jsonl.size(), f) ==
+                  jsonl.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace datablocks::obs

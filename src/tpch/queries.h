@@ -9,6 +9,7 @@
 #include "exec/parallel_scan.h"
 #include "exec/partitioned_agg.h"
 #include "exec/table_scanner.h"
+#include "obs/query_profile.h"
 #include "tpch/tpch_db.h"
 
 namespace datablocks::tpch {
@@ -24,6 +25,11 @@ struct QueryContext {
   /// Worker pool for the parallel pipelines; nullptr = the process-wide
   /// Scheduler::Default().
   Scheduler* scheduler = nullptr;
+  /// When set, every scan+aggregate pipeline the query runs records an
+  /// execution profile (obs/query_profile.h) into it: wall time, rows
+  /// in/out, morsel/batch counts, block pruning, pins, archive reloads,
+  /// per-worker slices. nullptr = profiling off (one branch per pipeline).
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// Scan configuration under which a query runs; every paper configuration
@@ -99,6 +105,61 @@ void ScanLoop(TableScanner scanner, Fn fn) {
   while (scanner.Next(&batch)) fn(batch);
 }
 
+/// ScanLoop recording into a pipeline profile: the sequential leg of the
+/// Par* helpers — slot 0, the whole table as one morsel. All recording is
+/// no-op when `pipeline` is null.
+template <typename Fn>
+void ProfiledScanLoop(TableScanner scanner, obs::PipelineProfile* pipeline,
+                      Fn fn) {
+  obs::WorkerScope scope(pipeline, 0);
+  scope.OnMorsel();
+  Batch batch;
+  while (scanner.Next(&batch)) {
+    scope.OnBatch(batch.count, batch.AnyCoded());
+    fn(batch);
+  }
+  scope.OnScanTotals(scanner.chunks_scanned(), scanner.rows_considered(),
+                     scanner.chunks_skipped(),
+                     scanner.evicted_chunks_skipped(), scanner.pins_taken(),
+                     scanner.archive_reloads());
+}
+
+/// Opens one pipeline on the context's profile (nullptr when profiling is
+/// off) and stamps its wall time on scope exit.
+class PipelineScope {
+ public:
+  PipelineScope(const ScanOptions& opt, const Table& table)
+      : pipeline_(opt.ctx.profile != nullptr
+                      ? opt.ctx.profile->AddPipeline(table.name())
+                      : nullptr),
+        start_ns_(pipeline_ != nullptr ? obs::MonotonicNs() : 0) {}
+  ~PipelineScope() {
+    if (pipeline_ != nullptr)
+      pipeline_->set_wall_ns(obs::MonotonicNs() - start_ns_);
+  }
+
+  PipelineScope(const PipelineScope&) = delete;
+  PipelineScope& operator=(const PipelineScope&) = delete;
+
+  obs::PipelineProfile* get() const { return pipeline_; }
+
+  /// Times `fn()` as the pipeline's merge step.
+  template <typename Fn>
+  void Merge(Fn fn) {
+    if (pipeline_ == nullptr) {
+      fn();
+      return;
+    }
+    const uint64_t t0 = obs::MonotonicNs();
+    fn();
+    pipeline_->set_merge_ns(obs::MonotonicNs() - t0);
+  }
+
+ private:
+  obs::PipelineProfile* pipeline_;
+  uint64_t start_ns_;
+};
+
 // ---------------------------------------------------------------------------
 // Parallel pipeline helpers. Every query pipeline is written once against
 // these: with ctx.threads == 1 they run the plain sequential ScanLoop; with
@@ -118,17 +179,22 @@ template <typename State, typename MakeState, typename Consume,
 State ParAgg(const Table& table, const ScanOptions& opt,
              std::vector<uint32_t> cols, std::vector<Predicate> preds,
              MakeState make_state, Consume consume, Merge merge) {
+  PipelineScope pipeline(opt, table);
   if (opt.ctx.threads == 1) {
     State state = make_state();
-    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
-             [&](const Batch& b) { consume(state, b); });
+    ProfiledScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+                     pipeline.get(),
+                     [&](const Batch& b) { consume(state, b); });
     return state;
   }
   std::vector<State> states = ParallelScan<State>(
       table, std::move(cols), std::move(preds), opt.mode, opt.ctx.threads,
-      make_state, consume, opt.vector_size, opt.isa, opt.ctx.scheduler);
+      make_state, consume, opt.vector_size, opt.isa, opt.ctx.scheduler,
+      pipeline.get());
   State merged = std::move(states[0]);
-  for (size_t i = 1; i < states.size(); ++i) merge(merged, states[i]);
+  pipeline.Merge([&] {
+    for (size_t i = 1; i < states.size(); ++i) merge(merged, states[i]);
+  });
   return merged;
 }
 
@@ -146,17 +212,19 @@ std::vector<T> ParDenseAgg(const Table& table, const ScanOptions& opt,
                            std::vector<uint32_t> cols,
                            std::vector<Predicate> preds, size_t domain,
                            Produce produce, Apply apply, T init = T{}) {
+  PipelineScope pipeline(opt, table);
   if (opt.ctx.threads == 1) {
     PartitionedDense<T, U, Apply> state(domain, 1, std::move(apply), init);
     auto& sink = state.sink(0);  // single slot: direct apply, no buffers
-    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
-             [&](const Batch& b) { produce(sink, b); });
+    ProfiledScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+                     pipeline.get(),
+                     [&](const Batch& b) { produce(sink, b); });
     return state.Take();
   }
   return DensePartitionedScan<T, U>(
       table, std::move(cols), std::move(preds), opt.mode, opt.ctx.threads,
       domain, produce, std::move(apply), init, opt.vector_size, opt.isa,
-      opt.ctx.scheduler);
+      opt.ctx.scheduler, pipeline.get());
 }
 
 /// Sparse group-by through the partitioned-aggregation engine: per-worker
@@ -171,10 +239,12 @@ PartitionedAggTable<V> ParHashAgg(const Table& table, const ScanOptions& opt,
                                   std::vector<uint32_t> cols,
                                   std::vector<Predicate> preds,
                                   Produce produce, Fold fold) {
+  PipelineScope pipeline(opt, table);
   if (opt.ctx.threads == 1) {
     PartitionedAggTable<V> t(1);
-    ScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
-             [&](const Batch& b) { produce(t, b); });
+    ProfiledScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
+                     pipeline.get(),
+                     [&](const Batch& b) { produce(t, b); });
     return t;
   }
   const unsigned threads =
@@ -186,8 +256,11 @@ PartitionedAggTable<V> ParHashAgg(const Table& table, const ScanOptions& opt,
           [&produce](PartitionedAggTable<V>& t, const Batch& b) {
             produce(t, b);
           },
-          opt.vector_size, opt.isa, opt.ctx.scheduler);
-  return MergeAggTables(locals, fold, opt.ctx.scheduler);
+          opt.vector_size, opt.isa, opt.ctx.scheduler, pipeline.get());
+  PartitionedAggTable<V> merged(0);
+  pipeline.Merge(
+      [&] { merged = MergeAggTables(locals, fold, opt.ctx.scheduler); });
+  return merged;
 }
 
 /// Parallel scan into shared sinks, for consumers whose writes are

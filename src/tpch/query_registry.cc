@@ -1,9 +1,13 @@
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "tpch/queries.h"
 #include "util/macros.h"
 
 namespace datablocks::tpch {
 
-QueryResult RunQuery(int q, const TpchDatabase& db, const ScanOptions& opt) {
+namespace {
+
+QueryResult Dispatch(int q, const TpchDatabase& db, const ScanOptions& opt) {
   switch (q) {
     case 1: return Q1(db, opt);
     case 2: return Q2(db, opt);
@@ -31,6 +35,18 @@ QueryResult RunQuery(int q, const TpchDatabase& db, const ScanOptions& opt) {
       DB_CHECK(false && "TPC-H query number out of range");
       return {};
   }
+}
+
+}  // namespace
+
+QueryResult RunQuery(int q, const TpchDatabase& db, const ScanOptions& opt) {
+  static obs::Histogram* const wall_ns =
+      obs::MetricsRegistry::Default().GetHistogram("tpch.query_wall_ns");
+  const uint64_t t0 = obs::MonotonicNs();
+  QueryResult result = Dispatch(q, db, opt);
+  wall_ns->Observe(obs::MonotonicNs() - t0);
+  if (opt.ctx.profile != nullptr) opt.ctx.profile->Finish();
+  return result;
 }
 
 }  // namespace datablocks::tpch

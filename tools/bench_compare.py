@@ -34,15 +34,17 @@ def find_files(path):
 
 
 def load_results(path):
-    """Returns {(bench, name, config): result_dict}."""
+    """Returns ({(bench, name, config): result_dict}, has_metrics)."""
     files = find_files(path)
     if not files:
         sys.exit(f"error: no bench JSON files found under {path}")
     results = {}
+    has_metrics = False
     for f in files:
         with open(f) as fp:
             data = json.load(fp)
         bench = data.get("bench", os.path.basename(f))
+        has_metrics = has_metrics or "metrics" in data
         for r in data.get("results", []):
             key = (bench, r["name"], r["config"])
             if key in results:
@@ -50,7 +52,7 @@ def load_results(path):
                       file=sys.stderr)
             results[key] = dict(r, quick=data.get("quick", False),
                                 threads=data.get("threads", 1))
-    return results
+    return results, has_metrics
 
 
 def main():
@@ -71,8 +73,14 @@ def main():
               "to compare — this run's results become the next baseline")
         return 0
 
-    base = load_results(args.baseline)
-    cand = load_results(args.candidate)
+    base, base_metrics = load_results(args.baseline)
+    cand, cand_metrics = load_results(args.candidate)
+    if cand_metrics and not base_metrics:
+        # Cached baselines can predate the "metrics" section of the bench
+        # JSON (added with the observability subsystem). Timings still
+        # compare fine — the section is informational and never diffed.
+        print("note: no metrics section in baseline (predates "
+              "observability); comparing timings only")
 
     regressions = []
     improvements = []
