@@ -92,11 +92,23 @@ Scheduler& Scheduler::Default() {
 }
 
 void Scheduler::Submit(std::function<void()> fn) {
+  SubmitInternal(std::move(fn), /*front=*/false);
+}
+
+void Scheduler::SubmitUrgent(std::function<void()> fn) {
+  SubmitInternal(std::move(fn), /*front=*/true);
+}
+
+void Scheduler::SubmitInternal(std::function<void()> fn, bool front) {
   const unsigned target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % num_workers();
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mu);
-    workers_[target]->queue.push_back(std::move(fn));
+    if (front) {
+      workers_[target]->queue.push_front(std::move(fn));
+    } else {
+      workers_[target]->queue.push_back(std::move(fn));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(sleep_mu_);

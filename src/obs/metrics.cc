@@ -236,6 +236,23 @@ void RegisterEngineMetrics() {
   r.GetGauge("agg.peak_total_bytes");
   // Query drivers (tpch/query_registry.cc).
   r.GetHistogram("tpch.query_wall_ns");
+  // Serving front end (serve/admission.cc, serve/server.cc). Per-client
+  // "serve.client.<name>.latency_ns" histograms register dynamically at
+  // OpenSession and are deliberately absent here.
+  r.GetCounter("serve.submitted");
+  r.GetCounter("serve.admitted");
+  r.GetCounter("serve.rejected");
+  r.GetCounter("serve.timed_out");
+  r.GetCounter("serve.cancelled");
+  r.GetCounter("serve.completed");
+  r.GetCounter("serve.errors");
+  r.GetGauge("serve.running");
+  r.GetGauge("serve.queued");
+  r.GetGauge("serve.sessions");
+  r.GetHistogram("serve.queue_wait_ns");
+  r.GetHistogram("serve.oltp_latency_ns");
+  r.GetHistogram("serve.olap_latency_ns");
+  r.GetHistogram("serve.batch_latency_ns");
 }
 
 }  // namespace datablocks::obs

@@ -1,0 +1,161 @@
+#ifndef DATABLOCKS_SERVE_ADMISSION_H_
+#define DATABLOCKS_SERVE_ADMISSION_H_
+
+// Admission control for the serving front end (serve/server.h): decides,
+// for every submitted request, whether it runs now, waits in a bounded
+// pending queue, or is refused — so a burst of heavy scans cannot bury
+// the engine or starve point operations.
+//
+// Three mechanisms, in the order they apply:
+//
+//  * Concurrency limit. At most `max_running` requests execute at once
+//    (default: one per scheduler worker); the rest queue.
+//  * Priority classes. The pending queue is one FIFO per class
+//    (kOltp > kOlap > kBatch); a freed slot always goes to the highest
+//    non-empty class, so OLTP point ops overtake long scans. On queue
+//    overflow a newer *lower*-priority entry is evicted in favor of the
+//    arrival when one exists; otherwise the arrival is rejected.
+//  * Heavy gate. Requests whose learned cost (an EWMA over the measured
+//    execution times of earlier requests with the same name — the same
+//    wall-clock number a per-query profile (obs/query_profile.h) reports)
+//    exceeds `heavy_cost_ns` additionally count against
+//    `max_heavy_running`, keeping slots free for cheap requests even
+//    when the queue is full of scans. Gated-out heavy entries are
+//    *skipped*, not popped: lighter entries behind them may bypass.
+//
+// Queued entries time out: each ticket can carry a deadline, enforced by
+// a periodic reaper (the server registers it on the shared scheduler)
+// and opportunistically on every queue operation.
+//
+// The controller is callback-based and lock-internal: exactly one of
+// `grant` / `drop` fires per ticket, never while the controller lock is
+// held, on whichever thread triggered the decision (the submitter, a
+// finishing worker, or the reaper).
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <condition_variable>
+
+namespace datablocks::serve {
+
+/// Priority classes, highest first. OLTP point ops go ahead of
+/// interactive scans, which go ahead of batch/background work.
+enum class Priority : uint8_t { kOltp = 0, kOlap = 1, kBatch = 2 };
+inline constexpr unsigned kNumPriorities = 3;
+const char* PriorityName(Priority p);  // "oltp" / "olap" / "batch"
+
+/// Terminal state of one request, as delivered in its Response.
+enum class Status : uint8_t {
+  kOk = 0,        // executed, payload valid
+  kError,         // handler threw; payload holds the message
+  kRejected,      // pending queue full (or evicted by a higher priority)
+  kTimedOut,      // queue deadline passed before a slot freed
+  kShutdown,      // server shutting down / session closed
+};
+const char* StatusName(Status s);
+
+struct AdmissionConfig {
+  /// Concurrently executing requests; 0 = one per scheduler worker.
+  unsigned max_running = 0;
+  /// Concurrently executing *heavy* requests (learned cost above
+  /// `heavy_cost_ns`); 0 = max(1, max_running / 2).
+  unsigned max_heavy_running = 0;
+  /// Learned-cost threshold above which a request counts as heavy.
+  uint64_t heavy_cost_ns = 50'000'000;  // 50 ms
+  /// Bounded pending queue, across all priority classes.
+  size_t max_queued = 64;
+  /// Granularity of queued-timeout enforcement (the server's reaper).
+  std::chrono::milliseconds reap_interval{5};
+};
+
+class AdmissionController {
+ public:
+  /// One admission unit. The server owns the request itself; the
+  /// controller sees only what it decides on.
+  struct Ticket {
+    Priority priority = Priority::kOlap;
+    bool heavy = false;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    /// Runs the request (called with the time spent queued). Must be
+    /// cheap — it executes on the deciding thread (typically a
+    /// Scheduler::Submit).
+    std::function<void(uint64_t queue_ns)> grant;
+    /// Refuses the request (kRejected / kTimedOut / kShutdown).
+    std::function<void(Status)> drop;
+  };
+
+  /// `default_running` resolves AdmissionConfig::max_running == 0
+  /// (callers pass the scheduler's worker count).
+  AdmissionController(AdmissionConfig cfg, unsigned default_running);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits, queues, or refuses the ticket. Exactly one of
+  /// grant/drop fires eventually; it may fire inline.
+  void Submit(std::shared_ptr<Ticket> t);
+
+  /// A granted ticket's work finished: frees its slot and pumps the
+  /// queue (may grant queued tickets inline).
+  void OnDone(bool heavy);
+
+  /// Drops queued tickets whose deadline passed (kTimedOut).
+  void ReapExpired();
+
+  /// Refuses all queued tickets (kShutdown) and every later Submit.
+  /// Running tickets are unaffected; use WaitIdle to drain them.
+  void Shutdown();
+
+  /// Blocks until nothing is running or queued. Meaningful after
+  /// Shutdown (otherwise new submissions may keep it waiting).
+  void WaitIdle();
+
+  unsigned running() const;
+  size_t queued() const;
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  enum class TicketState : uint8_t { kQueued, kGranted, kDropped };
+  struct Slot {  // queue entry
+    std::shared_ptr<Ticket> ticket;
+    std::chrono::steady_clock::time_point enqueued;
+    TicketState state = TicketState::kQueued;
+  };
+  struct Action {  // decided under the lock, executed outside it
+    std::shared_ptr<Ticket> ticket;
+    bool granted = false;
+    uint64_t queue_ns = 0;
+    Status drop_status = Status::kRejected;
+  };
+
+  bool CanRunLocked(const Ticket& t) const;
+  /// Grants queued tickets while capacity allows, skipping heavy-gated
+  /// entries so lighter ones bypass. Appends to `actions`.
+  void PumpLocked(std::chrono::steady_clock::time_point now,
+                  std::vector<Action>* actions);
+  void ExpireLocked(std::chrono::steady_clock::time_point now,
+                    std::vector<Action>* actions);
+  static void RunActions(std::vector<Action>& actions);
+  void GaugesLocked() const;
+
+  const AdmissionConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool shutdown_ = false;
+  unsigned running_ = 0;
+  unsigned running_heavy_ = 0;
+  size_t queued_ = 0;  // sum over queues_
+  std::deque<Slot> queues_[kNumPriorities];
+};
+
+}  // namespace datablocks::serve
+
+#endif  // DATABLOCKS_SERVE_ADMISSION_H_

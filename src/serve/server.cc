@@ -1,0 +1,306 @@
+#include "serve/server.h"
+
+#include <exception>
+
+#include "obs/query_profile.h"
+#include "obs/trace.h"
+#include "util/macros.h"
+
+namespace datablocks::serve {
+
+namespace {
+
+/// Process-wide completion metrics ("serve.*"), resolved once.
+struct ServeMetrics {
+  obs::Counter* completed;
+  obs::Counter* errors;
+  obs::Gauge* sessions;
+  obs::Histogram* latency_by_priority[kNumPriorities];
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    ServeMetrics sm{r.GetCounter("serve.completed"),
+                    r.GetCounter("serve.errors"),
+                    r.GetGauge("serve.sessions"),
+                    {}};
+    sm.latency_by_priority[unsigned(Priority::kOltp)] =
+        r.GetHistogram("serve.oltp_latency_ns");
+    sm.latency_by_priority[unsigned(Priority::kOlap)] =
+        r.GetHistogram("serve.olap_latency_ns");
+    sm.latency_by_priority[unsigned(Priority::kBatch)] =
+        r.GetHistogram("serve.batch_latency_ns");
+    return sm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResponseFuture
+// ---------------------------------------------------------------------------
+
+const Response& ResponseFuture::Get() const& {
+  DB_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->response;
+}
+
+Response ResponseFuture::Get() && {
+  Response copy = static_cast<const ResponseFuture&>(*this).Get();
+  return copy;
+}
+
+bool ResponseFuture::WaitFor(std::chrono::milliseconds timeout) const {
+  DB_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout,
+                             [this] { return state_->done; });
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Shared with every request the session submitted, so responses outlive
+/// the Session object itself.
+struct Server::SessionState {
+  std::string client;
+  obs::Histogram* latency_ns = nullptr;
+  std::atomic<bool> closed{false};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t outstanding = 0;  // guarded by mu
+
+  void OnSubmit() {
+    submitted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    ++outstanding;
+  }
+  void OnDone() {
+    completed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    DB_CHECK(outstanding > 0);
+    if (--outstanding == 0) cv.notify_all();
+  }
+  void WaitDrained() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return outstanding == 0; });
+  }
+};
+
+Server::Server(ServerConfig cfg)
+    : scheduler_(cfg.scheduler != nullptr ? cfg.scheduler
+                                          : &Scheduler::Default()),
+      admission_(cfg.admission, scheduler_->num_workers()) {
+  reaper_id_ = scheduler_->AddPeriodic(admission_.config().reap_interval,
+                                       [this] { admission_.ReapExpired(); });
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::RegisterHandler(std::string verb, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[std::move(verb)] = std::move(handler);
+}
+
+std::unique_ptr<Session> Server::OpenSession(std::string client,
+                                             Priority default_priority) {
+  auto state = std::make_shared<SessionState>();
+  state->latency_ns = obs::MetricsRegistry::Default().GetHistogram(
+      "serve.client." + client + ".latency_ns");
+  state->client = std::move(client);
+  Metrics().sessions->Add(1);
+  return std::unique_ptr<Session>(
+      new Session(this, std::move(state), default_priority));
+}
+
+void Server::Shutdown() {
+  // Serialized: concurrent callers all return only once drained.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_.store(true, std::memory_order_relaxed);
+  admission_.Shutdown();
+  admission_.WaitIdle();
+  if (reaper_id_ != 0) {
+    scheduler_->RemovePeriodic(reaper_id_);
+    reaper_id_ = 0;
+  }
+}
+
+uint64_t Server::CostNs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  auto it = cost_ewma_ns_.find(name);
+  return it != cost_ewma_ns_.end() ? it->second : 0;
+}
+
+void Server::UpdateCost(const std::string& name, uint64_t exec_ns) {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  uint64_t& ewma = cost_ewma_ns_[name];
+  // First sample seeds the estimate; later ones fold in at 1/4 weight.
+  ewma = ewma == 0 ? exec_ns : (ewma * 3 + exec_ns) / 4;
+}
+
+void Server::Fulfill(const std::shared_ptr<ResponseFuture::State>& state,
+                     Response response) {
+  response.total_ns = obs::MonotonicNs() - state->submit_ns;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void Server::Dispatch(Request req,
+                      std::shared_ptr<ResponseFuture::State> state,
+                      std::shared_ptr<SessionState> session) {
+  state->submit_ns = obs::MonotonicNs();
+  session->OnSubmit();
+
+  const bool heavy = CostNs(req.name) > admission_.config().heavy_cost_ns;
+  const Priority priority = req.priority;
+  auto rq = std::make_shared<Request>(std::move(req));
+
+  auto complete = [state, session, priority](Response resp) {
+    // Metrics land BEFORE the future is fulfilled: a caller returning
+    // from Get() must see its own request in the histograms. OnDone
+    // stays last so Session::Close => responses delivered.
+    if (resp.status == Status::kOk) {
+      // Latency percentiles cover completed work only; refusals are
+      // counted, not timed.
+      const uint64_t total_ns = obs::MonotonicNs() - state->submit_ns;
+      Metrics().latency_by_priority[unsigned(priority)]->Observe(total_ns);
+      session->latency_ns->Observe(total_ns);
+    }
+    Metrics().completed->Add();
+    Fulfill(state, std::move(resp));
+    session->OnDone();
+  };
+
+  auto ticket = std::make_shared<AdmissionController::Ticket>();
+  ticket->priority = priority;
+  ticket->heavy = heavy;
+  if (rq->queue_timeout.count() > 0) {
+    ticket->has_deadline = true;
+    ticket->deadline = std::chrono::steady_clock::now() + rq->queue_timeout;
+  }
+  ticket->grant = [this, rq, complete, heavy](uint64_t queue_ns) {
+    auto run = [this, rq, complete, heavy, queue_ns] {
+      Response resp;
+      resp.queue_ns = queue_ns;
+      const uint64_t t0 = obs::MonotonicNs();
+      try {
+        resp.payload = rq->work();
+        resp.status = Status::kOk;
+      } catch (const std::exception& e) {
+        resp.status = Status::kError;
+        resp.payload = e.what();
+      } catch (...) {
+        resp.status = Status::kError;
+        resp.payload = "unknown exception";
+      }
+      resp.exec_ns = obs::MonotonicNs() - t0;
+      if (rq->profile != nullptr) {
+        // The request carried an execution profile: its wall time is
+        // the cost-model sample (identical clock, richer attribution).
+        rq->profile->Finish();
+        if (rq->profile->wall_ns() > 0) resp.exec_ns = rq->profile->wall_ns();
+      }
+      if (resp.status == Status::kOk) {
+        UpdateCost(rq->name, resp.exec_ns);
+      } else {
+        Metrics().errors->Add();
+      }
+      admission_.OnDone(heavy);
+      complete(std::move(resp));
+    };
+    // Point ops jump the worker queues; scans line up behind running
+    // morsel tasks.
+    if (rq->priority == Priority::kOltp) {
+      scheduler_->SubmitUrgent(std::move(run));
+    } else {
+      scheduler_->Submit(std::move(run));
+    }
+  };
+  ticket->drop = [complete](Status status) {
+    Response resp;
+    resp.status = status;
+    complete(std::move(resp));
+  };
+  admission_.Submit(std::move(ticket));
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::~Session() { Close(); }
+
+ResponseFuture Session::Submit(Request req) {
+  ResponseFuture future;
+  future.state_ = std::make_shared<ResponseFuture::State>();
+  future.state_->submit_ns = obs::MonotonicNs();
+  if (state_->closed.load(std::memory_order_relaxed) ||
+      server_->shutdown_.load(std::memory_order_relaxed)) {
+    Response resp;
+    resp.status = Status::kShutdown;
+    Server::Fulfill(future.state_, std::move(resp));
+    return future;
+  }
+  server_->Dispatch(std::move(req), future.state_, state_);
+  return future;
+}
+
+ResponseFuture Session::Call(std::string verb, std::string args) {
+  return Call(std::move(verb), std::move(args), default_priority_);
+}
+
+ResponseFuture Session::Call(std::string verb, std::string args,
+                             Priority priority,
+                             std::chrono::milliseconds queue_timeout) {
+  Server::Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(server_->handlers_mu_);
+    auto it = server_->handlers_.find(verb);
+    if (it != server_->handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    ResponseFuture future;
+    future.state_ = std::make_shared<ResponseFuture::State>();
+    future.state_->submit_ns = obs::MonotonicNs();
+    Response resp;
+    resp.status = Status::kError;
+    resp.payload = "unknown verb: " + verb;
+    Server::Fulfill(future.state_, std::move(resp));
+    return future;
+  }
+  Request req;
+  req.name = std::move(verb);
+  req.priority = priority;
+  req.queue_timeout = queue_timeout;
+  req.work = [handler = std::move(handler), args = std::move(args)] {
+    return handler(args);
+  };
+  return Submit(std::move(req));
+}
+
+void Session::Close() {
+  const bool first = !state_->closed.exchange(true);
+  state_->WaitDrained();
+  if (first) Metrics().sessions->Add(-1);
+}
+
+const std::string& Session::client() const { return state_->client; }
+uint64_t Session::submitted() const {
+  return state_->submitted.load(std::memory_order_relaxed);
+}
+uint64_t Session::completed() const {
+  return state_->completed.load(std::memory_order_relaxed);
+}
+
+}  // namespace datablocks::serve

@@ -1,0 +1,219 @@
+#ifndef DATABLOCKS_SERVE_SERVER_H_
+#define DATABLOCKS_SERVE_SERVER_H_
+
+// Multi-client serving front end: the first layer of the engine that
+// more than one caller talks to. A Server owns an admission controller
+// (serve/admission.h) and a handler table, and executes admitted
+// requests on the shared morsel scheduler (exec/scheduler.h) — OLTP
+// point ops submitted queue-front (Scheduler::SubmitUrgent) so they
+// overtake queued scan tasks, everything else queue-back.
+//
+// Clients talk through Sessions — one per connection. The submission
+// surface is deliberately socket-ready: a request is a (name, priority,
+// timeout) envelope around either a registered text-command handler
+// (Session::Call("tpch.q6", "args")) or an arbitrary closure
+// (Session::Submit), so a wire transport only needs to parse
+// "verb args" and marshal the Response back; no engine code changes.
+//
+// Responses are delivered through ResponseFuture (the in-process
+// completion handle); per-request end-to-end latency lands in the
+// per-priority serve.*_latency_ns histograms and a per-client
+// serve.client.<name>.latency_ns histogram (obs/metrics.h), so
+// percentiles per class and per client fall out of the registry.
+//
+// Cost model: the server keeps an EWMA of measured execution time per
+// request name (when the request carries an obs::QueryProfile the
+// profile's wall time — the same number EXPLAIN ANALYZE shows — is the
+// sample) and feeds it to admission's heavy gate, so repeat offenders
+// are classified before they run.
+//
+// Lifecycle: Server::Shutdown() (also run by the destructor) stops
+// intake, flushes the pending queue as kShutdown, and drains running
+// requests. Session::Close() (also its destructor) stops that session's
+// intake and waits for its in-flight requests — responses are still
+// delivered. Sessions must not outlive their Server.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "exec/scheduler.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+
+namespace datablocks::obs {
+class QueryProfile;
+}
+
+namespace datablocks::serve {
+
+struct Response {
+  Status status = Status::kOk;
+  /// Handler return value on kOk; the exception message on kError.
+  std::string payload;
+  uint64_t queue_ns = 0;  // time spent in the admission queue
+  uint64_t exec_ns = 0;   // handler wall time
+  uint64_t total_ns = 0;  // submit -> response (closed-loop latency)
+};
+
+struct Request {
+  /// Cost-model key ("tpch.q6", "tpcc.mixed"); also the handler verb
+  /// when built by Session::Call.
+  std::string name;
+  Priority priority = Priority::kOlap;
+  /// Max time queued before kTimedOut; zero = wait indefinitely.
+  std::chrono::milliseconds queue_timeout{0};
+  /// The work itself; runs on a scheduler worker.
+  std::function<std::string()> work;
+  /// Optional execution profile owned by the caller; the server calls
+  /// Finish() after `work` returns and feeds wall_ns() to the cost
+  /// model instead of its own stopwatch.
+  obs::QueryProfile* profile = nullptr;
+};
+
+/// Completion handle for one submitted request. Copyable; all copies
+/// share the response.
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Blocks until the response arrived, then returns it. On a temporary
+  /// future (`session->Call(...).Get()`) the response is returned by
+  /// value — the reference overload would dangle once the temporary
+  /// releases the shared state.
+  const Response& Get() const&;
+  Response Get() &&;
+  /// True when the response arrived within `timeout`.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+ private:
+  friend class Server;
+  friend class Session;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+    uint64_t submit_ns = 0;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Session;
+
+struct ServerConfig {
+  AdmissionConfig admission;
+  /// Worker pool; nullptr = Scheduler::Default().
+  Scheduler* scheduler = nullptr;
+};
+
+class Server {
+ public:
+  using Handler = std::function<std::string(std::string_view args)>;
+
+  explicit Server(ServerConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers the handler behind Session::Call(verb, ...). Replaces an
+  /// existing handler of the same verb.
+  void RegisterHandler(std::string verb, Handler handler);
+
+  /// Opens a client session. `client` labels the per-client latency
+  /// histogram; `default_priority` applies when Call is not told
+  /// otherwise.
+  std::unique_ptr<Session> OpenSession(
+      std::string client, Priority default_priority = Priority::kOlap);
+
+  /// Stops intake (later submits answer kShutdown), flushes the pending
+  /// queue as kShutdown, and blocks until running requests drained.
+  /// Idempotent.
+  void Shutdown();
+
+  unsigned running() const { return admission_.running(); }
+  size_t queued() const { return admission_.queued(); }
+  const AdmissionConfig& admission_config() const {
+    return admission_.config();
+  }
+  /// Learned cost of a request name; 0 = never completed.
+  uint64_t CostNs(const std::string& name) const;
+
+  Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  friend class Session;
+  struct SessionState;
+
+  void Dispatch(Request req, std::shared_ptr<ResponseFuture::State> state,
+                std::shared_ptr<SessionState> session);
+  void UpdateCost(const std::string& name, uint64_t exec_ns);
+  static void Fulfill(const std::shared_ptr<ResponseFuture::State>& state,
+                      Response response);
+
+  Scheduler* const scheduler_;
+  AdmissionController admission_;
+
+  std::mutex shutdown_mu_;     // serializes Shutdown callers
+  uint64_t reaper_id_ = 0;     // guarded by shutdown_mu_
+  std::atomic<bool> shutdown_{false};
+  std::mutex handlers_mu_;
+  std::map<std::string, Handler, std::less<>> handlers_;
+
+  mutable std::mutex cost_mu_;
+  std::map<std::string, uint64_t, std::less<>> cost_ewma_ns_;
+};
+
+class Session {
+ public:
+  ~Session();  // Close()
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Submits an arbitrary request. Never blocks on admission — the
+  /// returned future resolves to kRejected/kTimedOut/kShutdown when the
+  /// request does not run.
+  ResponseFuture Submit(Request req);
+
+  /// Packages a registered handler into a request. Unknown verbs
+  /// resolve immediately to kError.
+  ResponseFuture Call(std::string verb, std::string args = "");
+  ResponseFuture Call(std::string verb, std::string args, Priority priority,
+                      std::chrono::milliseconds queue_timeout =
+                          std::chrono::milliseconds{0});
+
+  /// Stops this session's intake and waits for its in-flight requests
+  /// (their responses are delivered normally). Idempotent.
+  void Close();
+
+  const std::string& client() const;
+  uint64_t submitted() const;
+  uint64_t completed() const;  // responses delivered, any status
+
+ private:
+  friend class Server;
+  Session(Server* server, std::shared_ptr<Server::SessionState> state,
+          Priority default_priority)
+      : server_(server),
+        state_(std::move(state)),
+        default_priority_(default_priority) {}
+
+  Server* const server_;
+  std::shared_ptr<Server::SessionState> state_;
+  const Priority default_priority_;
+};
+
+}  // namespace datablocks::serve
+
+#endif  // DATABLOCKS_SERVE_SERVER_H_

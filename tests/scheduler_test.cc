@@ -79,6 +79,36 @@ TEST(Scheduler, WorkStealingDrainsABlockedWorkersQueue) {
   release.set_value();
 }
 
+TEST(Scheduler, UrgentSubmitOvertakesQueuedTasks) {
+  // One worker, no stealing: queue order is execution order. An urgent
+  // task enqueued last must still run before the earlier normal tasks —
+  // this is what lets OLTP point ops overtake queued scan morsels.
+  Scheduler sched(Scheduler::Options{.num_workers = 1});
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> started{false};
+  sched.Submit([&] {
+    started = true;
+    released.wait();
+  });
+  ASSERT_TRUE(WaitFor([&] { return started.load(); }));
+  std::vector<int> order;
+  std::mutex order_mu;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(tag);
+  };
+  sched.Submit([&, tag = 1] { record(tag); });
+  sched.Submit([&, tag = 2] { record(tag); });
+  sched.SubmitUrgent([&, tag = 0] { record(tag); });
+  release.set_value();
+  EXPECT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    return order.size() == 3;
+  }));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Scheduler, MorselDispatcherHandsOutEveryRangeExactlyOnce) {
   MorselDispatcher morsels(103, 7);
   std::vector<std::vector<size_t>> claimed(4);

@@ -61,6 +61,12 @@ def main():
     ap.add_argument("candidate", help="candidate JSON file or directory")
     ap.add_argument("--threshold", type=float, default=25.0,
                     help="regression threshold in percent (default 25)")
+    ap.add_argument("--latency-threshold", type=float, default=None,
+                    help="separate threshold for latency-percentile entries "
+                         "(config p50/p95/p99, e.g. bench_serve's per-class "
+                         "serving latencies); tail latency on shared runners "
+                         "is noisier than a scan median, so this is usually "
+                         "looser. Default: same as --threshold")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (shared runners)")
     ap.add_argument("--baseline-optional", action="store_true",
@@ -101,14 +107,19 @@ def main():
         if b["median_ns_op"] <= 0:
             continue
         compared += 1
+        is_latency = key[2] in ("p50", "p95", "p99")
+        threshold = args.latency_threshold \
+            if is_latency and args.latency_threshold is not None \
+            else args.threshold
         delta_pct = 100.0 * (c["median_ns_op"] - b["median_ns_op"]) \
             / b["median_ns_op"]
+        unit = "ns" if is_latency else "ns/op"
         line = (f"{key[0]} :: {key[1]} [{key[2]}] "
-                f"{b['median_ns_op']:.4g} -> {c['median_ns_op']:.4g} ns/op "
+                f"{b['median_ns_op']:.4g} -> {c['median_ns_op']:.4g} {unit} "
                 f"({delta_pct:+.1f}%)")
-        if delta_pct > args.threshold:
+        if delta_pct > threshold:
             regressions.append(line)
-        elif delta_pct < -args.threshold:
+        elif delta_pct < -threshold:
             improvements.append(line)
         # Aggregation-state bytes barely depend on runner speed, so growth
         # past the threshold is a real state-size regression. Sub-MB
