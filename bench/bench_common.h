@@ -73,6 +73,7 @@ struct BenchJsonState {
   std::string bench;
   bool quick = false;
   unsigned threads = 1;  // recorded by BenchThreadsFlag
+  unsigned shards = 1;   // recorded by BenchShardsFlag
   std::vector<BenchJsonEntry> entries;
 };
 
@@ -99,9 +100,9 @@ inline void BenchJsonFlush() {
   };
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n"
-               "  \"threads\": %u,\n  \"results\": [",
+               "  \"threads\": %u,\n  \"shards\": %u,\n  \"results\": [",
                escape(s.bench).c_str(), s.quick ? "true" : "false",
-               s.threads);
+               s.threads, s.shards);
   for (size_t i = 0; i < s.entries.size(); ++i) {
     const BenchJsonEntry& e = s.entries[i];
     std::fprintf(f,
@@ -282,6 +283,45 @@ inline unsigned BenchThreadsFlag(int* argc, char** argv) {
   }
   BenchJson().threads = threads;
   return threads;
+}
+
+/// Parses and strips `--shards N` (or `--shards=N`) from argv — the
+/// shard-parallel knob (exec/shard.h) of benches that can run fact-table
+/// pipelines over partitioned engine instances. Returns the requested
+/// shard count (default 1: single-table execution) and records it for the
+/// `--json` output so the perf harness never diffs runs of different
+/// sharding.
+inline unsigned BenchShardsFlag(int* argc, char** argv) {
+  unsigned shards = 1;
+  const char* value = nullptr;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--shards") == 0) {
+      if (r + 1 >= *argc) {
+        std::fprintf(stderr, "--shards requires a value\n");
+        std::exit(1);
+      }
+      value = argv[++r];
+      continue;
+    }
+    if (std::strncmp(argv[r], "--shards=", 9) == 0) {
+      value = argv[r] + 9;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (value != nullptr) {
+    char* end;
+    long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < 1) {
+      std::fprintf(stderr, "bad --shards value: %s\n", value);
+      std::exit(1);
+    }
+    shards = unsigned(n);
+  }
+  BenchJson().shards = shards;
+  return shards;
 }
 
 /// Median of a sample vector (scrambles the input order).

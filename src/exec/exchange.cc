@@ -1,0 +1,16 @@
+#include "exec/exchange.h"
+
+namespace datablocks {
+
+const ExchangeMetrics& GetExchangeMetrics() {
+  static const ExchangeMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return ExchangeMetrics{r.GetCounter("exchange.partitions_shipped"),
+                           r.GetCounter("exchange.bytes_shipped"),
+                           r.GetHistogram("exchange.flush_ns"),
+                           r.GetHistogram("exchange.merge_ns")};
+  }();
+  return m;
+}
+
+}  // namespace datablocks

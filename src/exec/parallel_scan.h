@@ -47,13 +47,21 @@ std::vector<State> ParallelScan(const Table& table,
   states.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) states.push_back(make_state());
 
-  MorselDispatcher morsels(table.num_chunks());
+  // Node-aware handout: each worker drains chunks homed on its own NUMA
+  // node before stealing remote ones (single-node hosts degrade to one
+  // group, i.e. exactly the flat MorselDispatcher order).
+  std::vector<int> chunk_nodes(table.num_chunks());
+  for (size_t i = 0; i < chunk_nodes.size(); ++i) {
+    chunk_nodes[i] = table.chunk_node(i);
+  }
+  NodeMorselDispatcher morsels(chunk_nodes);
   auto worker = [&](unsigned slot) {
     obs::WorkerScope scope(pipeline, slot);
     TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
     Batch batch;
+    const int my_node = Scheduler::CurrentWorkerNode();
     size_t begin, end;
-    while (morsels.Next(&begin, &end)) {
+    while (morsels.Next(my_node, &begin, &end)) {
       scope.OnMorsel();
       scanner.RestrictChunks(begin, end);
       while (scanner.Next(&batch)) {

@@ -377,14 +377,19 @@ std::vector<T> DensePartitionedScan(
   num_threads = EffectiveThreads(num_threads, scheduler);
   PartitionedDense<T, U, Apply> state(domain, num_threads, std::move(apply),
                                       init);
-  MorselDispatcher morsels(table.num_chunks());
+  std::vector<int> chunk_nodes(table.num_chunks());
+  for (size_t i = 0; i < chunk_nodes.size(); ++i) {
+    chunk_nodes[i] = table.chunk_node(i);
+  }
+  NodeMorselDispatcher morsels(chunk_nodes);
   auto worker = [&](unsigned slot) {
     obs::WorkerScope scope(pipeline, slot);
     auto& sink = state.sink(slot);
     TableScanner scanner(table, columns, predicates, mode, vector_size, isa);
     Batch batch;
+    const int my_node = Scheduler::CurrentWorkerNode();
     size_t begin, end;
-    while (morsels.Next(&begin, &end)) {
+    while (morsels.Next(my_node, &begin, &end)) {
       scope.OnMorsel();
       scanner.RestrictChunks(begin, end);
       while (scanner.Next(&batch)) {

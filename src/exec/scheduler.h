@@ -64,6 +64,13 @@ class Scheduler {
   /// NUMA node of that CPU, -1 when unknown.
   int worker_node(unsigned worker) const { return workers_[worker]->node; }
 
+  /// NUMA node of the calling thread: the pinned node of the pool worker
+  /// executing this call, or (for non-pool threads — e.g. the caller
+  /// running slot 0 of RunOnSlots) the node it is currently scheduled on
+  /// via cpu::CurrentNode(). -1 when unknown. This is what morsel handout
+  /// uses to prefer node-local chunks.
+  static int CurrentWorkerNode();
+
   /// Enqueues one task (round-robin over the worker queues; an idle sibling
   /// steals it if the assigned worker is busy). Prefer TaskGroup for
   /// joinable work.
@@ -263,6 +270,48 @@ class MorselDispatcher {
   std::atomic<size_t> next_{0};
   size_t total_;
   size_t morsel_;
+};
+
+/// NUMA-aware variant of MorselDispatcher: chunk indexes are grouped by
+/// their home node (Table::chunk_node) and Next(node, ...) drains the
+/// requester's own group before stealing from remote groups — locality
+/// first, load balance second (an idle worker never starves while remote
+/// work remains). Claims from a *known* remote node are counted on the
+/// instance and on the process-wide `scheduler.morsels_remote` counter;
+/// chunks with unknown homes (-1) and requesters with unknown nodes are
+/// always "local" (there is nothing to miss). Morsels are single chunks,
+/// matching MorselDispatcher's default granularity.
+class NodeMorselDispatcher {
+ public:
+  /// nodes[i] = home node of chunk i, -1 unknown. Grouping cost is one
+  /// O(chunks) pass at pipeline start.
+  explicit NodeMorselDispatcher(const std::vector<int>& nodes);
+
+  /// Claims one chunk into [*begin, *end), preferring `node`'s group;
+  /// false when every group is exhausted.
+  bool Next(int node, size_t* begin, size_t* end);
+
+  size_t total() const { return total_; }
+  uint64_t local_claims() const {
+    return local_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_claims() const {
+    return remote_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Group {
+    int node = -1;                  // -1 = unknown-home group
+    std::vector<size_t> chunks;
+    std::atomic<size_t> cursor{0};
+  };
+
+  bool Claim(Group& g, size_t* begin, size_t* end);
+
+  std::vector<std::unique_ptr<Group>> groups_;
+  size_t total_ = 0;
+  std::atomic<uint64_t> local_{0};
+  std::atomic<uint64_t> remote_{0};
 };
 
 /// Runs `worker(slot)` on `slots` parallelism slots — slot 0 on the calling

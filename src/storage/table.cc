@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/cpu.h"
+
 namespace datablocks {
 
 const char* ChunkStateName(ChunkState s) {
@@ -58,8 +60,12 @@ Table::Slot& Table::NewSlot() {
   if (segments_[seg].load(std::memory_order_relaxed) == nullptr) {
     segments_[seg].store(new SlotSegment(), std::memory_order_release);
   }
-  return segments_[seg].load(std::memory_order_relaxed)
-      ->slots[idx & (kSlotSegSize - 1)];
+  Slot& s = segments_[seg].load(std::memory_order_relaxed)
+                ->slots[idx & (kSlotSegSize - 1)];
+  // First-touch: the appending thread's node is where the chunk's pages
+  // will land, so stamp it as the chunk's home for NUMA-local handout.
+  s.node = cpu::CurrentNode();
+  return s;
 }
 
 RowId Table::Insert(std::span<const Value> row) {

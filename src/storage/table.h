@@ -169,6 +169,11 @@ class Table {
     // new count also sees the appended row's column bytes.
     return slot(chunk_idx).rows.load(std::memory_order_acquire);
   }
+  /// NUMA node the chunk's slot was allocated on (-1 unknown). Stamped once
+  /// in NewSlot before the slot is published and immutable afterwards —
+  /// NUMA-local morsel handout uses it to route each chunk to workers on
+  /// the node whose memory most likely backs it (first-touch allocation).
+  int chunk_node(size_t chunk_idx) const { return slot(chunk_idx).node; }
   bool chunk_full(size_t chunk_idx) const {
     return chunk_rows(chunk_idx) == chunk_capacity_;
   }
@@ -328,6 +333,9 @@ class Table {
     mutable std::atomic<uint32_t> pins{0};
     mutable std::atomic<uint32_t> clock{0};
     mutable std::atomic<uint32_t> last_access{0};
+    /// Home NUMA node (-1 unknown); written once in NewSlot before
+    /// PublishSlot's release store, plain int is race-free afterwards.
+    int node = -1;
   };
 
   // Slots live in a segmented directory: fixed-size heap segments hung off

@@ -8,6 +8,7 @@
 
 #include "exec/parallel_scan.h"
 #include "exec/partitioned_agg.h"
+#include "exec/shard.h"
 #include "exec/table_scanner.h"
 #include "obs/query_profile.h"
 #include "tpch/tpch_db.h"
@@ -30,6 +31,13 @@ struct QueryContext {
   /// in/out, morsel/batch counts, block pruning, pins, archive reloads,
   /// per-worker slices. nullptr = profiling off (one branch per pipeline).
   obs::QueryProfile* profile = nullptr;
+  /// When set, fact-table pipelines whose table has a sharded view in the
+  /// set run shard-parallel (exec/shard.h): shard-affine scans over the
+  /// per-shard engine instances, aggregation repartitioned to owning
+  /// shards through the Exchange. Results stay bit-identical to the
+  /// unsharded engine (exact accumulation, order-independent merges).
+  /// nullptr = single-table execution.
+  const ShardSet* shards = nullptr;
 };
 
 /// Scan configuration under which a query runs; every paper configuration
@@ -171,6 +179,13 @@ class PipelineScope {
 // morsel.
 // ---------------------------------------------------------------------------
 
+/// The sharded view of `table` in the context's shard set, nullptr when
+/// the table is unsharded (or no set is carried).
+inline const ShardedTable* FindShards(const ScanOptions& opt,
+                                      const Table& table) {
+  return opt.ctx.shards != nullptr ? opt.ctx.shards->Find(table) : nullptr;
+}
+
 /// Scan+aggregate with per-worker states and a merge step.
 /// `make_state`: () -> State; `consume`: (State&, const Batch&);
 /// `merge`: (State& dst, State& src) folds src into dst.
@@ -180,6 +195,16 @@ State ParAgg(const Table& table, const ScanOptions& opt,
              std::vector<uint32_t> cols, std::vector<Predicate> preds,
              MakeState make_state, Consume consume, Merge merge) {
   PipelineScope pipeline(opt, table);
+  if (const ShardedTable* st = FindShards(opt, table)) {
+    std::vector<State> states = ShardedParallelScan<State>(
+        *st, cols, preds, opt.mode, opt.ctx.threads, make_state, consume,
+        opt.vector_size, opt.isa, opt.ctx.scheduler, pipeline.get());
+    State merged = std::move(states[0]);
+    pipeline.Merge([&] {
+      for (size_t i = 1; i < states.size(); ++i) merge(merged, states[i]);
+    });
+    return merged;
+  }
   if (opt.ctx.threads == 1) {
     State state = make_state();
     ProfiledScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
@@ -207,12 +232,35 @@ State ParAgg(const Table& table, const ScanOptions& opt,
 /// `produce`: (Sink&, const Batch&) calling sink.Add(key, U);
 /// `apply`: (T&, const U&), exact + commutative + associative, so results
 /// stay bit-identical to the sequential path.
+///
+/// `route_key_of` (optional): when the dense domain is derived from the
+/// scanned table's shard key (e.g. order ordinals from l_orderkey), pass
+/// the inverse map (dense index -> routing key) and the sharded path
+/// elides the exchange entirely — every element is owned by the shard
+/// whose rows produce it, so updates apply in place under the producing
+/// shard's lock (KeyOwner, exec/shard.h) instead of shipping to generic
+/// contiguous spans. CONTRACT: the map must truly invert the dense index
+/// to the row's routing key (debug-asserted); results are then identical
+/// to every other routing.
 template <typename T, typename U, typename Produce, typename Apply>
 std::vector<T> ParDenseAgg(const Table& table, const ScanOptions& opt,
                            std::vector<uint32_t> cols,
                            std::vector<Predicate> preds, size_t domain,
-                           Produce produce, Apply apply, T init = T{}) {
+                           Produce produce, Apply apply, T init = T{},
+                           int64_t (*route_key_of)(size_t) = nullptr) {
   PipelineScope pipeline(opt, table);
+  if (const ShardedTable* st = FindShards(opt, table)) {
+    if (route_key_of != nullptr) {
+      return ShardedDenseScan<T, U>(
+          *st, cols, preds, opt.mode, opt.ctx.threads, domain, produce,
+          std::move(apply), init, opt.vector_size, opt.isa, opt.ctx.scheduler,
+          pipeline.get(), KeyOwner{route_key_of, st->num_shards()});
+    }
+    return ShardedDenseScan<T, U>(*st, cols, preds, opt.mode, opt.ctx.threads,
+                                  domain, produce, std::move(apply), init,
+                                  opt.vector_size, opt.isa, opt.ctx.scheduler,
+                                  pipeline.get());
+  }
   if (opt.ctx.threads == 1) {
     PartitionedDense<T, U, Apply> state(domain, 1, std::move(apply), init);
     auto& sink = state.sink(0);  // single slot: direct apply, no buffers
@@ -240,6 +288,30 @@ PartitionedAggTable<V> ParHashAgg(const Table& table, const ScanOptions& opt,
                                   std::vector<Predicate> preds,
                                   Produce produce, Fold fold) {
   PipelineScope pipeline(opt, table);
+  if (const ShardedTable* st = FindShards(opt, table)) {
+    // Shard-affine scanning keeps each worker-local table's keys within
+    // (mostly) one shard, so the exchange-merge folds each group from few
+    // locals — the work saving that makes shards beat per-worker replicas
+    // even without extra cores. Partition count covers max(threads,
+    // shards) so every shard owns >= 1 partition.
+    const unsigned threads =
+        EffectiveThreads(opt.ctx.threads, opt.ctx.scheduler);
+    const unsigned parts = std::max(threads, st->num_shards());
+    std::vector<PartitionedAggTable<V>> locals =
+        ShardedParallelScan<PartitionedAggTable<V>>(
+            *st, cols, preds, opt.mode, threads,
+            [parts] { return PartitionedAggTable<V>(parts); },
+            [&produce](PartitionedAggTable<V>& t, const Batch& b) {
+              produce(t, b);
+            },
+            opt.vector_size, opt.isa, opt.ctx.scheduler, pipeline.get());
+    PartitionedAggTable<V> merged(0);
+    pipeline.Merge([&] {
+      merged = ExchangeMergeAggTables(locals, fold, st->num_shards(),
+                                      opt.ctx.scheduler);
+    });
+    return merged;
+  }
   if (opt.ctx.threads == 1) {
     PartitionedAggTable<V> t(1);
     ProfiledScanLoop(opt.Scan(table, std::move(cols), std::move(preds)),
@@ -340,6 +412,11 @@ inline std::string F2(double v) {
 
 /// Dense index of an order key (order keys are 4 * ordinal).
 inline int64_t OrderIdx(int64_t orderkey) { return orderkey / 4 - 1; }
+
+/// Inverse of OrderIdx — the ParDenseAgg `route_key_of` hint for
+/// OrderIdx-indexed dense domains on orderkey-sharded fact tables
+/// (co-partitioned exchange routing; see exec/shard.h KeyOwner).
+inline int64_t OrderKeyOf(size_t idx) { return int64_t(idx + 1) * 4; }
 
 }  // namespace detail
 

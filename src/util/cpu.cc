@@ -125,5 +125,25 @@ const Topology& HostTopology() {
 
 unsigned HardwareThreads() { return HostTopology().hardware_threads; }
 
+int CurrentNode() {
+#ifdef __linux__
+  // node_of is positional (node of cpus[i]); build the cpu-id-keyed table
+  // once so the per-call cost is one getcpu + one load.
+  static const std::vector<int> by_cpu = [] {
+    const Topology& t = HostTopology();
+    unsigned max_cpu = 0;
+    for (unsigned c : t.cpus) max_cpu = std::max(max_cpu, c);
+    std::vector<int> m(t.cpus.empty() ? 0 : size_t(max_cpu) + 1, -1);
+    for (size_t i = 0; i < t.cpus.size(); ++i) m[t.cpus[i]] = t.node_of[i];
+    return m;
+  }();
+  int c = sched_getcpu();
+  if (c < 0 || size_t(c) >= by_cpu.size()) return -1;
+  return by_cpu[size_t(c)];
+#else
+  return -1;
+#endif
+}
+
 }  // namespace cpu
 }  // namespace datablocks

@@ -63,6 +63,14 @@ const Topology& HostTopology();
 /// HostTopology().hardware_threads: the "how many workers" default, >= 1.
 unsigned HardwareThreads();
 
+/// NUMA node of the cpu the calling thread is running on right now, or -1
+/// when unknown (non-Linux, unprobeable layout, or a cpu outside the
+/// affinity mask at probe time). `Topology::node_of` is indexed by position
+/// in `cpus`, not by cpu id; this is the id-keyed lookup built on top of it.
+/// Used to stamp chunks with their home node at append time and to resolve
+/// a worker's node for NUMA-local morsel handout.
+int CurrentNode();
+
 }  // namespace cpu
 }  // namespace datablocks
 
