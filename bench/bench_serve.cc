@@ -29,6 +29,15 @@
 // queue timeout, zero think time) so the run *must* produce rejections
 // and queue timeouts — the serve-stress CI job runs it under TSan and
 // ASan/UBSan and fails unless both counters moved and nothing hung.
+//
+// --chaos evicts the whole lineitem table to a block archive (lifecycle
+// budget 0, background ticks keep re-evicting) and arms the
+// lifecycle.reload failpoint at prob:0.1 for the closed loop: a tenth of
+// archive reloads fail, so OLAP queries randomly hit storage errors and
+// quarantined chunks while OLTP traffic is untouched. The run passes as
+// long as the server stays up and requests keep completing — injected
+// storage errors are expected and reported, not fatal. The
+// fault-injection CI job runs it under both sanitizer legs.
 
 #include <algorithm>
 #include <atomic>
@@ -42,9 +51,11 @@
 #include <thread>
 #include <vector>
 
+#include "lifecycle/lifecycle_manager.h"
 #include "serve/server.h"
 #include "tpcc/tpcc_db.h"
 #include "tpch/queries.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -145,6 +156,7 @@ int main(int argc, char** argv) {
   BenchJsonMode(&argc, argv, quick);
   const unsigned threads = BenchThreadsFlag(&argc, argv);
   const bool saturate = FlagBool(&argc, argv, "--saturate");
+  const bool chaos = FlagBool(&argc, argv, "--chaos");
 
   const long clients = FlagInt(&argc, argv, "--clients", quick ? 8 : 32);
   const double duration_s =
@@ -236,6 +248,26 @@ int main(int argc, char** argv) {
                 query_set.size());
     std::printf("result checksum: %016llx\n\n",
                 (unsigned long long)checksum);
+  }
+
+  // -- Chaos mode: evicted lineitem + injected reload failures --------------
+  std::unique_ptr<LifecycleManager> chaos_mgr;
+  const char* chaos_archive = "/tmp/datablocks_bench_serve_chaos.dbar";
+  if (chaos) {
+    LifecycleConfig lc;
+    lc.memory_budget_bytes = 0;  // background ticks keep lineitem evicted
+    lc.quarantine_backoff = std::chrono::milliseconds(25);
+    lc.quarantine_max_retries = 1u << 20;  // probe for the whole run
+    lc.tick_interval = std::chrono::milliseconds(20);
+    std::remove(chaos_archive);
+    chaos_mgr = std::make_unique<LifecycleManager>(&olap_db->lineitem,
+                                                   chaos_archive, lc);
+    for (int i = 0; i < 5; ++i) chaos_mgr->Tick();
+    chaos_mgr->Start();
+    fail::FailpointRegistry::Instance().Arm("lifecycle.reload", "prob:0.1");
+    std::printf(
+        "chaos: lineitem evicted to the archive, lifecycle.reload armed at "
+        "prob:0.1 — OLAP storage errors below are injected on purpose\n\n");
   }
 
   // -- Closed loop ----------------------------------------------------------
@@ -331,18 +363,42 @@ int main(int argc, char** argv) {
   }
 
   server.Shutdown();
+  if (chaos) {
+    // Disarm before the manager's destructor reloads every evicted block:
+    // with the failpoint still live the restore pass itself would be hit.
+    fail::FailpointRegistry::Instance().DisarmAll();
+    chaos_mgr->Stop();
+    chaos_mgr->ResetQuarantine();
+    chaos_mgr.reset();
+    std::remove(chaos_archive);
+  }
   const uint64_t rejected = CounterValue("serve.rejected");
   const uint64_t timed_out = CounterValue("serve.timed_out");
+  const uint64_t completed = CounterValue("serve.completed");
+  const uint64_t storage_errors = CounterValue("serve.storage_errors");
   std::printf(
       "\nserve.* admission counters: submitted %llu, admitted %llu, "
-      "rejected %llu, timed_out %llu, completed %llu, errors %llu\n",
+      "rejected %llu, timed_out %llu, completed %llu, errors %llu, "
+      "storage_errors %llu\n",
       (unsigned long long)CounterValue("serve.submitted"),
       (unsigned long long)CounterValue("serve.admitted"),
       (unsigned long long)rejected, (unsigned long long)timed_out,
-      (unsigned long long)CounterValue("serve.completed"),
-      (unsigned long long)CounterValue("serve.errors"));
+      (unsigned long long)completed,
+      (unsigned long long)CounterValue("serve.errors"),
+      (unsigned long long)storage_errors);
 
-  if (total_errors > 0) {
+  if (chaos) {
+    std::printf(
+        "chaos: %llu injected storage errors surfaced as per-query kError "
+        "responses; %llu requests completed anyway\n",
+        (unsigned long long)storage_errors, (unsigned long long)completed);
+    if (completed == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --chaos completed no requests — the injected "
+                   "storage faults took the server down\n");
+      return 1;
+    }
+  } else if (total_errors > 0) {
     std::fprintf(stderr, "FAIL: %llu handler errors\n",
                  (unsigned long long)total_errors);
     return 1;

@@ -196,6 +196,12 @@ class DataBlock {
   static DataBlock ForFill(uint64_t size);
   uint8_t* fill_bytes() { return buf_.data(); }
   void ValidateFilled() const;
+  /// Non-aborting variant of ValidateFilled for untrusted bytes (archive
+  /// reload): false = the filled image is not a well-formed block.
+  bool CheckFilled() const {
+    return buf_.size() >= sizeof(BlockHeader) && header()->magic == kMagic &&
+           header()->total_bytes == buf_.size();
+  }
 
   /// Total PSMA bytes in this block (reporting).
   uint64_t PsmaBytes() const;

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -172,13 +173,27 @@ inline unsigned EffectiveThreads(unsigned requested,
 /// when called from a pool worker (nested parallelism): unclaimed tasks of
 /// the group are run by the waiting thread itself, so progress never
 /// depends on a free worker.
+///
+/// A task that throws does NOT take the pool down: the first exception of
+/// the group is captured and rethrown from Wait() on the joining thread
+/// (later ones are dropped — one failure fails the batch). Sibling tasks
+/// are not cancelled; they run to completion before Wait returns/throws.
+/// This is how a storage fault inside one scan morsel becomes a failed
+/// *query* instead of std::terminate on a worker thread.
 class TaskGroup {
  public:
   /// nullptr = Scheduler::Default().
   explicit TaskGroup(Scheduler* scheduler = nullptr)
       : scheduler_(scheduler != nullptr ? scheduler : &Scheduler::Default()),
         state_(std::make_shared<State>()) {}
-  ~TaskGroup() { Wait(); }
+  ~TaskGroup() {
+    // A destructor must not throw; an unconsumed task exception dies here
+    // (callers that care Wait() explicitly).
+    try {
+      Wait();
+    } catch (...) {
+    }
+  }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
@@ -195,12 +210,20 @@ class TaskGroup {
   }
 
   /// Blocks until every task added so far has finished, helping to run
-  /// still-unclaimed ones.
+  /// still-unclaimed ones. Rethrows the group's first task exception (a
+  /// later Wait on the same group returns normally — the error is
+  /// consumed).
   void Wait() {
     for (;;) {
       if (RunOneClaimed(*state_)) continue;
       std::unique_lock<std::mutex> lock(state_->mu);
       if (state_->next >= state_->tasks.size() && state_->running == 0) {
+        if (state_->error != nullptr) {
+          std::exception_ptr error;
+          std::swap(error, state_->error);
+          lock.unlock();
+          std::rethrow_exception(error);
+        }
         return;
       }
       state_->cv.wait(lock, [&] {
@@ -218,9 +241,13 @@ class TaskGroup {
     std::vector<std::function<void()>> tasks;
     size_t next = 0;      // first unclaimed task
     unsigned running = 0; // claimed but unfinished
+    std::exception_ptr error;  // first task exception, consumed by Wait
   };
 
   /// Claims and runs one unclaimed task. Returns false when none were left.
+  /// A throwing task never unwinds into the pool's WorkerLoop (that would
+  /// std::terminate the process): its exception is parked in the state for
+  /// Wait to rethrow.
   static bool RunOneClaimed(State& state) {
     std::function<void()> task;
     {
@@ -231,10 +258,16 @@ class TaskGroup {
       task = std::move(state.tasks[state.next++]);
       ++state.running;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(state.mu);
       --state.running;
+      if (error != nullptr && state.error == nullptr) state.error = error;
     }
     state.cv.notify_all();
     return true;
@@ -320,6 +353,10 @@ class NodeMorselDispatcher {
 /// accumulates into a per-slot state that the caller merges afterwards in
 /// slot order (making the merged result independent of which worker claimed
 /// which morsel).
+/// A slot that throws fails the whole call: the first exception (slot 0's
+/// wins ties) is rethrown on the calling thread after every slot finished —
+/// pool tasks are always joined first, so no task outlives the caller's
+/// captured state.
 template <typename WorkerFn>
 void RunOnSlots(unsigned slots, WorkerFn&& worker,
                 Scheduler* scheduler = nullptr) {
@@ -331,8 +368,18 @@ void RunOnSlots(unsigned slots, WorkerFn&& worker,
   for (unsigned t = 1; t < slots; ++t) {
     group.Run([&worker, t] { worker(t); });
   }
-  worker(0u);
-  group.Wait();
+  std::exception_ptr primary;
+  try {
+    worker(0u);
+  } catch (...) {
+    primary = std::current_exception();
+  }
+  try {
+    group.Wait();
+  } catch (...) {
+    if (primary == nullptr) primary = std::current_exception();
+  }
+  if (primary != nullptr) std::rethrow_exception(primary);
 }
 
 }  // namespace datablocks

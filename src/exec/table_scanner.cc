@@ -19,6 +19,7 @@ struct ScanMetrics {
   obs::Counter* chunks_scanned;
   obs::Counter* pins;
   obs::Counter* archive_reloads;
+  obs::Counter* pin_failures;
 };
 
 const ScanMetrics& Metrics() {
@@ -28,7 +29,8 @@ const ScanMetrics& Metrics() {
                        r.GetCounter("scan.evicted_chunks_pruned"),
                        r.GetCounter("scan.chunks_scanned"),
                        r.GetCounter("scan.pins"),
-                       r.GetCounter("scan.archive_reloads")};
+                       r.GetCounter("scan.archive_reloads"),
+                       r.GetCounter("scan.pin_failures")};
   }();
   return m;
 }
@@ -338,7 +340,18 @@ void TableScanner::PinCurrentChunk() {
   // reader reloading first), so this classifies, it does not synchronize.
   const bool was_evicted =
       table_->chunk_state(chunk_idx_) == ChunkState::kEvicted;
-  table_->PinChunk(chunk_idx_);
+  try {
+    table_->PinChunk(chunk_idx_);
+  } catch (const StorageException& e) {
+    // PinChunk released its own pin; annotate with scan context and let the
+    // exception travel up the pipeline (TaskGroup carries it across pool
+    // workers) — the query fails, the process does not.
+    Metrics().pin_failures->Add();
+    throw StorageException(Status(
+        e.status().code(), "scan of table '" + table_->name() + "' chunk " +
+                               std::to_string(chunk_idx_) +
+                               " failed: " + e.status().message()));
+  }
   pinned_chunk_ = chunk_idx_;
   ++pins_;
   Metrics().pins->Add();

@@ -9,7 +9,9 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"  // MonotonicNs
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace datablocks {
 
@@ -29,6 +31,11 @@ struct LifecycleMetrics {
   obs::Counter* compactions;
   obs::Counter* reclaimed_blocks;
   obs::Histogram* tick_ns;
+  obs::Counter* reload_failures;
+  obs::Counter* retries;
+  obs::Counter* write_failures;
+  obs::Gauge* quarantined;  // chunks quarantined, summed over managers
+  obs::Gauge* degraded;     // managers currently in no-evict mode
 };
 
 const LifecycleMetrics& Metrics() {
@@ -43,7 +50,12 @@ const LifecycleMetrics& Metrics() {
                             r.GetCounter("lifecycle.tombstoned"),
                             r.GetCounter("lifecycle.compactions"),
                             r.GetCounter("lifecycle.reclaimed_blocks"),
-                            r.GetHistogram("lifecycle.tick_ns")};
+                            r.GetHistogram("lifecycle.tick_ns"),
+                            r.GetCounter("lifecycle.reload_failures"),
+                            r.GetCounter("lifecycle.retries"),
+                            r.GetCounter("lifecycle.write_failures"),
+                            r.GetGauge("lifecycle.quarantined"),
+                            r.GetGauge("lifecycle.degraded")};
   }();
   return m;
 }
@@ -59,27 +71,69 @@ LifecycleManager::LifecycleManager(Table* table, std::string archive_path,
     : table_(table),
       cfg_(config),
       archive_path_(std::move(archive_path)),
-      archive_(std::make_shared<BlockArchive>(
-          BlockArchive::Create(archive_path_))),
       cache_(config.memory_budget_bytes) {
   DB_CHECK(table_ != nullptr);
+  // Archive creation can fail (bad path, disk full). A manager without an
+  // archive is born degraded: it never evicts (nothing could be reloaded),
+  // but the table keeps working fully resident.
+  auto created = BlockArchive::Create(archive_path_);
+  if (created.ok()) {
+    archive_ = std::make_shared<BlockArchive>(std::move(*created));
+  } else {
+    std::fprintf(stderr,
+                 "lifecycle: archive create failed for '%s' (%s); "
+                 "running degraded (no eviction)\n",
+                 archive_path_.c_str(),
+                 created.status().ToString().c_str());
+    degraded_.store(true, std::memory_order_relaxed);
+    Metrics().degraded->Add(1);
+    trace().Publish("lifecycle", "degrade", 0);
+  }
   // The reload path: must not call back into Table — it only touches the
   // manager's own state (mu_) and the archive. Residency bookkeeping needs
   // no update here: the chunk's state transition (kEvicted -> kFrozen) is
   // the single source of truth the cache probes. The archive reference is
   // snapshotted under mu_ so a concurrent compaction swap cannot pull the
   // file out from under an in-flight read.
-  table_->SetBlockFetcher([this](size_t chunk_idx) {
+  table_->SetBlockFetcher([this](size_t chunk_idx) -> StatusOr<DataBlock> {
     std::shared_ptr<BlockArchive> archive;
     size_t block_id;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      auto q = quarantine_.find(chunk_idx);
+      if (q != quarantine_.end()) {
+        // Quarantined: fail fast while the backoff runs, so a flood of
+        // queries over a broken chunk does not hammer the disk. Once the
+        // deadline passes, the next pin (query or Tick probe) retries.
+        if (std::chrono::steady_clock::now() < q->second.next_retry) {
+          return Status::Unavailable(
+              "chunk " + std::to_string(chunk_idx) + " quarantined after " +
+              std::to_string(q->second.retries) + " failed reload(s)");
+        }
+        retry_attempts_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().retries->Add();
+      }
       auto it = archived_.find(chunk_idx);
-      DB_CHECK(it != archived_.end());  // evicted chunk must be archived
+      if (it == archived_.end()) {
+        return Status::NotFound("chunk " + std::to_string(chunk_idx) +
+                                " is evicted but has no archive entry");
+      }
       block_id = it->second.id;
       archive = archive_;
     }
-    auto block = archive->ReadBlock(block_id);
+    if (archive == nullptr) {
+      return Status::Unavailable("no archive (manager degraded at create)");
+    }
+    StatusOr<DataBlock> block =
+        DB_FAILPOINT("lifecycle.reload")
+            ? StatusOr<DataBlock>(Status::IoError(
+                  "injected reload failure (failpoint lifecycle.reload)"))
+            : archive->ReadBlock(block_id);
+    if (!block.ok()) {
+      QuarantineChunk(chunk_idx, block.status());
+      return block.status();
+    }
+    ClearQuarantine(chunk_idx);
     Metrics().reloads->Add();
     trace().Publish("lifecycle", "reload", int64_t(chunk_idx),
                     int64_t(block_id));
@@ -91,14 +145,43 @@ LifecycleManager::~LifecycleManager() {
   Stop();
   // Leave the table self-contained: reload every evicted block, then
   // detach. Afterwards the table no longer depends on this manager or its
-  // archive file.
+  // archive file. A chunk whose reload fails here is unrecoverable — its
+  // only payload copy is the unreadable archive entry — so warn and detach
+  // anyway rather than aborting the process.
   for (size_t c = 0; c < table_->num_chunks(); ++c) {
-    if (table_->is_evicted(c)) {
-      Table::PinGuard pin(*table_, c);
+    if (!table_->is_evicted(c)) continue;
+    {
+      // Final attempt ignores any backoff deadline (the entry itself stays:
+      // a successful reload clears it via the fetcher, keeping the gauge
+      // consistent).
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = quarantine_.find(c);
+      if (it != quarantine_.end()) it->second = Quarantined{};
+    }
+    Status s = table_->TryPinChunk(c);
+    if (s.ok()) {
+      table_->UnpinChunk(c);
+    } else {
+      std::fprintf(stderr,
+                   "lifecycle: chunk %zu of table '%s' lost at detach "
+                   "(reload failed: %s)\n",
+                   c, table_->name().c_str(), s.ToString().c_str());
     }
   }
   table_->SetBlockFetcher(nullptr);
-  ArchiveRef()->Finish();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!quarantine_.empty()) Metrics().quarantined->Add(-int64_t(quarantine_.size()));
+    quarantine_.clear();
+  }
+  if (degraded_.load(std::memory_order_relaxed)) Metrics().degraded->Add(-1);
+  if (std::shared_ptr<BlockArchive> archive = ArchiveRef()) {
+    Status s = archive->Finish();
+    if (!s.ok()) {
+      std::fprintf(stderr, "lifecycle: archive finish failed for '%s': %s\n",
+                   archive_path_.c_str(), s.ToString().c_str());
+    }
+  }
 }
 
 std::shared_ptr<BlockArchive> LifecycleManager::ArchiveRef() const {
@@ -114,13 +197,21 @@ bool LifecycleManager::FullyDeleted(size_t chunk_idx) const {
 bool LifecycleManager::ArchiveChunk(size_t idx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (archived_.count(idx) != 0) return false;
+    if (archive_ == nullptr || archived_.count(idx) != 0) return false;
   }
   // Fully-deleted chunks are never archived: their payload can never be
   // needed again (scans skip them, visibility checks only read the side
   // bitmap), so archiving would create instant garbage.
   if (FullyDeleted(idx)) return false;
-  Table::PinGuard pin(*table_, idx);
+  // The chunk is frozen (resident), so the pin cannot trigger a reload —
+  // but guard anyway: Tick runs on pool workers and must never throw.
+  Status pin_status = table_->TryPinChunk(idx);
+  if (!pin_status.ok()) return false;
+  struct Unpin {
+    const Table* t;
+    size_t c;
+    ~Unpin() { t->UnpinChunk(c); }
+  } unpin{table_, idx};
   const DataBlock* block = table_->frozen_block(idx);
   if (block == nullptr) return false;  // raced back to hot — skip
   // Extract and install the resident summary before the chunk can be
@@ -139,10 +230,18 @@ bool LifecycleManager::ArchiveChunk(size_t idx) {
   // count is read before the append so the recorded baseline can only lag
   // the archived state — at worst re-archiving one tick early, never late.
   const uint32_t deleted = table_->deleted_in_chunk(idx);
-  size_t id = archive_->AppendBlock(*block, uint32_t(idx), nullptr,
-                                    table_->block_summary(idx));
+  StatusOr<size_t> id = archive_->AppendBlock(*block, uint32_t(idx), nullptr,
+                                              table_->block_summary(idx));
+  if (!id.ok()) {
+    // The append left the archive file truncated back to its previous end
+    // (see BlockArchive::AppendBlock), so prior entries stay readable. The
+    // chunk simply stays unarchived — and thus un-evictable.
+    NoteWriteFailure(id.status());
+    return false;
+  }
+  NoteWriteSuccess();
   std::lock_guard<std::mutex> lock(mu_);
-  archived_[idx] = ArchivedBlock{id, deleted};
+  archived_[idx] = ArchivedBlock{*id, deleted};
   cache_.Register(idx, block->SizeBytes());
   return true;
 }
@@ -154,6 +253,20 @@ void LifecycleManager::EnforceBudget() {
   auto resident = [&](size_t c) {
     return table_->chunk_state(c) == ChunkState::kFrozen;
   };
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // No-evict degraded mode: archive writes keep failing, so evicting a
+    // block whose archive copy cannot be trusted risks losing it. The
+    // budget is soft-violated instead — loudly, so operators see it.
+    uint64_t over = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t bytes = cache_.ResidentBytes(resident);
+      if (bytes > cache_.budget_bytes()) over = bytes - cache_.budget_bytes();
+    }
+    if (over > 0)
+      trace().Publish("lifecycle", "budget_overrun", int64_t(over));
+    return;
+  }
   auto last_access = [&](size_t c) {
     return uint64_t(table_->chunk_last_access(c));
   };
@@ -225,7 +338,12 @@ void LifecycleManager::RearchiveGarbageLocked() {
     // payload from the very archive being refreshed. An evicted chunk whose
     // bitmap keeps growing is picked up if it is resident on a later tick.
     if (table_->chunk_state(chunk) != ChunkState::kFrozen) continue;
-    Table::PinGuard pin(*table_, chunk);
+    if (!table_->TryPinChunk(chunk).ok()) continue;  // Tick must not throw
+    struct Unpin {
+      const Table* t;
+      size_t c;
+      ~Unpin() { t->UnpinChunk(c); }
+    } unpin{table_, chunk};
     const DataBlock* block = table_->frozen_block(chunk);
     if (block == nullptr) continue;  // raced back to hot — skip
     // Appends are serialized by tick_mu_ (held), and compaction (the only
@@ -233,17 +351,26 @@ void LifecycleManager::RearchiveGarbageLocked() {
     // deleted count is read before the append: the stored baseline can only
     // lag the appended snapshot, re-triggering early rather than late.
     const uint32_t now = table_->deleted_in_chunk(chunk);
-    size_t id = archive_->AppendBlock(*block, uint32_t(chunk),
-                                      table_->delete_bitmap(chunk),
-                                      table_->block_summary(chunk));
+    StatusOr<size_t> id =
+        archive_->AppendBlock(*block, uint32_t(chunk),
+                              table_->delete_bitmap(chunk),
+                              table_->block_summary(chunk));
+    if (!id.ok()) {
+      // Failed re-append: the stale archive entry stays current — correct,
+      // just missing recent deletes — and the bitmap-growth trigger fires
+      // again next tick.
+      NoteWriteFailure(id.status());
+      continue;
+    }
+    NoteWriteSuccess();
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = archived_.find(chunk);
-      if (it != archived_.end()) it->second = ArchivedBlock{id, now};
+      if (it != archived_.end()) it->second = ArchivedBlock{*id, now};
     }
     rearchived_.fetch_add(1, std::memory_order_relaxed);
     Metrics().rearchived->Add();
-    trace().Publish("lifecycle", "rearchive", int64_t(chunk), int64_t(id));
+    trace().Publish("lifecycle", "rearchive", int64_t(chunk), int64_t(*id));
   }
 }
 
@@ -281,6 +408,7 @@ double LifecycleManager::GarbageRatio() const {
   std::vector<bool> live;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (archive_ == nullptr) return 0.0;
     archive = archive_;
     live.assign(archive_->num_blocks(), false);
     for (const auto& [chunk, entry] : archived_) live[entry.id] = true;
@@ -304,6 +432,7 @@ size_t LifecycleManager::CompactLocked(bool force) {
   std::vector<bool> live;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (archive_ == nullptr) return 0;
     old = archive_;
     live.assign(old->num_blocks(), false);
     for (const auto& [chunk, entry] : archived_) {
@@ -328,15 +457,28 @@ size_t LifecycleManager::CompactLocked(bool force) {
   const uint64_t old_reads = old->payload_reads();
   const std::string tmp_path = archive_path_ + ".compact";
   std::vector<size_t> id_map;
-  auto fresh = std::make_shared<BlockArchive>(
-      BlockArchive::Compact(*old, live, tmp_path, &id_map));
+  StatusOr<BlockArchive> compacted =
+      BlockArchive::Compact(*old, live, tmp_path, &id_map);
+  if (!compacted.ok()) {
+    // A failed rewrite (disk full, unreadable source block) leaves the old
+    // archive untouched and authoritative; only the scratch file dies.
+    std::remove(tmp_path.c_str());
+    NoteWriteFailure(compacted.status());
+    return 0;
+  }
+  auto fresh = std::make_shared<BlockArchive>(std::move(*compacted));
 
   // Atomically repoint: the file takes the canonical path, then the
   // chunk -> block-id directory swaps to the new ids under mu_. Reloads
   // that already snapshotted the old archive keep their (still-open) file
   // handle; new reloads see the new archive and new ids together.
-  DB_CHECK(std::rename(tmp_path.c_str(), archive_path_.c_str()) == 0);
+  if (std::rename(tmp_path.c_str(), archive_path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    NoteWriteFailure(Status::IoError("rename of compacted archive failed"));
+    return 0;
+  }
   fresh->NotifyRenamed(archive_path_);
+  NoteWriteSuccess();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [chunk, entry] : archived_) {
@@ -423,6 +565,7 @@ void LifecycleManager::Tick() {
   }
 
   RearchiveGarbageLocked();
+  RetryQuarantinedLocked();
   EnforceBudget();
   if (cfg_.compact_garbage_ratio <= 1.0) CompactLocked(/*force=*/false);
   const uint64_t epoch = epochs_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -430,6 +573,114 @@ void LifecycleManager::Tick() {
   Metrics().ticks->Add();
   Metrics().tick_ns->Observe(tick_ns);
   trace().Publish("lifecycle", "tick", int64_t(epoch), int64_t(tick_ns));
+}
+
+void LifecycleManager::QuarantineChunk(size_t chunk_idx, const Status& why) {
+  reload_failures_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().reload_failures->Add();
+  uint32_t retries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = quarantine_.try_emplace(chunk_idx);
+    if (inserted) Metrics().quarantined->Add(1);
+    Quarantined& q = it->second;
+    ++q.retries;
+    retries = q.retries;
+    if (q.retries >= cfg_.quarantine_max_retries) {
+      // Parked: no more automatic probes. ResetQuarantine (or detach)
+      // re-arms it.
+      q.next_retry = std::chrono::steady_clock::time_point::max();
+    } else {
+      const uint32_t shift = std::min(q.retries - 1, 16u);
+      q.next_retry = std::chrono::steady_clock::now() +
+                     cfg_.quarantine_backoff * (uint64_t(1) << shift);
+    }
+  }
+  trace().Publish("lifecycle", "quarantine", int64_t(chunk_idx),
+                  int64_t(retries));
+  std::fprintf(stderr,
+               "lifecycle: quarantining chunk %zu of table '%s' "
+               "(attempt %u): %s\n",
+               chunk_idx, table_->name().c_str(), retries,
+               why.ToString().c_str());
+}
+
+void LifecycleManager::ClearQuarantine(size_t chunk_idx) {
+  bool cleared;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cleared = quarantine_.erase(chunk_idx) != 0;
+  }
+  if (cleared) {
+    Metrics().quarantined->Add(-1);
+    trace().Publish("lifecycle", "unquarantine", int64_t(chunk_idx));
+  }
+}
+
+void LifecycleManager::RetryQuarantinedLocked() {
+  // Snapshot the due chunks: the probe pin below re-enters the fetcher,
+  // which takes mu_.
+  std::vector<size_t> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& [chunk, q] : quarantine_)
+      if (now >= q.next_retry) due.push_back(chunk);
+  }
+  for (size_t chunk : due) {
+    if (!table_->is_evicted(chunk)) {
+      // Reloaded (or tombstoned) behind our back — quarantine is moot.
+      ClearQuarantine(chunk);
+      continue;
+    }
+    // Probe with a real reload pin. Success heals (the fetcher clears the
+    // quarantine); failure re-quarantines with doubled backoff. Either way
+    // Tick itself must not throw, hence the non-throwing pin.
+    if (table_->TryPinChunk(chunk).ok()) table_->UnpinChunk(chunk);
+  }
+}
+
+void LifecycleManager::NoteWriteFailure(const Status& why) {
+  write_failures_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().write_failures->Add();
+  trace().Publish("lifecycle", "write_error");
+  std::fprintf(stderr, "lifecycle: archive write failed for '%s': %s\n",
+               archive_path_.c_str(), why.ToString().c_str());
+  const uint32_t streak =
+      append_fail_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= cfg_.degrade_after_write_failures &&
+      !degraded_.exchange(true, std::memory_order_relaxed)) {
+    Metrics().degraded->Add(1);
+    trace().Publish("lifecycle", "degrade", int64_t(streak));
+    std::fprintf(stderr,
+                 "lifecycle: entering no-evict degraded mode for table '%s' "
+                 "after %u consecutive archive write failures\n",
+                 table_->name().c_str(), streak);
+  }
+}
+
+void LifecycleManager::NoteWriteSuccess() {
+  append_fail_streak_.store(0, std::memory_order_relaxed);
+  if (degraded_.exchange(false, std::memory_order_relaxed)) {
+    Metrics().degraded->Add(-1);
+    trace().Publish("lifecycle", "recover");
+    std::fprintf(stderr,
+                 "lifecycle: archive writes recovered for table '%s'; "
+                 "leaving degraded mode\n",
+                 table_->name().c_str());
+  }
+}
+
+size_t LifecycleManager::quarantined_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_.size();
+}
+
+void LifecycleManager::ResetQuarantine() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keep the entries (and the gauge) but zero the counters and deadlines:
+  // the next pin retries immediately, and a success erases the entry.
+  for (auto& [chunk, q] : quarantine_) q = Quarantined{};
 }
 
 void LifecycleManager::Start() {
@@ -489,15 +740,22 @@ LifecycleStats LifecycleManager::stats() const {
   s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
   s.tombstoned = table_->tombstones();
   s.rearchived = rearchived_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.retry_attempts = retry_attempts_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   for (size_t c = 0; c < table_->num_chunks(); ++c) {
     if (const BlockSummary* sum = table_->block_summary(c))
       s.summary_bytes += sum->MemoryBytes();
   }
   std::lock_guard<std::mutex> lock(mu_);
-  s.archived_blocks = archive_->num_blocks();
-  s.archive_bytes = archive_->PayloadBytes();
-  s.archive_reads = archive_->payload_reads() +
-                    prior_archive_reads_.load(std::memory_order_relaxed);
+  s.quarantined = quarantine_.size();
+  if (archive_ != nullptr) {
+    s.archived_blocks = archive_->num_blocks();
+    s.archive_bytes = archive_->PayloadBytes();
+    s.archive_reads = archive_->payload_reads() +
+                      prior_archive_reads_.load(std::memory_order_relaxed);
+  }
   s.resident_bytes = cache_.ResidentBytes([&](size_t c) {
     return table_->chunk_state(c) == ChunkState::kFrozen;
   });

@@ -66,6 +66,22 @@ struct LifecycleConfig {
   /// later tick.
   double rearchive_garbage_ratio = 0.25;
 
+  // -- Fault tolerance ------------------------------------------------------
+  /// A chunk whose reload failed is quarantined: pins fail fast with
+  /// kUnavailable while the backoff runs, then the lifecycle tick probes a
+  /// retry. The backoff doubles per consecutive failure, starting here.
+  std::chrono::milliseconds quarantine_backoff{100};
+  /// After this many consecutive reload failures the chunk stays
+  /// quarantined indefinitely (no more automatic probes; a successful
+  /// organic reload after ResetQuarantine still heals it).
+  uint32_t quarantine_max_retries = 5;
+  /// Consecutive archive append failures (disk full, I/O errors) before
+  /// the manager flips into no-evict degraded mode: the memory budget is
+  /// soft-violated — loudly metered via the lifecycle.degraded gauge and
+  /// budget_overrun trace events — instead of evicting blocks whose
+  /// archive copy cannot be trusted. A later successful append heals it.
+  uint32_t degrade_after_write_failures = 3;
+
   // -- Background ticks -----------------------------------------------------
   std::chrono::milliseconds tick_interval{50};
   /// When set, Start() registers a periodic task on this worker pool
@@ -97,6 +113,12 @@ struct LifecycleStats {
   uint64_t reclaimed_bytes = 0;  // payload bytes reclaimed by compaction
   uint64_t tombstoned = 0;       // fully-deleted chunks whose payload dropped
   uint64_t rearchived = 0;       // blocks re-appended for delete growth
+  // -- Fault tolerance ----------------------------------------------------
+  uint64_t quarantined = 0;      // chunks currently quarantined
+  uint64_t reload_failures = 0;  // failed reload attempts (incl. retries)
+  uint64_t retry_attempts = 0;   // quarantine retries attempted
+  uint64_t write_failures = 0;   // failed archive appends/compactions
+  bool degraded = false;         // no-evict degraded mode active
 };
 
 /// The block lifecycle subsystem: per-chunk temperature statistics drive
@@ -165,6 +187,16 @@ class LifecycleManager {
   LifecycleStats stats() const;
   const LifecycleConfig& config() const { return cfg_; }
   Table* table() const { return table_; }
+
+  /// True while the manager refuses to evict because archive writes keep
+  /// failing (or the archive could not be created at all).
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  /// Chunks currently quarantined after failed reloads.
+  size_t quarantined_chunks() const;
+  /// Clears all quarantine state (retry counters and backoff deadlines):
+  /// the next pin of each chunk attempts a fresh reload immediately. The
+  /// operator hook for "the disk is fixed, try again now".
+  void ResetQuarantine();
   /// Current archive. Returned by shared_ptr because a concurrent
   /// compaction pass may swap in a rewritten archive at any time; holders
   /// keep a consistent (possibly superseded) snapshot.
@@ -193,6 +225,18 @@ class LifecycleManager {
   bool FullyDeleted(size_t chunk_idx) const;
   std::shared_ptr<BlockArchive> ArchiveRef() const;
   obs::TraceRing& trace() const;
+  /// Records a failed reload of `chunk_idx`: enters/extends quarantine with
+  /// doubled backoff, parks the chunk after quarantine_max_retries.
+  void QuarantineChunk(size_t chunk_idx, const Status& why);
+  /// Drops `chunk_idx` from quarantine (successful reload / tombstoned).
+  void ClearQuarantine(size_t chunk_idx);
+  /// Probes quarantined chunks whose backoff expired with a reload pin;
+  /// runs from Tick (requires tick_mu_).
+  void RetryQuarantinedLocked();
+  /// Failed archive write: bumps the failure streak and degrades past the
+  /// configured threshold. A successful write (NoteWriteSuccess) heals.
+  void NoteWriteFailure(const Status& why);
+  void NoteWriteSuccess();
 
   Table* table_;
   LifecycleConfig cfg_;
@@ -211,6 +255,11 @@ class LifecycleManager {
   };
   std::unordered_map<size_t, ArchivedBlock> archived_;  // chunk -> entry
   std::vector<uint32_t> cold_epochs_;
+  struct Quarantined {
+    uint32_t retries = 0;  // consecutive failed reloads
+    std::chrono::steady_clock::time_point next_retry{};
+  };
+  std::unordered_map<size_t, Quarantined> quarantine_;  // guarded by mu_
 
   std::atomic<uint64_t> epochs_{0};
   std::atomic<uint64_t> freezes_{0};
@@ -220,6 +269,11 @@ class LifecycleManager {
   std::atomic<uint64_t> reclaimed_bytes_{0};
   std::atomic<uint64_t> rearchived_{0};
   std::atomic<uint64_t> prior_archive_reads_{0};  // reads on retired archives
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> retry_attempts_{0};
+  std::atomic<uint64_t> write_failures_{0};
+  std::atomic<uint32_t> append_fail_streak_{0};
+  std::atomic<bool> degraded_{false};
 
   std::thread bg_;
   std::mutex bg_mu_;

@@ -208,6 +208,10 @@ void RegisterEngineMetrics() {
   r.GetCounter("scan.chunks_scanned");
   r.GetCounter("scan.pins");
   r.GetCounter("scan.archive_reloads");
+  r.GetCounter("scan.pin_failures");
+  // Block archive (storage/block_archive.cc).
+  r.GetCounter("archive.read_errors");
+  r.GetCounter("archive.write_errors");
   // Scheduler (exec/scheduler.cc).
   r.GetCounter("scheduler.tasks_run");
   r.GetCounter("scheduler.steals");
@@ -229,6 +233,11 @@ void RegisterEngineMetrics() {
   r.GetCounter("lifecycle.compactions");
   r.GetCounter("lifecycle.reclaimed_blocks");
   r.GetHistogram("lifecycle.tick_ns");
+  r.GetCounter("lifecycle.reload_failures");
+  r.GetCounter("lifecycle.retries");
+  r.GetCounter("lifecycle.write_failures");
+  r.GetGauge("lifecycle.quarantined");
+  r.GetGauge("lifecycle.degraded");
   // JIT (jit/jit_compiler.cc).
   r.GetCounter("jit.compiles");
   r.GetCounter("jit.compile_failures");
@@ -252,6 +261,7 @@ void RegisterEngineMetrics() {
   r.GetCounter("serve.cancelled");
   r.GetCounter("serve.completed");
   r.GetCounter("serve.errors");
+  r.GetCounter("serve.storage_errors");
   r.GetGauge("serve.running");
   r.GetGauge("serve.queued");
   r.GetGauge("serve.sessions");

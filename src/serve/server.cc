@@ -5,6 +5,7 @@
 #include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace datablocks::serve {
 
@@ -14,6 +15,7 @@ namespace {
 struct ServeMetrics {
   obs::Counter* completed;
   obs::Counter* errors;
+  obs::Counter* storage_errors;
   obs::Gauge* sessions;
   obs::Histogram* latency_by_priority[kNumPriorities];
 };
@@ -23,6 +25,7 @@ const ServeMetrics& Metrics() {
     obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
     ServeMetrics sm{r.GetCounter("serve.completed"),
                     r.GetCounter("serve.errors"),
+                    r.GetCounter("serve.storage_errors"),
                     r.GetGauge("serve.sessions"),
                     {}};
     sm.latency_by_priority[unsigned(Priority::kOltp)] =
@@ -197,6 +200,13 @@ void Server::Dispatch(Request req,
       try {
         resp.payload = rq->work();
         resp.status = Status::kOk;
+      } catch (const StorageException& e) {
+        // A storage fault (unreadable archive block, quarantined chunk)
+        // fails THIS query, not the process; concurrent healthy queries
+        // keep flowing. Metered separately from generic handler errors.
+        Metrics().storage_errors->Add();
+        resp.status = Status::kError;
+        resp.payload = e.what();
       } catch (const std::exception& e) {
         resp.status = Status::kError;
         resp.payload = e.what();

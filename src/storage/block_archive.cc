@@ -1,9 +1,18 @@
 #include "storage/block_archive.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <bit>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
 
 namespace datablocks {
@@ -31,88 +40,402 @@ uint64_t Fnv1a64(const uint8_t* data, uint64_t n, uint64_t seed) {
 }
 constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
 
+uint32_t FrameChecksum(const BlockFrame& f) {
+  uint64_t h = Fnv1a64(reinterpret_cast<const uint8_t*>(&f),
+                       offsetof(BlockFrame, frame_checksum), kFnvBasis);
+  return uint32_t(h ^ (h >> 32));
+}
+
+/// Process-wide failure counters ("archive.*"): every Status returned from
+/// a read or write path is also counted here, so dashboards see storage
+/// trouble even when a caller swallows the Status.
+struct ArchiveMetrics {
+  obs::Counter* read_errors;
+  obs::Counter* write_errors;
+};
+
+const ArchiveMetrics& Metrics() {
+  static const ArchiveMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    return ArchiveMetrics{r.GetCounter("archive.read_errors"),
+                          r.GetCounter("archive.write_errors")};
+  }();
+  return m;
+}
+
+Status CountRead(Status s) {
+  Metrics().read_errors->Add();
+  return s;
+}
+
+Status CountWrite(Status s) {
+  Metrics().write_errors->Add();
+  return s;
+}
+
+/// Full-length pread: loops on partial reads, kIoError on a syscall
+/// failure, kCorruption on EOF before `n` bytes (the caller asked for bytes
+/// the file does not have — a truncation symptom, not an OS fault).
+Status PreadFull(int fd, void* buf, uint64_t n, uint64_t off,
+                 const char* what) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::pread(fd, p, size_t(n), off_t(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread of ") + what + " failed: " +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Corruption(std::string("truncated ") + what +
+                                " (unexpected end of file)");
+    }
+    p += r;
+    n -= uint64_t(r);
+    off += uint64_t(r);
+  }
+  return Status::Ok();
+}
+
+/// Full-length pwrite: loops on partial writes, kNoSpace on ENOSPC/EDQUOT
+/// or a zero-progress write (disk full presents as both), kIoError
+/// otherwise.
+Status PwriteFull(int fd, const void* buf, uint64_t n, uint64_t off,
+                  const char* what) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::pwrite(fd, p, size_t(n), off_t(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOSPC || errno == EDQUOT) {
+        return Status::NoSpace(std::string("no space writing ") + what);
+      }
+      return Status::IoError(std::string("pwrite of ") + what + " failed: " +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::NoSpace(std::string("short write of ") + what);
+    }
+    p += r;
+    n -= uint64_t(r);
+    off += uint64_t(r);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 BlockArchive::~BlockArchive() {
-  if (writable_ && file_.is_open()) Finish();
+  if (fd_ >= 0) {
+    if (writable_) Finish();  // best effort; failures already counted
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
-BlockArchive BlockArchive::Create(const std::string& path) {
+BlockArchive::BlockArchive(BlockArchive&& o) noexcept
+    : path_(std::move(o.path_)),
+      fd_(o.fd_),
+      mu_(std::move(o.mu_)),
+      entries_(std::move(o.entries_)),
+      summaries_(std::move(o.summaries_)),
+      end_offset_(o.end_offset_),
+      payload_reads_(o.payload_reads_),
+      version_(o.version_),
+      writable_(o.writable_),
+      salvaged_(o.salvaged_) {
+  o.fd_ = -1;
+  o.writable_ = false;
+}
+
+BlockArchive& BlockArchive::operator=(BlockArchive&& o) noexcept {
+  if (this == &o) return *this;
+  if (fd_ >= 0) {
+    if (writable_) Finish();
+    ::close(fd_);
+  }
+  path_ = std::move(o.path_);
+  fd_ = o.fd_;
+  mu_ = std::move(o.mu_);
+  entries_ = std::move(o.entries_);
+  summaries_ = std::move(o.summaries_);
+  end_offset_ = o.end_offset_;
+  payload_reads_ = o.payload_reads_;
+  version_ = o.version_;
+  writable_ = o.writable_;
+  salvaged_ = o.salvaged_;
+  o.fd_ = -1;
+  o.writable_ = false;
+  return *this;
+}
+
+StatusOr<BlockArchive> BlockArchive::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return CountWrite(Status::IoError("cannot create archive '" + path +
+                                      "': " + std::strerror(errno)));
+  }
   BlockArchive a;
   a.path_ = path;
+  a.fd_ = fd;
   a.mu_ = std::make_unique<std::mutex>();
   a.writable_ = true;
   a.version_ = kVersion;
-  a.file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
-                         std::ios::trunc);
-  DB_CHECK(a.file_.good());
   FileHeader hdr{kMagic, kVersion, 0, 0, 0, 0};
-  a.file_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
-  a.file_.flush();
-  DB_CHECK(a.file_.good());
+  if (Status s = PwriteFull(fd, &hdr, sizeof(hdr), 0, "archive header");
+      !s.ok()) {
+    return CountWrite(std::move(s));
+  }
   a.end_offset_ = sizeof(FileHeader);
   return a;
 }
 
-BlockArchive BlockArchive::Open(const std::string& path) {
+StatusOr<BlockArchive> BlockArchive::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    Status s = errno == ENOENT
+                   ? Status::NotFound("no archive at '" + path + "'")
+                   : Status::IoError("cannot open archive '" + path +
+                                     "': " + std::strerror(errno));
+    return CountRead(std::move(s));
+  }
   BlockArchive a;
   a.path_ = path;
+  a.fd_ = fd;
   a.mu_ = std::make_unique<std::mutex>();
   a.writable_ = false;
-  a.file_.open(path, std::ios::binary | std::ios::in);
-  DB_CHECK(a.file_.good());
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return CountRead(Status::IoError("fstat of '" + path +
+                                     "' failed: " + std::strerror(errno)));
+  }
+  const uint64_t file_size = uint64_t(st.st_size);
+  if (DB_FAILPOINT("archive.open.header")) {
+    return CountRead(Status::Corruption("injected header fault (failpoint)"));
+  }
+  if (file_size < sizeof(FileHeader)) {
+    return CountRead(Status::Corruption(
+        "'" + path + "' is not an archive: " + std::to_string(file_size) +
+        " bytes, header needs " + std::to_string(sizeof(FileHeader))));
+  }
   FileHeader hdr;
-  a.file_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
-  DB_CHECK(a.file_.good());
-  DB_CHECK(hdr.magic == kMagic);
-  DB_CHECK(hdr.version >= kMinVersion && hdr.version <= kVersion);
-  DB_CHECK(hdr.index_offset != 0);  // unfinished/truncated archive
+  if (Status s = PreadFull(fd, &hdr, sizeof(hdr), 0, "archive header");
+      !s.ok()) {
+    return CountRead(std::move(s));
+  }
+  if (hdr.magic != kMagic) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "bad archive magic 0x%08x (expected 0x%08x)", hdr.magic,
+                  kMagic);
+    return CountRead(Status::Corruption(msg));
+  }
+  if (hdr.version < kMinVersion || hdr.version > kVersion) {
+    return CountRead(Status::Corruption(
+        "unsupported archive version " + std::to_string(hdr.version) +
+        " (readable: " + std::to_string(kMinVersion) + ".." +
+        std::to_string(kVersion) + ")"));
+  }
   a.version_ = hdr.version;
+
+  Status index_status =
+      hdr.index_offset == 0
+          ? Status::Corruption("unfinished archive (index never published)")
+          : OpenIndex(a, hdr, file_size);
+  if (index_status.ok() && DB_FAILPOINT("archive.open.index")) {
+    index_status = Status::Corruption("injected index fault (failpoint)");
+  }
+  if (!index_status.ok()) {
+    if (hdr.version < 4) {
+      // Pre-frame formats have no in-band redundancy to recover from.
+      return CountRead(std::move(index_status));
+    }
+    // v4: the payload region is self-describing — recover the longest
+    // valid prefix of blocks instead of refusing the whole file.
+    Metrics().read_errors->Add();
+    std::fprintf(stderr,
+                 "block_archive: salvaging '%s' (%s); recovering by frame "
+                 "walk\n",
+                 path.c_str(), index_status.ToString().c_str());
+    Salvage(a, file_size);
+  }
+  return a;
+}
+
+Status BlockArchive::OpenIndex(BlockArchive& a, const FileHeader& hdr,
+                               uint64_t file_size) {
+  a.entries_.clear();
+  a.summaries_.clear();
+  if (hdr.index_offset < sizeof(FileHeader) || hdr.index_offset > file_size) {
+    return Status::Corruption(
+        "index offset " + std::to_string(hdr.index_offset) +
+        " out of range (file is " + std::to_string(file_size) + " bytes)");
+  }
+  const uint64_t region_size = file_size - hdr.index_offset;
+  // An index is entries + summaries — small. A multi-GB "index" can only
+  // be a corrupt offset; refuse before allocating.
+  if (region_size > (1ull << 31)) {
+    return Status::Corruption("implausible index size " +
+                              std::to_string(region_size) + " bytes");
+  }
+  std::vector<uint8_t> region(region_size);
+  if (region_size != 0) {
+    if (Status s = PreadFull(a.fd_, region.data(), region_size,
+                             hdr.index_offset, "archive index");
+        !s.ok()) {
+      return s;
+    }
+  }
+  const uint64_t record_bytes =
+      hdr.version == 2 ? kArchiveEntryV2Bytes : sizeof(ArchiveEntry);
+  const uint64_t entries_bytes = uint64_t(hdr.block_count) * record_bytes;
+  if (entries_bytes > region_size) {
+    return Status::Corruption(
+        "truncated index: " + std::to_string(hdr.block_count) +
+        " records need " + std::to_string(entries_bytes) + " bytes, " +
+        std::to_string(region_size) + " present");
+  }
   a.entries_.resize(hdr.block_count);
   a.summaries_.resize(hdr.block_count);
-  a.file_.seekg(std::streamoff(hdr.index_offset));
-  if (hdr.version == 2) {
-    // v2 records are a 40-byte prefix of ArchiveEntry; the v3 fields
-    // (row_count, summary location) stay zero — summary() returns null.
-    for (uint32_t i = 0; i < hdr.block_count; ++i) {
-      a.entries_[i] = ArchiveEntry{};
-      a.file_.read(reinterpret_cast<char*>(&a.entries_[i]),
-                   std::streamsize(kArchiveEntryV2Bytes));
-    }
-    DB_CHECK(a.file_.good());
-  } else {
-    a.file_.read(reinterpret_cast<char*>(a.entries_.data()),
-                 std::streamsize(hdr.block_count * sizeof(ArchiveEntry)));
+  for (uint32_t i = 0; i < hdr.block_count; ++i) {
+    a.entries_[i] = ArchiveEntry{};
+    std::memcpy(&a.entries_[i], region.data() + uint64_t(i) * record_bytes,
+                size_t(record_bytes));
+  }
+  uint64_t cursor = entries_bytes;
+
+  std::vector<uint8_t> blob;
+  if (hdr.version >= 3) {
     uint64_t blob_bytes = 0;
-    a.file_.read(reinterpret_cast<char*>(&blob_bytes), sizeof(blob_bytes));
-    DB_CHECK(a.file_.good());
-    std::vector<uint8_t> blob(blob_bytes);
-    if (blob_bytes != 0) {
-      a.file_.read(reinterpret_cast<char*>(blob.data()),
-                   std::streamsize(blob_bytes));
-      DB_CHECK(a.file_.good());
+    if (cursor + sizeof(blob_bytes) > region_size) {
+      return Status::Corruption("truncated index (no summary-blob length)");
     }
-    for (uint32_t i = 0; i < hdr.block_count; ++i) {
-      const ArchiveEntry& e = a.entries_[i];
-      if (e.summary_bytes == 0) continue;
+    std::memcpy(&blob_bytes, region.data() + cursor, sizeof(blob_bytes));
+    cursor += sizeof(blob_bytes);
+    if (blob_bytes > region_size - cursor) {
+      return Status::Corruption(
+          "truncated index: summary blob claims " +
+          std::to_string(blob_bytes) + " bytes, " +
+          std::to_string(region_size - cursor) + " present");
+    }
+    blob.assign(region.data() + cursor, region.data() + cursor + blob_bytes);
+    cursor += blob_bytes;
+  }
+  if (hdr.version >= 4) {
+    // End-of-file checksum over the whole index region: entry records,
+    // blob length and blob. Catches index corruption that per-payload
+    // checksums cannot see.
+    uint64_t stored = 0;
+    if (cursor + sizeof(stored) > region_size) {
+      return Status::Corruption("truncated index (no index checksum)");
+    }
+    std::memcpy(&stored, region.data() + cursor, sizeof(stored));
+    const uint64_t actual = Fnv1a64(region.data(), cursor, kFnvBasis);
+    if (stored != actual) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "index checksum mismatch (stored %016llx, actual %016llx)",
+                    (unsigned long long)stored, (unsigned long long)actual);
+      return Status::Corruption(msg);
+    }
+  }
+
+  // Entry sanity: every payload must fit between the header (plus its v4
+  // frame) and the index. A corrupt record must not drive ReadBlock into a
+  // wild pread or an absurd allocation.
+  const uint64_t payload_floor =
+      sizeof(FileHeader) + (hdr.version >= 4 ? sizeof(BlockFrame) : 0);
+  for (uint32_t i = 0; i < hdr.block_count; ++i) {
+    const ArchiveEntry& e = a.entries_[i];
+    const uint64_t payload = e.block_bytes + e.bitmap_words * 8;
+    if (e.block_bytes < sizeof(BlockHeader) || e.offset < payload_floor ||
+        e.offset > hdr.index_offset || payload < e.block_bytes ||
+        payload > hdr.index_offset - e.offset) {
+      return Status::Corruption("entry " + std::to_string(i) +
+                                " out of bounds (offset " +
+                                std::to_string(e.offset) + ", " +
+                                std::to_string(e.block_bytes) + " bytes)");
+    }
+    if (e.summary_bytes != 0) {
       // Overflow-proof bounds check: a corrupt entry must not wrap the sum
-      // past blob_bytes and slip through.
-      DB_CHECK(e.summary_bytes <= blob_bytes &&
-               e.summary_offset <= blob_bytes - e.summary_bytes);
+      // past the blob size and slip through.
+      if (e.summary_bytes > blob.size() ||
+          e.summary_offset > blob.size() - e.summary_bytes) {
+        return Status::Corruption("entry " + std::to_string(i) +
+                                  " summary out of blob bounds");
+      }
       a.summaries_[i] = std::make_shared<const BlockSummary>(
           BlockSummary::FromBytes(blob.data() + e.summary_offset,
                                   e.summary_bytes));
     }
   }
   a.end_offset_ = hdr.index_offset;
-  return a;
+  return Status::Ok();
 }
 
-size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
-                                 const uint64_t* delete_bitmap,
-                                 const BlockSummary* summary) {
-  DB_CHECK(mu_ != nullptr && writable_);
+void BlockArchive::Salvage(BlockArchive& a, uint64_t file_size) {
+  a.entries_.clear();
+  a.summaries_.clear();
+  a.salvaged_ = true;
+  a.writable_ = false;
+  uint64_t pos = sizeof(FileHeader);
+  std::vector<uint8_t> buf;
+  while (pos + sizeof(BlockFrame) <= file_size) {
+    BlockFrame f;
+    if (!PreadFull(a.fd_, &f, sizeof(f), pos, "block frame").ok()) break;
+    if (f.magic != kFrameMagic || f.frame_checksum != FrameChecksum(f)) break;
+    const uint64_t payload = f.block_bytes + f.bitmap_words * 8;
+    if (f.block_bytes < sizeof(BlockHeader) || payload < f.block_bytes ||
+        payload > file_size - pos - sizeof(BlockFrame)) {
+      break;  // frame valid but payload truncated mid-block
+    }
+    buf.resize(payload);
+    if (!PreadFull(a.fd_, buf.data(), payload, pos + sizeof(BlockFrame),
+                   "block payload")
+             .ok()) {
+      break;
+    }
+    uint64_t checksum = Fnv1a64(buf.data(), f.block_bytes, kFnvBasis);
+    if (f.bitmap_words != 0) {
+      checksum =
+          Fnv1a64(buf.data() + f.block_bytes, f.bitmap_words * 8, checksum);
+    }
+    if (checksum != f.checksum) break;  // torn write: end of valid prefix
+    ArchiveEntry e{};
+    e.offset = pos + sizeof(BlockFrame);
+    e.block_bytes = f.block_bytes;
+    e.bitmap_words = f.bitmap_words;
+    e.checksum = f.checksum;
+    e.chunk_index = f.chunk_index;
+    e.row_count = f.row_count;
+    uint32_t deleted = 0;
+    for (uint64_t w = 0; w < f.bitmap_words; ++w) {
+      uint64_t word;
+      std::memcpy(&word, buf.data() + f.block_bytes + w * 8, 8);
+      deleted += uint32_t(std::popcount(word));
+    }
+    e.deleted_count = deleted;
+    a.entries_.push_back(e);
+    a.summaries_.push_back(nullptr);
+    pos += sizeof(BlockFrame) + payload;
+  }
+  a.end_offset_ = pos;
+}
+
+StatusOr<size_t> BlockArchive::AppendBlock(const DataBlock& block,
+                                           uint32_t chunk_index,
+                                           const uint64_t* delete_bitmap,
+                                           const BlockSummary* summary) {
+  DB_CHECK(mu_ != nullptr);
   std::lock_guard<std::mutex> lock(*mu_);
+  if (!writable_) {
+    return CountWrite(
+        Status::FailedPrecondition("append to a finished/read-only archive"));
+  }
+  if (DB_FAILPOINT("archive.append.nospace")) {
+    return CountWrite(Status::NoSpace("injected disk full (failpoint)"));
+  }
   const uint64_t block_bytes = block.SizeBytes();
   const uint64_t bitmap_words =
       delete_bitmap != nullptr ? BitmapWords(block.num_rows()) : 0;
@@ -136,18 +459,46 @@ size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
                        bitmap_words * 8, checksum);
   }
 
-  file_.seekp(std::streamoff(end_offset_));
-  file_.write(reinterpret_cast<const char*>(block.raw_bytes()),
-              std::streamsize(block_bytes));
-  if (bitmap_words != 0) {
-    file_.write(reinterpret_cast<const char*>(bitmap.data()),
-                std::streamsize(bitmap_words * 8));
+  BlockFrame frame{};
+  frame.magic = kFrameMagic;
+  frame.chunk_index = chunk_index;
+  frame.block_bytes = block_bytes;
+  frame.bitmap_words = bitmap_words;
+  frame.checksum = checksum;
+  frame.row_count = block.num_rows();
+  frame.frame_checksum = FrameChecksum(frame);
+
+  // Frame, payload, bitmap — any failure truncates back to the last good
+  // end-of-payload so every previously appended block stays readable and a
+  // later Finish publishes a consistent index.
+  Status s = PwriteFull(fd_, &frame, sizeof(frame), end_offset_, "frame");
+  const uint64_t payload_off = end_offset_ + sizeof(frame);
+  if (s.ok() && DB_FAILPOINT("archive.append.short_write")) {
+    // Simulated torn append: half the payload reaches the disk, then the
+    // device gives up. Exactly what a crash/disk-full leaves behind — and
+    // what the truncate below must clean up.
+    PwriteFull(fd_, block.raw_bytes(), block_bytes / 2, payload_off,
+               "payload (torn)");
+    s = Status::NoSpace("injected short write (failpoint)");
   }
-  file_.flush();
-  DB_CHECK(file_.good());
+  if (s.ok()) {
+    s = PwriteFull(fd_, block.raw_bytes(), block_bytes, payload_off,
+                   "block payload");
+  }
+  if (s.ok() && bitmap_words != 0) {
+    s = PwriteFull(fd_, bitmap.data(), bitmap_words * 8,
+                   payload_off + block_bytes, "delete bitmap");
+  }
+  if (!s.ok()) {
+    // Roll the file back; ignore a failed truncate (the stray bytes sit
+    // past end_offset_, invisible to the index and rejected by the frame
+    // walk's checksum on a later salvage).
+    (void)::ftruncate(fd_, off_t(end_offset_));
+    return CountWrite(std::move(s));
+  }
 
   ArchiveEntry e{};
-  e.offset = end_offset_;
+  e.offset = payload_off;
   e.block_bytes = block_bytes;
   e.bitmap_words = bitmap_words;
   e.checksum = checksum;
@@ -158,42 +509,67 @@ size_t BlockArchive::AppendBlock(const DataBlock& block, uint32_t chunk_index,
   summaries_.push_back(
       summary != nullptr ? std::make_shared<const BlockSummary>(*summary)
                          : nullptr);
-  end_offset_ += block_bytes + bitmap_words * 8;
+  end_offset_ = payload_off + block_bytes + bitmap_words * 8;
   return entries_.size() - 1;
 }
 
-DataBlock BlockArchive::ReadBlock(size_t id,
-                                  std::vector<uint64_t>* delete_bitmap) const {
+StatusOr<DataBlock> BlockArchive::ReadBlock(
+    size_t id, std::vector<uint64_t>* delete_bitmap) const {
   DB_CHECK(mu_ != nullptr);
   ArchiveEntry e;
-  DataBlock block;
-  std::vector<uint64_t> bitmap;
   {
     std::lock_guard<std::mutex> lock(*mu_);
-    DB_CHECK(id < entries_.size());
+    if (id >= entries_.size()) {
+      return CountRead(Status::NotFound(
+          "no archived block " + std::to_string(id) + " (archive has " +
+          std::to_string(entries_.size()) + ")"));
+    }
     e = entries_[id];
     ++payload_reads_;
-    // Read straight into the block's own buffer — reloads are a hot path
-    // under eviction churn, an intermediate copy would double the cost.
-    block = DataBlock::ForFill(e.block_bytes);
-    bitmap.resize(e.bitmap_words);
-    file_.clear();
-    file_.seekg(std::streamoff(e.offset));
-    file_.read(reinterpret_cast<char*>(block.fill_bytes()),
-               std::streamsize(e.block_bytes));
-    if (e.bitmap_words != 0) {
-      file_.read(reinterpret_cast<char*>(bitmap.data()),
-                 std::streamsize(e.bitmap_words * 8));
+  }
+  if (DB_FAILPOINT("archive.read.ioerror")) {
+    return CountRead(Status::IoError("injected read failure (failpoint)"));
+  }
+  if (e.block_bytes < sizeof(BlockHeader)) {
+    return CountRead(Status::Corruption("block " + std::to_string(id) +
+                                        " entry is implausibly small"));
+  }
+  // Read straight into the block's own buffer — reloads are a hot path
+  // under eviction churn, an intermediate copy would double the cost. The
+  // pread runs outside the catalog mutex: concurrent reloads of different
+  // blocks must overlap their disk time.
+  DataBlock block = DataBlock::ForFill(e.block_bytes);
+  std::vector<uint64_t> bitmap(e.bitmap_words);
+  if (Status s = PreadFull(fd_, block.fill_bytes(), e.block_bytes, e.offset,
+                           "block payload");
+      !s.ok()) {
+    return CountRead(std::move(s));
+  }
+  if (e.bitmap_words != 0) {
+    if (Status s = PreadFull(fd_, bitmap.data(), e.bitmap_words * 8,
+                             e.offset + e.block_bytes, "delete bitmap");
+        !s.ok()) {
+      return CountRead(std::move(s));
     }
-    DB_CHECK(file_.good());
   }
   uint64_t checksum = Fnv1a64(block.raw_bytes(), e.block_bytes, kFnvBasis);
   if (e.bitmap_words != 0) {
     checksum = Fnv1a64(reinterpret_cast<const uint8_t*>(bitmap.data()),
                        e.bitmap_words * 8, checksum);
   }
-  DB_CHECK(checksum == e.checksum);  // corrupted archive block
-  block.ValidateFilled();
+  if (checksum != e.checksum || DB_FAILPOINT("archive.read.corruption")) {
+    char msg[112];
+    std::snprintf(msg, sizeof(msg),
+                  "checksum mismatch on block %zu (stored %016llx, read "
+                  "%016llx)",
+                  id, (unsigned long long)e.checksum,
+                  (unsigned long long)checksum);
+    return CountRead(Status::Corruption(msg));
+  }
+  if (!block.CheckFilled()) {
+    return CountRead(Status::Corruption(
+        "block " + std::to_string(id) + " bytes are not a well-formed block"));
+  }
   if (delete_bitmap != nullptr) *delete_bitmap = std::move(bitmap);
   return block;
 }
@@ -221,10 +597,10 @@ std::vector<ArchiveEntry> BlockArchive::EntriesSnapshot() const {
   return entries_;
 }
 
-void BlockArchive::Finish() {
+Status BlockArchive::Finish() {
   DB_CHECK(mu_ != nullptr);
   std::lock_guard<std::mutex> lock(*mu_);
-  if (!writable_) return;
+  if (!writable_) return Status::Ok();
   writable_ = false;
   // Serialize the summaries into one blob and point the entries at it.
   std::vector<uint8_t> blob;
@@ -238,85 +614,151 @@ void BlockArchive::Finish() {
     summaries_[i]->AppendTo(&blob);
     entries_[i].summary_bytes = blob.size() - entries_[i].summary_offset;
   }
+  // Index image: records, blob length, blob, then a checksum over all of
+  // it — the reader rejects a torn or bit-flipped index outright (and, for
+  // v4, falls back to the frame walk).
+  std::vector<uint8_t> index;
+  const uint8_t* entry_bytes =
+      reinterpret_cast<const uint8_t*>(entries_.data());
+  index.insert(index.end(), entry_bytes,
+               entry_bytes + entries_.size() * sizeof(ArchiveEntry));
   const uint64_t blob_bytes = blob.size();
-  file_.seekp(std::streamoff(end_offset_));
-  file_.write(reinterpret_cast<const char*>(entries_.data()),
-              std::streamsize(entries_.size() * sizeof(ArchiveEntry)));
-  file_.write(reinterpret_cast<const char*>(&blob_bytes), sizeof(blob_bytes));
-  if (blob_bytes != 0) {
-    file_.write(reinterpret_cast<const char*>(blob.data()),
-                std::streamsize(blob_bytes));
+  const uint8_t* len_bytes = reinterpret_cast<const uint8_t*>(&blob_bytes);
+  index.insert(index.end(), len_bytes, len_bytes + sizeof(blob_bytes));
+  index.insert(index.end(), blob.begin(), blob.end());
+  const uint64_t index_checksum = Fnv1a64(index.data(), index.size(),
+                                          kFnvBasis);
+  const uint8_t* sum_bytes =
+      reinterpret_cast<const uint8_t*>(&index_checksum);
+  index.insert(index.end(), sum_bytes, sum_bytes + sizeof(index_checksum));
+
+  Status s = Status::Ok();
+  if (DB_FAILPOINT("archive.finish.ioerror")) {
+    s = Status::IoError("injected finish failure (failpoint)");
   }
-  FileHeader hdr{kMagic, kVersion, uint32_t(entries_.size()), 0, end_offset_,
-                 0};
-  file_.seekp(0);
-  file_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
-  file_.flush();
-  DB_CHECK(file_.good());
+  // Durability order: payload first, then the index bytes, and only then
+  // the header that makes the index reachable. A crash between any two
+  // steps leaves a file that Open salvages by frame walk.
+  if (s.ok() && ::fsync(fd_) != 0) {
+    s = Status::IoError(std::string("fsync of payload failed: ") +
+                        std::strerror(errno));
+  }
+  if (s.ok()) {
+    s = PwriteFull(fd_, index.data(), index.size(), end_offset_,
+                   "archive index");
+  }
+  if (s.ok() && ::fsync(fd_) != 0) {
+    s = Status::IoError(std::string("fsync of index failed: ") +
+                        std::strerror(errno));
+  }
+  if (s.ok()) {
+    FileHeader hdr{kMagic, kVersion, uint32_t(entries_.size()), 0,
+                   end_offset_, 0};
+    s = PwriteFull(fd_, &hdr, sizeof(hdr), 0, "archive header");
+  }
+  if (s.ok() && ::fsync(fd_) != 0) {
+    s = Status::IoError(std::string("fsync of header failed: ") +
+                        std::strerror(errno));
+  }
+  if (!s.ok()) return CountWrite(std::move(s));
+  return s;
 }
 
-BlockArchive BlockArchive::Compact(const BlockArchive& src,
-                                   const std::vector<bool>& live,
-                                   const std::string& path,
-                                   std::vector<size_t>* id_map) {
+StatusOr<BlockArchive> BlockArchive::Compact(const BlockArchive& src,
+                                             const std::vector<bool>& live,
+                                             const std::string& path,
+                                             std::vector<size_t>* id_map) {
   DB_CHECK(live.size() == src.num_blocks());
-  BlockArchive out = Create(path);
+  StatusOr<BlockArchive> out_or = Create(path);
+  if (!out_or.ok()) return out_or.status();
+  BlockArchive out = std::move(*out_or);
   if (id_map != nullptr) id_map->assign(live.size(), SIZE_MAX);
   for (size_t i = 0; i < live.size(); ++i) {
     if (!live[i]) continue;
     // ReadBlock re-verifies the checksum, so corruption cannot silently
     // propagate into the compacted file.
     std::vector<uint64_t> bitmap;
-    DataBlock block = src.ReadBlock(i, &bitmap);
-    size_t id = out.AppendBlock(block, src.entry(i).chunk_index,
-                                bitmap.empty() ? nullptr : bitmap.data(),
-                                src.summary(i));
-    if (id_map != nullptr) (*id_map)[i] = id;
+    StatusOr<DataBlock> block = src.ReadBlock(i, &bitmap);
+    if (!block.ok()) return block.status();
+    StatusOr<size_t> id =
+        out.AppendBlock(*block, src.entry(i).chunk_index,
+                        bitmap.empty() ? nullptr : bitmap.data(),
+                        src.summary(i));
+    if (!id.ok()) return id.status();
+    if (id_map != nullptr) (*id_map)[i] = *id;
   }
   return out;
 }
 
-size_t BlockArchive::Save(const Table& table, const std::string& path) {
-  BlockArchive archive = Create(path);
+StatusOr<size_t> BlockArchive::Save(const Table& table,
+                                    const std::string& path) {
+  // Build beside the target and rename once finished: the publish is
+  // atomic, a pre-existing archive at `path` survives any failure here.
+  const std::string tmp_path = path + ".tmp";
+  auto fail = [&tmp_path](Status s) {
+    std::remove(tmp_path.c_str());
+    return s;
+  };
+  StatusOr<BlockArchive> archive_or = Create(tmp_path);
+  if (!archive_or.ok()) return fail(archive_or.status());
+  BlockArchive archive = std::move(*archive_or);
   for (size_t c = 0; c < table.num_chunks(); ++c) {
     if (!table.is_frozen(c) || table.chunk_rows(c) == 0) continue;
-    // Pin: reloads the block if evicted and keeps it resident for the write.
-    Table::PinGuard pin(table, c);
-    const DataBlock* block = table.frozen_block(c);
-    // Our own pin can abort a freeze that was in flight when we sampled
-    // is_frozen — the chunk is simply hot again, and hot chunks are not
-    // archived.
-    if (block == nullptr) continue;
-    BlockSummary summary = BlockSummary::Extract(*block);
-    archive.AppendBlock(*block, uint32_t(c), table.delete_bitmap(c),
-                        &summary);
+    try {
+      // Pin: reloads the block if evicted and keeps it resident for the
+      // write. A failed reload surfaces as StorageException.
+      Table::PinGuard pin(table, c);
+      const DataBlock* block = table.frozen_block(c);
+      // Our own pin can abort a freeze that was in flight when we sampled
+      // is_frozen — the chunk is simply hot again, and hot chunks are not
+      // archived.
+      if (block == nullptr) continue;
+      BlockSummary summary = BlockSummary::Extract(*block);
+      StatusOr<size_t> id = archive.AppendBlock(
+          *block, uint32_t(c), table.delete_bitmap(c), &summary);
+      if (!id.ok()) return fail(id.status());
+    } catch (const StorageException& e) {
+      return fail(e.status());
+    }
   }
-  archive.Finish();
-  return archive.num_blocks();
+  if (Status s = archive.Finish(); !s.ok()) return fail(std::move(s));
+  const size_t n = archive.num_blocks();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(Status::IoError("cannot publish archive at '" + path +
+                                "': " + std::strerror(errno)));
+  }
+  archive.NotifyRenamed(path);
+  return n;
 }
 
-std::vector<DataBlock> BlockArchive::Load(const std::string& path) {
-  BlockArchive archive = Open(path);
+StatusOr<std::vector<DataBlock>> BlockArchive::Load(const std::string& path) {
+  StatusOr<BlockArchive> archive = Open(path);
+  if (!archive.ok()) return archive.status();
   std::vector<DataBlock> blocks;
-  blocks.reserve(archive.num_blocks());
-  for (size_t i = 0; i < archive.num_blocks(); ++i)
-    blocks.push_back(archive.ReadBlock(i));
+  blocks.reserve(archive->num_blocks());
+  for (size_t i = 0; i < archive->num_blocks(); ++i) {
+    StatusOr<DataBlock> block = archive->ReadBlock(i);
+    if (!block.ok()) return block.status();
+    blocks.push_back(std::move(*block));
+  }
   return blocks;
 }
 
-Table BlockArchive::Restore(const std::string& name, Schema schema,
-                            const std::string& path,
-                            uint32_t chunk_capacity) {
-  BlockArchive archive = Open(path);
+StatusOr<Table> BlockArchive::Restore(const std::string& name, Schema schema,
+                                      const std::string& path,
+                                      uint32_t chunk_capacity) {
+  StatusOr<BlockArchive> archive = Open(path);
+  if (!archive.ok()) return archive.status();
   Table table(name, std::move(schema), chunk_capacity);
-  for (size_t i = 0; i < archive.num_blocks(); ++i) {
+  for (size_t i = 0; i < archive->num_blocks(); ++i) {
     std::vector<uint64_t> bitmap;
-    DataBlock block = archive.ReadBlock(i, &bitmap);
-    table.AppendFrozen(std::move(block), std::move(bitmap),
-                       archive.entry(i).deleted_count);
+    StatusOr<DataBlock> block = archive->ReadBlock(i, &bitmap);
+    if (!block.ok()) return block.status();
+    table.AppendFrozen(std::move(*block), std::move(bitmap),
+                       archive->entry(i).deleted_count);
     // Carry the archived summary over so the restored table prunes evicted
     // blocks summary-only once a lifecycle manager adopts it.
-    if (const BlockSummary* s = archive.summary(i)) {
+    if (const BlockSummary* s = archive->summary(i)) {
       table.SetBlockSummary(table.num_chunks() - 1,
                             std::make_unique<BlockSummary>(*s));
     }

@@ -2,7 +2,6 @@
 #define DATABLOCKS_STORAGE_BLOCK_ARCHIVE_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +9,7 @@
 
 #include "datablock/block_summary.h"
 #include "storage/table.h"
+#include "util/status.h"
 
 namespace datablocks {
 
@@ -35,59 +35,97 @@ static_assert(sizeof(ArchiveEntry) == 64);
 /// On-disk record size of the v2 format (prefix of ArchiveEntry).
 inline constexpr uint64_t kArchiveEntryV2Bytes = 40;
 
+/// v4 per-block frame, written immediately before each payload. It
+/// duplicates the entry fields a reader needs to re-discover the block
+/// without the index, which is what makes crash recovery possible: Open of
+/// an archive whose index was never published (torn write, crash before
+/// Finish) walks the frames forward and salvages the longest valid prefix.
+struct BlockFrame {
+  uint32_t magic;           // kFrameMagic
+  uint32_t chunk_index;
+  uint64_t block_bytes;
+  uint64_t bitmap_words;
+  uint64_t checksum;        // payload + bitmap (matches ArchiveEntry)
+  uint32_t row_count;
+  uint32_t frame_checksum;  // FNV-1a 64 of the preceding 36 bytes, folded
+};
+static_assert(sizeof(BlockFrame) == 40);
+
 /// Eviction of frozen chunks to secondary storage (paper Section 3: "by
 /// maintaining a flat structure without pointers, Data Blocks are also
 /// suitable for eviction to secondary storage").
 ///
-/// Archive format v3: a versioned file header, the serialized blocks (each
-/// optionally followed by its delete bitmap), and an index written by
-/// Finish() — the ArchiveEntry records followed by a blob of serialized
-/// BlockSummary records. The index enables per-block random access, the
-/// per-entry checksum catches torn or corrupted writes on reload, and the
-/// summary blob makes every block's SMA/PSMA metadata restorable *without
-/// payload reads* — an SMA-pruned scan never has to fault the block in.
-/// v2 archives (no summaries, 40-byte records) are still readable; v1 and
-/// unknown versions are rejected.
+/// Archive format v4: a versioned file header, the serialized blocks — each
+/// preceded by a self-describing BlockFrame and optionally followed by its
+/// delete bitmap — and an index written by Finish(): the ArchiveEntry
+/// records, a blob of serialized BlockSummary records, and a trailing
+/// checksum over the whole index region (so index corruption is detected,
+/// not just payload corruption). The index enables per-block random access,
+/// the per-entry checksum catches torn or corrupted payload writes on
+/// reload, and the summary blob makes every block's SMA/PSMA metadata
+/// restorable *without payload reads* — an SMA-pruned scan never has to
+/// fault the block in.
+///
+/// Failure model: every fallible operation returns Status/StatusOr instead
+/// of aborting. Finish orders durability (fsync payload -> write + fsync
+/// index -> publish header -> fsync), so a crash at any point leaves either
+/// a finished archive or one that Open salvages from its frames. A failed
+/// append truncates back to the last good end-of-payload — pre-existing
+/// blocks stay readable. v2/v3 archives (no frames) are still readable but
+/// not salvageable; v1 and unknown versions are rejected.
 ///
 /// An archive is either being written (Create + AppendBlock, index kept in
 /// memory, ReadBlock works on already-appended blocks) or opened read-only
 /// from a finished file (Open). All methods are thread-safe.
 class BlockArchive {
  public:
-  static constexpr uint32_t kMagic = 0x52414244;  // "DBAR"
-  static constexpr uint32_t kVersion = 3;
+  static constexpr uint32_t kMagic = 0x52414244;       // "DBAR"
+  static constexpr uint32_t kFrameMagic = 0x52464244;  // "DBFR"
+  static constexpr uint32_t kVersion = 4;
   static constexpr uint32_t kMinVersion = 2;  // oldest readable format
 
   BlockArchive() = default;
   ~BlockArchive();
-  BlockArchive(BlockArchive&&) = default;
-  BlockArchive& operator=(BlockArchive&&) = default;
+  BlockArchive(BlockArchive&& o) noexcept;
+  BlockArchive& operator=(BlockArchive&& o) noexcept;
 
   /// Creates/truncates an archive for writing.
-  static BlockArchive Create(const std::string& path);
+  static StatusOr<BlockArchive> Create(const std::string& path);
 
-  /// Opens a finished archive for random-access reads (validates header,
-  /// version and index; v2 archives open with null summaries).
-  static BlockArchive Open(const std::string& path);
+  /// Opens an archive for random-access reads. A finished archive opens via
+  /// its index (header, version and index checksum validated, with
+  /// diagnostic kCorruption on any mismatch; v2 archives open with null
+  /// summaries). A v4 archive whose index is missing or invalid —
+  /// truncated mid-block, truncated mid-index, torn header publish — is
+  /// *salvaged* instead: the frames are walked forward and the longest
+  /// checksum-valid prefix of blocks becomes readable (salvaged() reports
+  /// this; summaries are absent). Unreadable headers are errors, never
+  /// salvage: a bad magic means this is not an archive at all.
+  static StatusOr<BlockArchive> Open(const std::string& path);
 
-  /// Appends one block (and its delete bitmap, if any); flushed to disk
-  /// before returning. The bitmap is snapshotted once and the entry's
-  /// deleted_count is derived from that snapshot's popcount, so the stored
-  /// pair is always self-consistent even if the caller's live bitmap keeps
-  /// changing. `summary`, if given, is copied and persisted in the v3
-  /// index. Returns the block's id for ReadBlock.
-  size_t AppendBlock(const DataBlock& block,
-                     uint32_t chunk_index = UINT32_MAX,
-                     const uint64_t* delete_bitmap = nullptr,
-                     const BlockSummary* summary = nullptr);
+  /// Appends one block (and its delete bitmap, if any); written through to
+  /// the OS before returning (durability is ordered by Finish's fsync). The
+  /// bitmap is snapshotted once and the entry's deleted_count is derived
+  /// from that snapshot's popcount, so the stored pair is always
+  /// self-consistent even if the caller's live bitmap keeps changing.
+  /// `summary`, if given, is copied and persisted in the index. Returns the
+  /// block's id for ReadBlock; on failure (kNoSpace for short writes /
+  /// ENOSPC, kIoError otherwise) the file is truncated back so every
+  /// previously appended block stays readable.
+  StatusOr<size_t> AppendBlock(const DataBlock& block,
+                               uint32_t chunk_index = UINT32_MAX,
+                               const uint64_t* delete_bitmap = nullptr,
+                               const BlockSummary* summary = nullptr);
 
-  /// Random-access, checksum-verified reload of one block. If `delete_bitmap`
-  /// is non-null it receives the stored bitmap (empty if none was stored).
-  DataBlock ReadBlock(size_t id,
-                      std::vector<uint64_t>* delete_bitmap = nullptr) const;
+  /// Random-access, checksum-verified reload of one block (kCorruption on a
+  /// checksum/shape mismatch, kIoError on a failed read — other blocks stay
+  /// readable). If `delete_bitmap` is non-null it receives the stored
+  /// bitmap (empty if none was stored).
+  StatusOr<DataBlock> ReadBlock(
+      size_t id, std::vector<uint64_t>* delete_bitmap = nullptr) const;
 
-  /// Resident summary of block `id` (nullptr for v2 archives or blocks
-  /// appended without one). Never touches the payload.
+  /// Resident summary of block `id` (nullptr for v2/salvaged archives or
+  /// blocks appended without one). Never touches the payload.
   const BlockSummary* summary(size_t id) const {
     return summaries_[id].get();
   }
@@ -104,6 +142,9 @@ class BlockArchive {
   /// follows the inode, only the reported path changes.
   void NotifyRenamed(std::string path) { path_ = std::move(path); }
   uint32_t version() const { return version_; }
+  /// True when Open recovered this archive by frame-walking (no index was
+  /// readable); the entries are the longest valid prefix of the file.
+  bool salvaged() const { return salvaged_; }
 
   /// Total bytes of archived payload (blocks + bitmaps, without metadata).
   uint64_t PayloadBytes() const;
@@ -113,39 +154,45 @@ class BlockArchive {
   /// zero, and the lifecycle tests pin it down.
   uint64_t payload_reads() const;
 
-  /// Writes the index + final header. Called automatically on destruction
-  /// of a writable archive; appends are illegal afterwards.
-  void Finish();
+  /// Writes the index + final header, fsyncing the payload region *before*
+  /// the header publishes the index offset. Called automatically on
+  /// destruction of a writable archive (failures then ignored); appends are
+  /// illegal afterwards either way.
+  Status Finish();
 
   /// Rewrites the live blocks of `src` into a fresh archive at `path`
   /// (compaction/GC): block `i` is copied — payload, bitmap and summary —
   /// iff `live[i]` is true, with checksums re-verified in transit.
   /// `id_map`, if non-null, receives old-id -> new-id (SIZE_MAX for
   /// reclaimed blocks). The result is still writable, so a lifecycle
-  /// manager can keep appending after swapping it in.
-  static BlockArchive Compact(const BlockArchive& src,
-                              const std::vector<bool>& live,
-                              const std::string& path,
-                              std::vector<size_t>* id_map = nullptr);
+  /// manager can keep appending after swapping it in. Any read or write
+  /// failure aborts the compaction with its Status (the source is
+  /// untouched; the caller removes the partial output file).
+  static StatusOr<BlockArchive> Compact(const BlockArchive& src,
+                                        const std::vector<bool>& live,
+                                        const std::string& path,
+                                        std::vector<size_t>* id_map = nullptr);
 
   // -- Whole-table conveniences -------------------------------------------
 
   /// Writes every frozen chunk of `table` to `path` (in chunk order),
   /// including per-chunk delete bitmaps and summaries. Evicted chunks are
-  /// transparently reloaded for the duration of the write. Returns the
-  /// number of blocks written.
-  static size_t Save(const Table& table, const std::string& path);
+  /// transparently reloaded for the duration of the write. The archive is
+  /// built at `path + ".tmp"` and atomically renamed onto `path` once
+  /// finished, so a crash or failure mid-save never clobbers a pre-existing
+  /// archive at `path`. Returns the number of blocks written.
+  static StatusOr<size_t> Save(const Table& table, const std::string& path);
 
   /// Reads all blocks back from `path` (delete bitmaps are dropped; use
   /// Restore to keep them).
-  static std::vector<DataBlock> Load(const std::string& path);
+  static StatusOr<std::vector<DataBlock>> Load(const std::string& path);
 
   /// Rebuilds a table from an archive: the result contains the archived
-  /// blocks as frozen chunks — including their delete bitmaps and (v3)
-  /// resident summaries — with identical scan and point-access behaviour.
-  static Table Restore(const std::string& name, Schema schema,
-                       const std::string& path,
-                       uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
+  /// blocks as frozen chunks — including their delete bitmaps and resident
+  /// summaries — with identical scan and point-access behaviour.
+  static StatusOr<Table> Restore(
+      const std::string& name, Schema schema, const std::string& path,
+      uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
 
  private:
   struct FileHeader {
@@ -158,8 +205,12 @@ class BlockArchive {
   };
   static_assert(sizeof(FileHeader) == 32);
 
+  static Status OpenIndex(BlockArchive& a, const FileHeader& hdr,
+                          uint64_t file_size);
+  static void Salvage(BlockArchive& a, uint64_t file_size);
+
   std::string path_;
-  mutable std::fstream file_;
+  int fd_ = -1;
   mutable std::unique_ptr<std::mutex> mu_;
   std::vector<ArchiveEntry> entries_;
   /// Parsed summaries, parallel to entries_ (null where absent). Kept in
@@ -169,6 +220,7 @@ class BlockArchive {
   mutable uint64_t payload_reads_ = 0;  // guarded by mu_
   uint32_t version_ = kVersion;
   bool writable_ = false;
+  bool salvaged_ = false;
 };
 
 }  // namespace datablocks

@@ -109,6 +109,10 @@ bool Table::TryPinResident(size_t chunk_idx) const {
 }
 
 void Table::PinChunk(size_t chunk_idx) const {
+  ThrowIfError(TryPinChunk(chunk_idx));
+}
+
+Status Table::TryPinChunk(size_t chunk_idx) const {
   const Slot& s = slot(chunk_idx);
   s.last_access.store(access_epoch_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
@@ -118,7 +122,9 @@ void Table::PinChunk(size_t chunk_idx) const {
   // at least one side observes the other.
   s.pins.fetch_add(1, std::memory_order_seq_cst);
   ChunkState st = s.state.load(std::memory_order_seq_cst);
-  if (st == ChunkState::kHot || st == ChunkState::kFrozen) return;
+  if (st == ChunkState::kHot || st == ChunkState::kFrozen) {
+    return Status::Ok();
+  }
 
   // Slow path: the chunk is evicted (reload it), mid-freeze (wait for the
   // freezer to finish or abort), or being reloaded by another pin (wait
@@ -133,24 +139,56 @@ void Table::PinChunk(size_t chunk_idx) const {
     }
     // Resolved while we waited — or a terminal tombstone, which is "pinned"
     // trivially: there is no payload to protect and never will be.
-    if (st != ChunkState::kEvicted) return;
+    if (st != ChunkState::kEvicted) return Status::Ok();
     break;
+  }
+  // Reload failure: undo everything — back to kEvicted (a later pin may
+  // retry), entry pin released, waiters on kReloading woken — and hand the
+  // reason out. The *query* fails; the table and the process stay healthy.
+  auto fail = [&](Status why) {
+    ms.state.store(ChunkState::kEvicted, std::memory_order_seq_cst);
+    ms.pins.fetch_sub(1, std::memory_order_release);
+    lock.unlock();
+    lifecycle_cv_.notify_all();
+    return why;
+  };
+  if (fetcher_ == nullptr) {
+    ms.pins.fetch_sub(1, std::memory_order_release);
+    return Status::Unavailable("chunk " + std::to_string(chunk_idx) +
+                               " of table '" + name_ +
+                               "' is evicted and no block fetcher is "
+                               "installed");
   }
   // Park the chunk in kReloading and drop the mutex for the duration of
   // the archive read: reloads of different chunks proceed in parallel, and
   // unrelated lifecycle operations are not stalled behind disk I/O.
-  DB_CHECK(fetcher_ != nullptr);
   BlockFetcher fetcher = fetcher_;
   ms.state.store(ChunkState::kReloading, std::memory_order_seq_cst);
   lock.unlock();
-  auto block = std::make_unique<DataBlock>(fetcher(chunk_idx));
-  DB_CHECK(block->num_rows() == ms.rows.load(std::memory_order_relaxed));
+  StatusOr<DataBlock> fetched = [&]() -> StatusOr<DataBlock> {
+    try {
+      return fetcher(chunk_idx);
+    } catch (const StorageException& e) {
+      return e.status();
+    } catch (const std::exception& e) {
+      return Status::IoError(std::string("block fetcher threw: ") + e.what());
+    }
+  }();
   lock.lock();
-  ms.frozen = std::move(block);
+  if (!fetched.ok()) return fail(fetched.status());
+  if (fetched->num_rows() != ms.rows.load(std::memory_order_relaxed)) {
+    return fail(Status::Corruption(
+        "reloaded block for chunk " + std::to_string(chunk_idx) +
+        " of table '" + name_ + "' has " +
+        std::to_string(fetched->num_rows()) + " rows, chunk has " +
+        std::to_string(ms.rows.load(std::memory_order_relaxed))));
+  }
+  ms.frozen = std::make_unique<DataBlock>(std::move(*fetched));
   reloads_.fetch_add(1, std::memory_order_relaxed);
   ms.state.store(ChunkState::kFrozen, std::memory_order_seq_cst);
   lock.unlock();
   lifecycle_cv_.notify_all();
+  return Status::Ok();
 }
 
 void Table::UnpinChunk(size_t chunk_idx) const {

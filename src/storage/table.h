@@ -17,6 +17,7 @@
 #include "storage/chunk.h"
 #include "storage/types.h"
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace datablocks {
 
@@ -85,8 +86,11 @@ class Table {
   /// Reloads an evicted chunk's block from secondary storage. Installed by
   /// the lifecycle manager; invoked without the table's lifecycle mutex
   /// (the chunk is parked in kReloading instead), but it still must not
-  /// call back into this table.
-  using BlockFetcher = std::function<DataBlock(size_t chunk_idx)>;
+  /// call back into this table. A failed reload (corrupt or unreadable
+  /// archive block, quarantined chunk) returns its Status instead of a
+  /// block — PinChunk then restores the chunk to kEvicted and throws
+  /// StorageException, so the *query* fails and the process survives.
+  using BlockFetcher = std::function<StatusOr<DataBlock>(size_t chunk_idx)>;
 
   Table(std::string name, Schema schema,
         uint32_t chunk_capacity = DataBlock::kDefaultCapacity);
@@ -207,8 +211,15 @@ class Table {
   /// Pins a chunk: while pinned it cannot be frozen or evicted, and an
   /// evicted chunk is synchronously reloaded through the block fetcher, so
   /// hot_chunk()/frozen_block() stay valid until UnpinChunk. Pins are
-  /// cheap (one atomic RMW) and may be taken from any thread.
+  /// cheap (one atomic RMW) and may be taken from any thread. Throws
+  /// StorageException — leaving the chunk evicted, unpinned and retryable —
+  /// when the reload fails (no fetcher installed, fetcher Status, or a
+  /// block whose row count does not match the chunk).
   void PinChunk(size_t chunk_idx) const;
+  /// Non-throwing PinChunk: OK = the pin is held, error = it is not. The
+  /// lifecycle manager's quarantine-retry probe uses this to test a
+  /// reload without exception plumbing.
+  Status TryPinChunk(size_t chunk_idx) const;
   void UnpinChunk(size_t chunk_idx) const;
   uint32_t chunk_pins(size_t chunk_idx) const {
     return slot(chunk_idx).pins.load(std::memory_order_acquire);

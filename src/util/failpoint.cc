@@ -1,0 +1,205 @@
+#include "util/failpoint.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace datablocks::fail {
+
+std::atomic<uint64_t> FailpointRegistry::armed_count_{0};
+
+bool ParseFailSpec(std::string_view text, FailSpec* out) {
+  FailSpec spec;
+  if (text == "off") {
+    spec.mode = FailSpec::Mode::kOff;
+  } else if (text == "once") {
+    spec.mode = FailSpec::Mode::kOnce;
+  } else if (text == "always") {
+    spec.mode = FailSpec::Mode::kAlways;
+  } else if (text.rfind("every:", 0) == 0) {
+    std::string_view num = text.substr(6);
+    uint64_t n = 0;
+    auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), n);
+    if (ec != std::errc() || ptr != num.data() + num.size() || n == 0)
+      return false;
+    spec.mode = FailSpec::Mode::kEvery;
+    spec.every_n = n;
+  } else if (text.rfind("prob:", 0) == 0) {
+    // std::from_chars<double> is missing on older libstdc++; strtod needs a
+    // NUL terminator, so copy the (tiny) number out first.
+    std::string num(text.substr(5));
+    if (num.empty()) return false;
+    char* end = nullptr;
+    double p = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size() || p < 0.0 || p > 1.0) return false;
+    spec.mode = FailSpec::Mode::kProb;
+    spec.prob = p;
+  } else {
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+struct FailpointRegistry::Impl {
+  struct Point {
+    FailSpec spec;
+    uint64_t evals = 0;
+    uint64_t fires = 0;
+    uint64_t rng = 0;  // per-point xorshift state: runs are reproducible
+  };
+
+  mutable std::mutex mu;
+  // Transparent comparator: Evaluate takes string_view and must not
+  // allocate a lookup key on the (failpoint-armed) hot path.
+  std::map<std::string, Point, std::less<>> points;
+};
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+namespace {
+
+// Construct the registry (and thus parse DATABLOCKS_FAILPOINTS) before
+// main(): the AnyArmed() fast-path gate in Triggered() never touches
+// Instance() while the count is zero, so without this bootstrap an
+// env-armed process would leave every failpoint dormant forever.
+const bool g_env_bootstrap = (FailpointRegistry::Instance(), true);
+
+}  // namespace
+
+namespace {
+
+uint64_t SeedFor(std::string_view name) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (char c : name) {
+    h ^= uint8_t(c);
+    h *= 0x100000001b3ull;
+  }
+  return h | 1;  // xorshift must not start at 0
+}
+
+uint64_t XorShift64(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl()) {
+  const char* env = std::getenv("DATABLOCKS_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string_view all(env);
+  while (!all.empty()) {
+    size_t sep = all.find_first_of(";,");
+    std::string_view item = all.substr(0, sep);
+    all = sep == std::string_view::npos ? std::string_view()
+                                        : all.substr(sep + 1);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      std::fprintf(stderr, "failpoint: ignoring malformed env entry '%.*s'\n",
+                   int(item.size()), item.data());
+      continue;
+    }
+    std::string name(item.substr(0, eq));
+    std::string_view spec = item.substr(eq + 1);
+    if (!Arm(name, spec)) {
+      std::fprintf(stderr,
+                   "failpoint: ignoring bad spec '%.*s' for '%s' in "
+                   "DATABLOCKS_FAILPOINTS\n",
+                   int(spec.size()), spec.data(), name.c_str());
+    } else {
+      std::fprintf(stderr, "failpoint: armed %s=%.*s (from env)\n",
+                   name.c_str(), int(spec.size()), spec.data());
+    }
+  }
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailSpec spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->points.try_emplace(name);
+  const bool was_live = !inserted && it->second.spec.mode != FailSpec::Mode::kOff;
+  it->second = Impl::Point{};  // re-arming resets counters
+  it->second.spec = spec;
+  it->second.rng = SeedFor(name);
+  const bool is_live = spec.mode != FailSpec::Mode::kOff;
+  if (is_live && !was_live) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!is_live && was_live) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool FailpointRegistry::Arm(const std::string& name, std::string_view spec) {
+  FailSpec parsed;
+  if (!ParseFailSpec(spec, &parsed)) return false;
+  Arm(name, parsed);
+  return true;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it == impl_->points.end()) return;
+  if (it->second.spec.mode != FailSpec::Mode::kOff)
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  impl_->points.erase(it);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [name, point] : impl_->points) {
+    if (point.spec.mode != FailSpec::Mode::kOff)
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  impl_->points.clear();
+}
+
+bool FailpointRegistry::Evaluate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it == impl_->points.end()) return false;
+  Impl::Point& p = it->second;
+  ++p.evals;
+  bool fire = false;
+  switch (p.spec.mode) {
+    case FailSpec::Mode::kOff:
+      break;
+    case FailSpec::Mode::kOnce:
+      fire = p.evals == 1;
+      break;
+    case FailSpec::Mode::kAlways:
+      fire = true;
+      break;
+    case FailSpec::Mode::kEvery:
+      fire = p.evals % p.spec.every_n == 0;
+      break;
+    case FailSpec::Mode::kProb:
+      fire = double(XorShift64(&p.rng) >> 11) * 0x1.0p-53 < p.spec.prob;
+      break;
+  }
+  if (fire) ++p.fires;
+  return fire;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.fires;
+}
+
+uint64_t FailpointRegistry::evaluations(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.evals;
+}
+
+}  // namespace datablocks::fail

@@ -1,0 +1,87 @@
+#ifndef DATABLOCKS_UTIL_FAILPOINT_H_
+#define DATABLOCKS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace datablocks::fail {
+
+/// Fault-injection registry: named failpoints compiled into every build
+/// (the disarmed fast path is one relaxed atomic load), armed either
+/// programmatically (tests, bench_serve --chaos) or via the environment:
+///
+///   DATABLOCKS_FAILPOINTS="archive.read.corruption=once;lifecycle.reload=prob:0.05"
+///
+/// Spec grammar, per failpoint:
+///   off        never fires (same as disarmed)
+///   once       fires on the first evaluation only
+///   always     fires on every evaluation
+///   every:N    fires on every Nth evaluation (N >= 1)
+///   prob:P     fires with probability P in [0,1] (deterministic per-point
+///              generator, so runs are reproducible for a fixed call count)
+///
+/// A *site* asks `if (DB_FAILPOINT("archive.read.corruption")) ...` and
+/// reacts by returning an injected Status / simulating a short write —
+/// failpoints inject *decisions*, the site owns the failure semantics.
+/// Evaluating a name that was never armed is free and returns false.
+
+struct FailSpec {
+  enum class Mode : uint8_t { kOff, kOnce, kAlways, kEvery, kProb };
+  Mode mode = Mode::kOff;
+  uint64_t every_n = 0;  // kEvery
+  double prob = 0.0;     // kProb
+};
+
+/// Parses the spec grammar above; false (and *out untouched) on malformed
+/// input.
+bool ParseFailSpec(std::string_view text, FailSpec* out);
+
+class FailpointRegistry {
+ public:
+  /// Process-wide registry; parses DATABLOCKS_FAILPOINTS on first use.
+  static FailpointRegistry& Instance();
+
+  /// Arms (or re-arms, resetting counters) one failpoint. The string
+  /// overload parses the spec grammar and returns false on a parse error.
+  void Arm(const std::string& name, FailSpec spec);
+  bool Arm(const std::string& name, std::string_view spec);
+
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// One evaluation of `name`: true = the site must fail now.
+  bool Evaluate(std::string_view name);
+
+  /// Fires so far (0 if never armed). Test/diagnostic accessor.
+  uint64_t fires(const std::string& name) const;
+  /// Evaluations so far (0 if never armed).
+  uint64_t evaluations(const std::string& name) const;
+
+  /// True while at least one failpoint is armed — the global fast-path
+  /// gate, readable without the registry lock.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  FailpointRegistry();
+  static std::atomic<uint64_t> armed_count_;
+
+  struct Impl;
+  Impl* impl_;  // leaked intentionally: failpoints may fire during shutdown
+};
+
+/// The evaluation entry point sites use (via DB_FAILPOINT): free when
+/// nothing is armed anywhere in the process.
+inline bool Triggered(std::string_view name) {
+  if (!FailpointRegistry::AnyArmed()) return false;
+  return FailpointRegistry::Instance().Evaluate(name);
+}
+
+}  // namespace datablocks::fail
+
+#define DB_FAILPOINT(name) (::datablocks::fail::Triggered(name))
+
+#endif  // DATABLOCKS_UTIL_FAILPOINT_H_

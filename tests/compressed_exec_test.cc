@@ -381,7 +381,7 @@ TEST(CompressedExec, RearchiveRefreshesArchivedDeleteBitmaps) {
   // LAST restored chunk; chunk 1's below-threshold deletes were never
   // persisted (the initial archive deliberately stores no bitmap).
   Table restored =
-      BlockArchive::Restore("restored", MixedSchema(), path, kChunk);
+      BlockArchive::Restore("restored", MixedSchema(), path, kChunk).value();
   ASSERT_EQ(restored.num_chunks(), 4u);
   EXPECT_EQ(restored.deleted_in_chunk(3), t.deleted_in_chunk(0));
   EXPECT_EQ(restored.deleted_in_chunk(0), 0u);

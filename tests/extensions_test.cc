@@ -164,14 +164,14 @@ TEST(MicroAdaptive, AdaptsWhenCostsShift) {
 TEST(BlockArchiveTest, SaveLoadRestoreRoundTrip) {
   Table t = MakeTable(10000, 2048, true);
   const std::string path = "/tmp/datablocks_archive_test.bin";
-  size_t written = BlockArchive::Save(t, path);
+  size_t written = BlockArchive::Save(t, path).value();
   EXPECT_EQ(written, t.num_chunks());
 
-  auto blocks = BlockArchive::Load(path);
+  auto blocks = BlockArchive::Load(path).value();
   ASSERT_EQ(blocks.size(), written);
   EXPECT_EQ(blocks[0].num_rows(), t.chunk_rows(0));
 
-  Table restored = BlockArchive::Restore("t2", TestSchema(), path, 2048);
+  Table restored = BlockArchive::Restore("t2", TestSchema(), path, 2048).value();
   EXPECT_EQ(restored.num_rows(), t.num_rows());
   // Identical point accesses...
   Rng rng(5);
@@ -197,7 +197,7 @@ TEST(BlockArchiveTest, HotChunksAreNotArchived) {
   Table t = MakeTable(5000, 1024, false);
   t.FreezeChunk(0);
   const std::string path = "/tmp/datablocks_archive_partial.bin";
-  EXPECT_EQ(BlockArchive::Save(t, path), 1u);
+  EXPECT_EQ(BlockArchive::Save(t, path).value(), 1u);
   std::remove(path.c_str());
 }
 

@@ -372,8 +372,8 @@ TEST(Lifecycle, SummaryPruningWorksWithoutResidentPsma) {
 TEST(Lifecycle, RestoredTablesReuseArchivedSummaries) {
   Table orig = MakeTestTable(2048, 512, /*delete_every=*/0, /*freeze=*/true);
   const std::string save_path = TempArchive("restore_save");
-  BlockArchive::Save(orig, save_path);
-  Table t = BlockArchive::Restore("r", TestTableSchema(), save_path, 512);
+  ASSERT_TRUE(BlockArchive::Save(orig, save_path).ok());
+  Table t = BlockArchive::Restore("r", TestTableSchema(), save_path, 512).value();
   for (size_t c = 0; c < t.num_chunks(); ++c)
     ASSERT_NE(t.block_summary(c), nullptr) << c;
 
